@@ -1,0 +1,63 @@
+"""A1 — availability under node failure (the paper's §1/§4 claims).
+
+"[the LARD front-end] represents both a single point of failure and a
+potential bottleneck ... [in L2S] the system is bottleneck-free and has
+no single point of failure."  We crash one node mid-measurement:
+
+* L2S and the traditional server keep serving on the survivors;
+* LARD survives a back-end crash but a front-end crash is a total
+  outage — every subsequent request fails.
+"""
+
+from conftest import run_once
+
+from repro.experiments import availability_experiment, bench_requests, render_table
+from repro.workload import synthesize
+
+
+def test_availability(benchmark):
+    trace = synthesize("calgary", num_requests=min(bench_requests(), 12_000))
+
+    def compute():
+        return {
+            ("l2s", 3): availability_experiment("l2s", trace=trace, failed_node=3),
+            ("traditional", 3): availability_experiment(
+                "traditional", trace=trace, failed_node=3
+            ),
+            ("lard", 3): availability_experiment("lard", trace=trace, failed_node=3),
+            ("lard", 0): availability_experiment("lard", trace=trace, failed_node=0),
+        }
+
+    results = run_once(benchmark, compute)
+    print("\nhealthy vs crashed-node throughput (8 nodes, calgary):")
+    print(
+        render_table(
+            ["policy", "killed", "healthy", "degraded", "retained", "failed reqs"],
+            [
+                (
+                    p,
+                    node,
+                    f"{r.healthy_throughput:,.0f}",
+                    f"{r.degraded_throughput:,.0f}",
+                    f"{r.retained_fraction:.2f}",
+                    r.requests_failed,
+                )
+                for (p, node), r in results.items()
+            ],
+        )
+    )
+
+    # Decentralized designs keep serving, losing roughly a node's worth
+    # of capacity (with slack for reassignment inefficiency).
+    assert 0.55 < results[("l2s", 3)].retained_fraction <= 1.05
+    assert results[("l2s", 3)].completed_after > 1000
+    assert 0.6 < results[("traditional", 3)].retained_fraction <= 1.05
+    # LARD: back-end death survivable...
+    assert 0.5 < results[("lard", 3)].retained_fraction <= 1.05
+    # ...front-end death is a total outage: only the handful of requests
+    # already handed off to back-ends drain; everything else fails.
+    assert results[("lard", 0)].retained_fraction < 0.15
+    assert results[("lard", 0)].completed_after < 1000
+    assert results[("lard", 0)].requests_failed > 1000
+    # Few requests are lost outright when a non-critical node dies.
+    assert results[("l2s", 3)].requests_failed < 200

@@ -1,0 +1,24 @@
+"""F10 — Figure 10: throughput vs cluster size, Rutgers trace.
+
+Paper landmarks at 16 nodes: L2S +56% over LARD and +442% over the
+traditional server — Rutgers has the biggest working set (735 MB), so
+single-node caches are hopeless and locality-conscious distribution
+shines.
+"""
+
+from conftest import run_once
+from figshared import assert_paper_shape, print_figure
+
+
+def test_fig10_rutgers(benchmark, scaling_store):
+    exp = run_once(benchmark, lambda: scaling_store.get("rutgers"))
+    print_figure(exp, "Figure 10")
+    assert_paper_shape(exp)
+
+    series = exp.throughput_series()
+    i16 = exp.node_counts.index(16)
+    assert series["l2s"][i16] > 1.1 * series["lard"][i16]
+    assert series["l2s"][i16] > 3.0 * series["traditional"][i16]
+
+    miss = exp.metric_series("miss_rate")
+    assert miss["traditional"][i16] > 0.3  # oversized working set

@@ -1,0 +1,29 @@
+"""F3 — Figure 3: throughput surface of the locality-oblivious server.
+
+Shape claims checked: throughput rises with the hit rate and falls with
+the average file size; significant throughput only for small files at
+hit rates above ~80%; peak ~2.2-2.7e4 req/s on 16 nodes.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.figures import render_figure3
+
+
+def test_fig3_oblivious_surface(benchmark, surfaces_cache):
+    s = run_once(benchmark, surfaces_cache)
+    print("\n" + render_figure3(s))
+
+    obl = s.oblivious
+    grid = s.grid
+    assert (np.diff(obl, axis=0) >= -1e-9).all()  # rises with hit rate
+    assert (np.diff(obl, axis=1) <= 1e-9).all()  # falls with size
+    assert 2.2e4 < obl.max() < 2.9e4
+
+    # "Throughputs only increase significantly for files smaller than
+    # 64 KB and hit rates higher than 80%."
+    hits = np.array(grid.hit_rates)
+    sizes = np.array(grid.sizes_kb)
+    low_region = obl[np.ix_(hits <= 0.6, sizes >= 64)]
+    assert low_region.max() < 0.25 * obl.max()

@@ -1,0 +1,34 @@
+"""F4 — Figure 4: throughput surface of the locality-conscious server.
+
+Shape claims checked: the significant-throughput region is much larger
+than the oblivious server's (files < 96 KB, hit rates above ~50%), and
+the peak holds over a wide plateau.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.figures import render_figure4
+
+
+def test_fig4_conscious_surface(benchmark, surfaces_cache):
+    s = run_once(benchmark, surfaces_cache)
+    print("\n" + render_figure4(s))
+
+    con = s.conscious
+    grid = s.grid
+    hits = np.array(grid.hit_rates)
+    sizes = np.array(grid.sizes_kb)
+    assert 2.0e4 < con.max() < 2.6e4
+
+    # The conscious server is near its peak already at hit rate 0.8 and
+    # small files...
+    i80 = int(np.argmin(np.abs(hits - 0.8)))
+    assert con[i80, 0] > 0.9 * con.max()
+    # ...while the oblivious server is nowhere close there.
+    assert s.oblivious[i80, 0] < 0.3 * s.oblivious.max()
+
+    # Plateau size: count grid cells within 80% of peak.
+    con_plateau = (con > 0.8 * con.max()).sum()
+    obl_plateau = (s.oblivious > 0.8 * s.oblivious.max()).sum()
+    assert con_plateau > 2 * obl_plateau

@@ -1,0 +1,30 @@
+"""F5 — Figure 5: throughput increase due to locality (F4 / F3).
+
+Shape claims checked: the peak is "up to 7-fold" (we allow 6-9x on our
+grid), located at small files near the 80% hit-rate knee; the gain
+collapses past 80% and dips below 1 for small files at hit rate 1.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.figures import render_figure5
+
+
+def test_fig5_throughput_increase(benchmark, surfaces_cache):
+    s = run_once(benchmark, surfaces_cache)
+    print("\n" + render_figure5(s))
+    print(f"\npeak increase: {s.peak_increase():.2f}x at {s.peak_location()}")
+
+    assert 6.0 < s.peak_increase() < 9.0
+    h, size = s.peak_location()
+    assert 0.6 <= h <= 0.9
+    assert size <= 16.0
+
+    inc = s.increase
+    hits = np.array(s.grid.hit_rates)
+    i80 = int(np.argmin(np.abs(hits - 0.8)))
+    i95 = int(np.argmin(np.abs(hits - 0.95)))
+    assert inc[i80, 0] > inc[i95, 0]  # collapse after 80%
+    assert inc[-1, 0] < 1.0  # below 1 at hit rate 1, small files
+    assert inc[0, :].max() < 1.5  # near 1 at hit rate 0

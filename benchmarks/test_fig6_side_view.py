@@ -1,0 +1,27 @@
+"""F6 — Figure 6: side view of the throughput-increase surface.
+
+The profile (max over file sizes per hit rate) climbs towards the ~80%
+knee and falls towards 1 at the extremes.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.figures import render_figure6
+from repro.model import side_view
+
+
+def test_fig6_side_view(benchmark, surfaces_cache):
+    s = run_once(benchmark, surfaces_cache)
+    print("\n" + render_figure6(s))
+
+    env = side_view(s)
+    hits = np.array(s.grid.hit_rates)
+    profile = env[:, 1]
+    knee = int(np.argmax(profile))
+    assert 0.6 <= hits[knee] <= 0.9
+    assert profile[knee] == s.peak_increase()
+    # Envelope is consistent and collapses at both ends.
+    assert (env[:, 0] <= env[:, 1] + 1e-12).all()
+    assert profile[0] < 2.0
+    assert profile[-1] < 1.6

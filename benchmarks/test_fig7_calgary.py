@@ -1,0 +1,23 @@
+"""F7 — Figure 7: throughput vs cluster size, Calgary trace.
+
+Paper landmarks at 16 nodes: model ~8000 req/s; L2S within 22% of the
+model, 33% over LARD, 180% over the traditional server; LARD flattens at
+its front-end limit.
+"""
+
+from conftest import run_once
+from figshared import assert_paper_shape, print_figure
+
+
+def test_fig7_calgary(benchmark, scaling_store):
+    exp = run_once(benchmark, lambda: scaling_store.get("calgary"))
+    print_figure(exp, "Figure 7")
+    assert_paper_shape(exp)
+
+    series = exp.throughput_series()
+    i16 = exp.node_counts.index(16)
+    # Calgary-specific: L2S clearly above LARD (paper: +33%, we see more
+    # because our LARD front-end saturates earlier).
+    assert series["l2s"][i16] > 1.2 * series["lard"][i16]
+    # Traditional lands far below (paper: L2S +180%).
+    assert series["l2s"][i16] > 2.0 * series["traditional"][i16]

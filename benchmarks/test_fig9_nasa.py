@@ -1,0 +1,28 @@
+"""F9 — Figure 9: throughput vs cluster size, NASA trace.
+
+Paper landmarks: NASA's large requested files (47 KB) make the per-file
+reply cost dominate, so the absolute throughputs are the lowest of the
+four traces and the L2S advantage over LARD is the smallest (paper:
++7%; we allow a band around parity).
+"""
+
+from conftest import run_once
+from figshared import assert_paper_shape, print_figure
+
+
+def test_fig9_nasa(benchmark, scaling_store):
+    exp = run_once(benchmark, lambda: scaling_store.get("nasa"))
+    print_figure(exp, "Figure 9")
+    # NASA is the near-parity trace: allow L2S down to 0.9x LARD.  Its
+    # 47 KB replies keep LARD's back-ends (not the front-end) the
+    # bottleneck, so the front-end plateau is not yet visible at 16
+    # nodes and that check is skipped.
+    assert_paper_shape(exp, l2s_over_lard_at_16=0.9, lard_plateaus=False)
+
+    series = exp.throughput_series()
+    i16 = exp.node_counts.index(16)
+    # The smallest L2S/LARD gap of the four traces.
+    gap_nasa = series["l2s"][i16] / series["lard"][i16]
+    assert gap_nasa < 1.4
+    # Lowest absolute model bound of the four traces (~4000 req/s).
+    assert series["model"][i16] < 6_000

@@ -1,0 +1,75 @@
+"""F11 — flash crowd: one file goes viral mid-run (extension).
+
+The scenario the paper's replication machinery exists for: 60% of
+requests suddenly converge on one representative-size file for 30% of
+the run.
+
+* L2S replicates the file across the cluster and rides the spike
+  nearly unfazed;
+* LARD/R replicates from its front-end and degrades moderately;
+* LARD *without* replication and consistent hashing leave the file
+  pinned to one node, which saturates while the rest idle;
+* the traditional server ironically thrives — locality-oblivious
+  caching replicates everything everywhere by default, and a
+  single-file spike is its best case.
+"""
+
+from conftest import run_once
+
+from repro.experiments import bench_requests, render_table
+from repro.experiments.flashcrowd import flash_crowd_experiment
+from repro.servers import LARDPolicy, make_policy
+from repro.workload import synthesize
+
+
+def test_flash_crowd(benchmark):
+    trace = synthesize("calgary", num_requests=min(bench_requests(), 12_000))
+
+    def compute():
+        cases = {
+            "l2s": make_policy("l2s"),
+            "lard": make_policy("lard"),
+            "lard-noR": LARDPolicy(replication=False),
+            "consistent-hash": make_policy("consistent-hash"),
+            "traditional": make_policy("traditional"),
+        }
+        return {
+            label: flash_crowd_experiment(policy, trace=trace, nodes=8)
+            for label, policy in cases.items()
+        }
+
+    results = run_once(benchmark, compute)
+    print("\nflash crowd: 60% of requests on one file for 30% of the run:")
+    print(
+        render_table(
+            ["policy", "baseline", "spike", "retention", "hot servers"],
+            [
+                (
+                    label,
+                    f"{r.baseline_rps:,.0f}",
+                    f"{r.spike_rps:,.0f}",
+                    f"{r.spike_retention:.2f}",
+                    r.hot_server_count,
+                )
+                for label, r in results.items()
+            ],
+        )
+    )
+
+    # L2S replicates the viral file widely and keeps its throughput.
+    assert results["l2s"].spike_retention > 0.85
+    assert results["l2s"].hot_server_count >= 4
+    # Without dynamic replication the hot node pins the whole cluster.
+    assert results["lard-noR"].spike_retention < 0.6
+    assert results["lard-noR"].hot_server_count == 1
+    assert results["consistent-hash"].spike_retention < 0.65
+    # LARD/R sits in between: it replicates, less aggressively.
+    assert (
+        results["lard-noR"].spike_retention
+        < results["lard"].spike_retention
+        <= results["l2s"].spike_retention + 0.15
+    )
+    assert results["lard"].hot_server_count > 1
+    # The oblivious server's every-node-caches-everything design makes a
+    # single-file spike its best case.
+    assert results["traditional"].spike_retention > 1.0

@@ -1,0 +1,37 @@
+"""S3 — Section 5.2 text: fraction of forwarded requests.
+
+"Recall that LARD forwards 100% of the requests.  ...for clusters of up
+to 4 nodes L2S forwards at least 15% fewer requests than the LARD
+server.  For 16 nodes, L2S still forwards at least about 8% fewer
+requests... but this difference can be as significant as about 25%."
+"""
+
+from conftest import run_once
+
+from repro.experiments import render_series
+
+
+def test_forwarding(benchmark, scaling_store):
+    exps = run_once(
+        benchmark,
+        lambda: {t: scaling_store.get(t) for t in ("calgary", "clarknet")},
+    )
+    for trace, exp in exps.items():
+        fwd = exp.metric_series("forwarded_fraction")
+        print(f"\nforwarded fraction, {trace}:")
+        print(
+            render_series(
+                "nodes",
+                list(exp.node_counts),
+                {k: [f"{v:.3f}" for v in vs] for k, vs in fwd.items()},
+            )
+        )
+        for i, n in enumerate(exp.node_counts):
+            assert fwd["lard"][i] == 1.0, f"LARD must forward 100% at {n} nodes"
+            assert fwd["traditional"][i] == 0.0
+        # L2S forwards strictly less than LARD everywhere; the gap is at
+        # least ~8% at 16 nodes and larger at 4 nodes.
+        i16 = exp.node_counts.index(16)
+        i4 = exp.node_counts.index(4)
+        assert fwd["l2s"][i16] <= 0.95
+        assert fwd["l2s"][i4] <= 0.85

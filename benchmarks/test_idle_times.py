@@ -1,0 +1,33 @@
+"""S2 — Section 5.2 text: CPU idle times (load balance).
+
+"The CPU idle times of the traditional server stay roughly constant as
+we increase the number of cluster nodes... In contrast, the L2S idle
+times always improve, approaching full utilization for 16 nodes."
+(LARD's idle times fall until its front-end saturates.)
+"""
+
+from conftest import run_once
+
+from repro.experiments import render_series
+
+
+def test_idle_times(benchmark, scaling_store):
+    exp = run_once(benchmark, lambda: scaling_store.get("calgary"))
+    idle = exp.metric_series("mean_cpu_idle")
+    print("\nmean CPU idle, calgary:")
+    print(
+        render_series(
+            "nodes",
+            list(exp.node_counts),
+            {k: [f"{v:.3f}" for v in vs] for k, vs in idle.items()},
+        )
+    )
+    i16 = exp.node_counts.index(16)
+    i2 = exp.node_counts.index(2)
+    # L2S approaches full utilization at 16 nodes.
+    assert idle["l2s"][i16] < 0.25
+    # The traditional server wastes far more CPU than L2S at scale
+    # (waiting on disks and imbalance).
+    assert idle["traditional"][i16] > idle["l2s"][i16] + 0.2
+    # LARD's back-ends idle once the front-end saturates.
+    assert idle["lard"][i16] > idle["l2s"][i16]

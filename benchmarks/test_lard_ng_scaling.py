@@ -1,0 +1,52 @@
+"""R1 — §6 related work: the dispatcher-based "scalable LARD".
+
+The paper's analysis of Aron et al.'s follow-up design: "the saturation
+points of the switch and of the dispatcher are reached at a higher
+throughput than the original LARD front-end.  Nevertheless ... the
+dispatcher [is] still [a] potential bottleneck and point of failure,
+the cache space of the dispatcher is still wasted, and all requests
+must incur the overhead of a two-way communication ... L2S has none of
+these problems."  Checked: lard-ng out-scales front-end LARD past its
+plateau but stays below L2S at 16 nodes.
+"""
+
+from conftest import run_once
+
+from repro.experiments import bench_requests, render_series
+from repro.sim import run_simulation
+from repro.workload import synthesize
+
+NODE_COUNTS = (4, 8, 16)
+
+
+def test_lard_ng_scaling(benchmark):
+    trace = synthesize("calgary", num_requests=bench_requests())
+
+    def compute():
+        out = {}
+        for policy in ("lard", "lard-ng", "l2s"):
+            out[policy] = [
+                run_simulation(trace, policy, nodes=n, passes=2).throughput_rps
+                for n in NODE_COUNTS
+            ]
+        return out
+
+    series = run_once(benchmark, compute)
+    print("\ndispatcher LARD vs front-end LARD vs L2S (calgary):")
+    print(
+        render_series(
+            "nodes",
+            list(NODE_COUNTS),
+            {k: [f"{v:,.0f}" for v in vs] for k, vs in series.items()},
+        )
+    )
+
+    i16 = NODE_COUNTS.index(16)
+    i8 = NODE_COUNTS.index(8)
+    # lard-ng breaks through front-end LARD's plateau at 16 nodes...
+    assert series["lard-ng"][i16] > 1.2 * series["lard"][i16]
+    # ...and keeps scaling 8 -> 16 where lard flattens.
+    assert series["lard-ng"][i16] > 1.5 * series["lard-ng"][i8]
+    # ...but decentralized L2S still wins (dispatcher round-trips + a
+    # wasted node).
+    assert series["l2s"][i16] > 1.15 * series["lard-ng"][i16]

@@ -1,0 +1,67 @@
+"""L1 — latency under load, and the model's M/M/1 latency validation.
+
+The paper's model also predicts response times (Section 3.1), though
+its results focus on throughput.  Checked here: the simulated
+latency-vs-load curve has the M/M/1 hockey-stick shape, and the model's
+open-network response-time sum agrees with the simulator within a small
+factor for the locality-oblivious server it describes exactly (the gap
+is LRU's extra misses over the model's ideal frequency caching).
+"""
+
+from conftest import run_once
+
+from repro.experiments import (
+    bench_requests,
+    latency_vs_load,
+    model_latency_validation,
+    render_table,
+)
+from repro.workload import synthesize
+
+LOADS = (0.3, 0.5, 0.7, 0.85)
+
+
+def test_latency(benchmark):
+    trace = synthesize("calgary", num_requests=min(bench_requests(), 10_000))
+
+    def compute():
+        points = latency_vs_load("l2s", trace=trace, nodes=8, loads=LOADS)
+        validation = model_latency_validation(trace=trace, nodes=8, load=0.3)
+        return points, validation
+
+    points, (model_ms, sim_ms) = run_once(benchmark, compute)
+    print("\nL2S latency vs load (8 nodes, calgary):")
+    print(
+        render_table(
+            ["load", "req/s", "mean ms", "p50 ms", "p99 ms"],
+            [
+                (
+                    f"{p.utilization:.2f}",
+                    f"{p.throughput_rps:,.0f}",
+                    f"{p.mean_latency_s * 1e3:.2f}",
+                    f"{p.percentiles['p50'] * 1e3:.2f}",
+                    f"{p.percentiles['p99'] * 1e3:.2f}",
+                )
+                for p in points
+            ],
+        )
+    )
+    print(
+        f"\nmodel-vs-sim mean response (traditional, 30% load): "
+        f"{model_ms * 1e3:.2f} ms vs {sim_ms * 1e3:.2f} ms"
+    )
+
+    means = [p.mean_latency_s for p in points]
+    # Monotone hockey-stick: latency grows with load...
+    assert all(b >= a * 0.95 for a, b in zip(means, means[1:]))
+    # ...sharply at the top end.
+    assert means[-1] > 1.3 * means[0]
+    # Throughput tracks the offered rate below saturation.
+    for p in points[:-1]:
+        assert p.throughput_rps > 0.85 * p.arrival_rate
+    # Tail heaviness.
+    for p in points:
+        assert p.percentiles["p99"] > 2 * p.percentiles["p50"]
+    # Model agreement within a small factor at low load.
+    assert sim_ms < 6 * model_ms
+    assert sim_ms > 0.5 * model_ms

@@ -1,0 +1,42 @@
+"""S1 — Section 5.2 text: cache miss-rate behaviour of the systems.
+
+"For a small number of nodes, L2S exhibits the lowest miss rates, but as
+we increase the number of nodes, the LARD server starts to exhibit miss
+rates that are comparable (if not slightly lower) than those of L2S" —
+the front-end's wasted cache space matters less at scale.  The
+traditional server's miss rate stays high regardless of cluster size.
+"""
+
+from conftest import run_once
+from figshared import print_figure
+
+from repro.experiments import render_series
+
+
+def test_missrates(benchmark, scaling_store):
+    exps = run_once(
+        benchmark,
+        lambda: {t: scaling_store.get(t) for t in ("calgary", "rutgers")},
+    )
+    for trace, exp in exps.items():
+        miss = exp.metric_series("miss_rate")
+        print(f"\nmiss rates, {trace}:")
+        print(
+            render_series(
+                "nodes",
+                list(exp.node_counts),
+                {k: [f"{v:.3f}" for v in vs] for k, vs in miss.items()},
+            )
+        )
+        i16 = exp.node_counts.index(16)
+        i2 = exp.node_counts.index(2)
+        # Locality-conscious systems end with far lower miss rates than
+        # the traditional server at 16 nodes.
+        assert miss["l2s"][i16] < 0.5 * miss["traditional"][i16]
+        assert miss["lard"][i16] < 0.5 * miss["traditional"][i16]
+        # LARD's miss rate converges towards L2S's as nodes grow: the
+        # 16-node gap is no larger than a modest absolute margin.
+        assert miss["lard"][i16] <= miss["l2s"][i16] + 0.1
+        # The traditional server's miss rate does not improve with scale
+        # (independent caches of the same content).
+        assert miss["traditional"][i16] > 0.7 * miss["traditional"][i2]

@@ -1,0 +1,40 @@
+"""M2 — Section 3.2 text: the effect of replication R in the model.
+
+"A small degree of file replication (15%) ... reduces the overhead of
+request forwarding within the server": Q falls as R grows, the
+aggregate cache (and so Hlc) shrinks, and R = 1 degenerates to the
+locality-oblivious server.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import model_replication_sweep, render_table
+from repro.model import ModelParameters, conscious_result, oblivious_result
+
+
+def test_model_replication(benchmark):
+    rows = run_once(
+        benchmark,
+        lambda: model_replication_sweep(
+            replications=(0.0, 0.05, 0.15, 0.3, 0.5, 1.0)
+        ),
+    )
+    print("\nreplication sweep (S=16 KB, Hlo=0.7):")
+    print(
+        render_table(
+            ["R", "throughput", "Hlc", "Q"],
+            [(f"{r:.2f}", f"{t:,.0f}", f"{h:.3f}", f"{q:.3f}") for r, t, h, q in rows],
+        )
+    )
+
+    qs = [q for _, _, _, q in rows]
+    hlcs = [h for _, _, h, _ in rows]
+    assert all(a >= b for a, b in zip(qs, qs[1:])), "Q must fall with R"
+    assert all(a >= b - 1e-12 for a, b in zip(hlcs, hlcs[1:])), "Hlc must fall with R"
+
+    # R = 1 degenerates to the oblivious server's cache (same hit rate).
+    p1 = ModelParameters(replication=1.0)
+    con = conscious_result(p1, 16.0, 0.7)
+    obl = oblivious_result(p1, 16.0, 0.7)
+    assert con.hit_rate == pytest.approx(obl.hit_rate, abs=1e-9)

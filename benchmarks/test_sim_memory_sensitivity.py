@@ -1,0 +1,43 @@
+"""S4 — Section 5.2 text: simulated sensitivity to node memory size.
+
+"Increasing the size of the memories improves the performance of the
+traditional server tremendously... affects the other two servers much
+less significantly... the throughput of the traditional server becomes
+higher than that of the LARD server for larger memories (128 MBytes)"
+— LARD's ~constant front-end barrier cannot benefit from cache.
+"""
+
+from conftest import run_once
+
+from repro.experiments import render_series, sim_memory_sensitivity
+
+
+def test_sim_memory_sensitivity(benchmark):
+    results = run_once(
+        benchmark,
+        lambda: sim_memory_sensitivity("calgary", memories_mb=(32, 128)),
+    )
+    memories = [32, 128]
+    series = {
+        system: [results[system][mb].throughput_rps for mb in memories]
+        for system in results
+    }
+    print("\nthroughput by node memory, calgary @ 16 nodes:")
+    print(
+        render_series(
+            "memory_mb",
+            memories,
+            {k: [f"{v:,.0f}" for v in vs] for k, vs in series.items()},
+        )
+    )
+
+    trad_gain = series["traditional"][1] / series["traditional"][0]
+    lard_gain = series["lard"][1] / series["lard"][0]
+    l2s_gain = series["l2s"][1] / series["l2s"][0]
+    assert trad_gain > 1.5, "traditional must improve tremendously"
+    assert lard_gain < 1.25, "LARD is capped by its front-end"
+    assert l2s_gain < 1.4, "L2S's miss rate was already low"
+    # The crossover: traditional overtakes LARD at 128 MB.
+    assert series["traditional"][1] > series["lard"][1]
+    # Misses nearly vanish for the traditional server at 128 MB.
+    assert results["traditional"][128].miss_rate < 0.1

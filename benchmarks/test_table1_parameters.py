@@ -1,0 +1,30 @@
+"""T1 — Table 1: model parameters and their default values.
+
+Regenerates the parameter table and checks every default against the
+published numbers.
+"""
+
+from conftest import run_once
+
+from repro.experiments import render_table1, table1_rows
+from repro.model import DEFAULT_PARAMETERS
+
+
+def test_table1_parameters(benchmark):
+    rows = run_once(benchmark, table1_rows)
+    print("\n" + render_table1())
+
+    by_name = {r[0]: r[2] for r in rows}
+    assert by_name["N"] == "16"
+    assert by_name["R"] == "0%"
+    assert by_name["alpha"] == "1"
+    assert by_name["C"] == "128 MBytes"
+    assert "500,000/size" in by_name["mu_r"]
+    assert "140,000" in by_name["mu_i"]
+    assert "6,300" in by_name["mu_p"]
+    assert "10,000" in by_name["mu_f"]
+    # The closed-form rates at spot sizes.
+    p = DEFAULT_PARAMETERS
+    assert abs(1 / p.reply_time(12.0) - 1 / (0.0001 + 12 / 12000)) < 1e-6
+    assert abs(1 / p.disk_time(10.0) - 1 / (0.028 + 10 / 10000)) < 1e-6
+    assert abs(1 / p.ni_reply_time(64.0) - 1 / (0.000003 + 64 / 128000)) < 1e-6

@@ -1,0 +1,27 @@
+"""T2 — Table 2: characteristics of the four WWW traces.
+
+Synthesizes each trace and regenerates the table, checking the measured
+characteristics of the synthetic workloads against the published ones.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import bench_requests, render_table2, table2_rows
+
+
+def test_table2_traces(benchmark):
+    n = bench_requests()
+    rows = run_once(benchmark, lambda: table2_rows(num_requests=n))
+    print("\n" + render_table2(num_requests=n))
+
+    by_trace = {}
+    for row in rows:
+        by_trace.setdefault(row[1], {})[row[0]] = row
+    assert set(by_trace) == {"calgary", "clarknet", "nasa", "rutgers"}
+    for name, pair in by_trace.items():
+        paper, synth = pair["paper"], pair["synthetic"]
+        assert synth[2] == paper[2], f"{name}: file count"
+        assert synth[3] == pytest.approx(paper[3], rel=0.03), f"{name}: file size"
+        assert synth[5] == pytest.approx(paper[5], rel=0.10), f"{name}: request size"
+        assert synth[6] == paper[6], f"{name}: alpha"

@@ -1,0 +1,61 @@
+"""V3 — per-station utilization validation against the model.
+
+The analytic model predicts each station's utilization at a given
+request rate (``rho = X * d / servers``).  Feeding it the simulator's
+*measured* throughput and miss rate, the measured per-station
+utilizations should track the predictions — confirming the simulator
+charges each piece of hardware what Table 1 says it should.  Also
+checks the bottleneck-migration story: the traditional server is
+disk-bound on Calgary while L2S (near-zero misses) is CPU-bound.
+"""
+
+from conftest import run_once
+
+from repro.experiments import bench_requests, render_table
+from repro.model import ModelParameters, oblivious_result
+from repro.sim import run_simulation
+from repro.workload import synthesize
+
+
+def test_utilization_validation(benchmark):
+    trace = synthesize("calgary", num_requests=min(bench_requests(), 12_000))
+
+    def compute():
+        trad = run_simulation(trace, "traditional", nodes=8, passes=2)
+        l2s = run_simulation(trace, "l2s", nodes=8, passes=2)
+        params = ModelParameters(
+            nodes=8, alpha=trace.fileset.alpha, cache_bytes=trad.cache_bytes
+        )
+        size_kb = trace.mean_request_bytes() / 1024.0
+        analytic = oblivious_result(params, size_kb, 1.0 - trad.miss_rate)
+        predicted = analytic.utilizations(trad.throughput_rps)
+        return trad, l2s, predicted
+
+    trad, l2s, predicted = run_once(benchmark, compute)
+    measured = trad.station_utilizations
+    print("\nper-station utilization, traditional @ 8 nodes (calgary):")
+    print(
+        render_table(
+            ["station", "model rho", "measured"],
+            [
+                (s, f"{predicted.get(s, 0):.3f}", f"{measured[s]:.3f}")
+                for s in ("router", "cpu", "disk", "ni_in", "ni_out")
+            ],
+        )
+    )
+    print(
+        f"\nbottlenecks: traditional -> {trad.bottleneck_station()}, "
+        f"l2s -> {l2s.bottleneck_station()}"
+    )
+
+    # The heavily loaded stations must track the model closely.
+    for station in ("cpu", "disk"):
+        assert measured[station] == predicted[station] == 0 or abs(
+            measured[station] - predicted[station]
+        ) < max(0.12, 0.35 * predicted[station]), station
+    # Bottleneck migration: misses pin the traditional server on its
+    # disks; L2S's aggregate cache moves the bottleneck to the CPUs.
+    assert trad.bottleneck_station() == "disk"
+    assert l2s.bottleneck_station() == "cpu"
+    # The lightly loaded NIs stay lightly loaded in both views.
+    assert measured["ni_in"] < 0.2 and predicted["ni_in"] < 0.2

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Capacity planning with the analytic model.
+
+A downstream use the paper motivates: you operate a WWW hosting service
+and need to know how many cluster nodes hit a target request rate — and
+whether locality-conscious distribution is worth deploying for *your*
+content mix.  The open queuing-network model answers both instantly,
+without a simulation.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.model import MB, ModelParameters, bound_for_population
+
+# Describe the content: a hosting service with many mid-size files.
+NUM_FILES = 120_000
+MEAN_REQUEST_KB = 24.0
+ZIPF_ALPHA = 0.85
+NODE_MEMORY = 256 * MB
+TARGET_RPS = 12_000.0
+
+
+def nodes_needed(kind: str, max_nodes: int = 256):
+    """Smallest cluster hitting the target, or None if unreachable.
+
+    A disk-bound oblivious server may *never* reach the target no matter
+    how many nodes are added proportionally — that is the point the
+    paper makes about miss costs.
+    """
+    for nodes in range(1, max_nodes + 1):
+        params = ModelParameters(
+            nodes=nodes,
+            cache_bytes=NODE_MEMORY,
+            alpha=ZIPF_ALPHA,
+            replication=0.15 if kind == "conscious" else 0.0,
+        )
+        bound = bound_for_population(kind, params, MEAN_REQUEST_KB, NUM_FILES)
+        if bound.throughput >= TARGET_RPS:
+            return nodes
+    return None
+
+
+def main() -> None:
+    print(
+        f"Content: {NUM_FILES:,} files, mean requested size "
+        f"{MEAN_REQUEST_KB} KB, Zipf alpha {ZIPF_ALPHA}, "
+        f"{NODE_MEMORY // MB} MB per node"
+    )
+    print(f"Target: {TARGET_RPS:,.0f} requests/second\n")
+
+    print(f"{'nodes':>6} {'oblivious':>12} {'conscious':>12}  bottlenecks")
+    for nodes in (4, 8, 16, 24, 32, 48):
+        rows = []
+        for kind in ("oblivious", "conscious"):
+            params = ModelParameters(
+                nodes=nodes,
+                cache_bytes=NODE_MEMORY,
+                alpha=ZIPF_ALPHA,
+                replication=0.15 if kind == "conscious" else 0.0,
+            )
+            rows.append(bound_for_population(kind, params, MEAN_REQUEST_KB, NUM_FILES))
+        obl, con = rows
+        print(
+            f"{nodes:>6} {obl.throughput:>12,.0f} {con.throughput:>12,.0f}  "
+            f"{obl.bottleneck} / {con.bottleneck}"
+        )
+
+    n_obl = nodes_needed("oblivious")
+    n_con = nodes_needed("conscious")
+    obl_text = f"{n_obl}" if n_obl else "unreachable (disk-bound at any size)"
+    print(
+        f"\nNodes needed for {TARGET_RPS:,.0f} req/s: "
+        f"locality-oblivious {obl_text}, locality-conscious {n_con}."
+    )
+    if n_obl is None:
+        print(
+            "Per-node caches never cover this working set, so the oblivious\n"
+            "server stays disk-bound — exactly the regime where the paper's\n"
+            "locality-conscious distribution is worth up to 7x."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Failover demo: what one crashed node costs each server design.
+
+The paper's central architectural criticism of LARD is its front-end:
+"a single point of failure and a potential bottleneck".  This demo
+kills one node halfway through a run and shows the throughput windows
+before and after for L2S, the traditional server, and LARD — killing a
+LARD back-end first, then the front-end itself.
+
+Run:  python examples/failover_demo.py
+"""
+
+from repro.experiments import availability_experiment
+from repro.workload import synthesize
+
+SCENARIOS = [
+    ("l2s", 3, "L2S, any node"),
+    ("traditional", 3, "traditional, any node"),
+    ("lard", 3, "LARD, a back-end"),
+    ("lard", 0, "LARD, the front-end"),
+]
+
+
+def main() -> None:
+    trace = synthesize("calgary", num_requests=10_000, seed=3)
+    print("crashing one of 8 nodes mid-run (calgary workload)\n")
+    print(f"{'scenario':>24} {'healthy':>9} {'degraded':>9} {'retained':>9} {'lost reqs':>10}")
+    for policy, node, label in SCENARIOS:
+        r = availability_experiment(policy, trace=trace, nodes=8, failed_node=node)
+        print(
+            f"{label:>24} {r.healthy_throughput:>9,.0f} {r.degraded_throughput:>9,.0f} "
+            f"{r.retained_fraction:>8.0%} {r.requests_failed:>10,}"
+        )
+    print(
+        "\nL2S and the traditional server degrade gracefully (L2S also"
+        "\npays a cache-reheat transient for the files the dead node was"
+        "\nserving).  LARD survives back-end deaths - but lose the"
+        "\nfront-end and every request in flight or arriving fails."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Explore the analytic model's parameter space (figures 3-6, live).
+
+Prints the throughput surfaces of both server designs and the locality
+gain as terminal heat maps, then walks one slice in detail showing the
+bottleneck hand-offs (disk -> CPU -> router) as the hit rate climbs.
+
+Run:  python examples/model_explorer.py
+"""
+
+from repro.experiments import model_figures
+from repro.experiments.figures import render_figure3, render_figure4, render_figure5
+from repro.model import ModelParameters, SurfaceGrid, conscious_result, oblivious_result
+
+
+def main() -> None:
+    grid = SurfaceGrid(
+        hit_rates=tuple(h / 10 for h in range(11)),
+        sizes_kb=tuple(float(s) for s in (4, 8, 16, 32, 48, 64, 96, 128)),
+    )
+    surfaces = model_figures(grid=grid)
+    print(render_figure3(surfaces), "\n")
+    print(render_figure4(surfaces), "\n")
+    print(render_figure5(surfaces), "\n")
+    print(
+        f"peak locality gain: {surfaces.peak_increase():.1f}x at "
+        f"(hit rate, size) = {surfaces.peak_location()}\n"
+    )
+
+    params = ModelParameters()
+    size_kb = 8.0
+    print(f"slice at S = {size_kb:.0f} KB (16 nodes, 128 MB memories):")
+    print(f"{'Hlo':>5} {'oblivious':>11} {'bottleneck':>11} {'conscious':>11} {'bottleneck':>11} {'gain':>6}")
+    for h in grid.hit_rates:
+        obl = oblivious_result(params, size_kb, h)
+        con = conscious_result(params, size_kb, h)
+        print(
+            f"{h:>5.2f} {obl.throughput:>11,.0f} {obl.bottleneck:>11} "
+            f"{con.throughput:>11,.0f} {con.bottleneck:>11} "
+            f"{con.throughput / obl.throughput:>6.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

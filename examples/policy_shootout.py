@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Shootout: every distribution policy on one workload.
+
+Runs all seven policies — the paper's three (traditional, LARD, L2S),
+the §6 dispatcher-based scalable LARD, and the extension baselines
+(round-robin, consistent hashing, cached-DNS) — on the same synthesized
+trace and prints a comparison table, with the analytic model bound on
+top.
+
+Run:  python examples/policy_shootout.py [trace] [nodes]
+      e.g. python examples/policy_shootout.py clarknet 8
+"""
+
+import sys
+
+from repro import model_bound_for_trace, run_simulation
+from repro.experiments import render_table
+from repro.workload import synthesize
+
+POLICIES = (
+    "l2s",
+    "lard",
+    "lard-ng",
+    "traditional",
+    "round-robin",
+    "consistent-hash",
+    "dns-cached",
+)
+
+
+def main() -> None:
+    trace_name = sys.argv[1] if len(sys.argv) > 1 else "calgary"
+    nodes = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+    requests = 16_000
+
+    trace = synthesize(trace_name, num_requests=requests, seed=1)
+    bound = model_bound_for_trace(trace, nodes=nodes)
+    print(
+        f"{trace_name} x {nodes} nodes, {requests:,} requests; "
+        f"model bound {bound.throughput:,.0f} req/s\n"
+    )
+
+    rows = []
+    for policy in POLICIES:
+        r = run_simulation(trace, policy, nodes=nodes)
+        rows.append(
+            (
+                policy,
+                f"{r.throughput_rps:,.0f}",
+                f"{r.throughput_rps / bound.throughput:.0%}",
+                f"{r.miss_rate:.2%}",
+                f"{r.forwarded_fraction:.2%}",
+                f"{r.mean_cpu_idle:.2%}",
+                f"{r.load_imbalance:.2f}",
+            )
+        )
+    print(
+        render_table(
+            ["policy", "req/s", "of bound", "miss", "forwarded", "cpu idle", "imbalance"],
+            rows,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Quickstart: locality-conscious vs locality-oblivious in two minutes.
+
+Synthesizes a small Calgary-like workload, runs the paper's L2S server
+and the traditional fewest-connections server on a 4-node cluster at
+saturation, and compares both against the analytic model's upper bound.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import model_bound_for_trace, run_simulation
+from repro.workload import synthesize
+
+NODES = 4
+REQUESTS = 8_000  # small on purpose; see examples/policy_shootout.py
+
+
+def main() -> None:
+    print(f"Synthesizing a Calgary-like trace ({REQUESTS:,} requests)...")
+    trace = synthesize("calgary", num_requests=REQUESTS, seed=42)
+    print(
+        f"  {trace.fileset.num_files:,} files, "
+        f"{trace.fileset.total_bytes / 2**20:,.0f} MB footprint, "
+        f"mean requested size {trace.mean_request_bytes() / 1024:.1f} KB\n"
+    )
+
+    bound = model_bound_for_trace(trace, nodes=NODES)
+    print(
+        f"Analytic bound for any locality-conscious server on {NODES} nodes: "
+        f"{bound.throughput:,.0f} req/s (bottleneck: {bound.bottleneck})\n"
+    )
+
+    for policy in ("l2s", "traditional"):
+        result = run_simulation(trace, policy, nodes=NODES)
+        print(
+            f"{policy:>12s}: {result.throughput_rps:7,.0f} req/s   "
+            f"miss rate {result.miss_rate:6.2%}   "
+            f"forwarded {result.forwarded_fraction:6.2%}   "
+            f"CPU idle {result.mean_cpu_idle:6.2%}"
+        )
+
+    print(
+        "\nThe locality-conscious server turns the four 32 MB memories into"
+        "\none big cache; the traditional server wastes them on copies of"
+        "\nthe same hot files and pays for the misses with disk time."
+    )
+
+
+if __name__ == "__main__":
+    main()

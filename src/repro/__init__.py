@@ -1,0 +1,58 @@
+"""repro — reproduction of *Evaluating Cluster-Based Network Servers*
+(Carrera & Bianchini, HPDC 2000).
+
+The package provides both instruments of the paper:
+
+* :mod:`repro.model` — the analytic open M/M/1 queuing-network model
+  bounding locality-oblivious and locality-conscious server throughput
+  (figures 3–6 and the "model" curves of figures 7–10);
+* :mod:`repro.sim` + :mod:`repro.cluster` + :mod:`repro.servers` — the
+  detailed trace-driven simulator of the traditional, LARD, and L2S
+  servers (figures 7–10 and the Section 5.2 analyses);
+* :mod:`repro.workload` — Zipf workloads and Table-2 trace synthesis;
+* :mod:`repro.des` — the discrete-event kernel underneath it all;
+* :mod:`repro.experiments` — one entry point per paper table/figure.
+
+Quickstart::
+
+    from repro import run_simulation, model_bound_for_trace
+    result = run_simulation("calgary", "l2s", nodes=16, num_requests=20_000)
+    bound = model_bound_for_trace("calgary", nodes=16)
+    print(result.throughput_rps, bound.throughput)
+"""
+
+from .cluster import Cluster, ClusterConfig
+from .model import ModelParameters, compute_surfaces, throughput_increase
+from .servers import (
+    ConsistentHashPolicy,
+    L2SPolicy,
+    LARDPolicy,
+    RoundRobinPolicy,
+    TraditionalPolicy,
+    make_policy,
+)
+from .sim import SimResult, Simulation, model_bound_for_trace, run_simulation
+from .workload import Trace, synthesize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ClusterConfig",
+    "Cluster",
+    "ModelParameters",
+    "compute_surfaces",
+    "throughput_increase",
+    "TraditionalPolicy",
+    "RoundRobinPolicy",
+    "LARDPolicy",
+    "L2SPolicy",
+    "ConsistentHashPolicy",
+    "make_policy",
+    "Simulation",
+    "SimResult",
+    "run_simulation",
+    "model_bound_for_trace",
+    "Trace",
+    "synthesize",
+]

@@ -1,0 +1,277 @@
+"""Command-line interface: ``repro <command>`` or ``python -m repro``.
+
+Commands
+--------
+``repro tables``
+    Print Table 1 (model parameters) and Table 2 (trace characteristics).
+``repro surfaces``
+    Print the model figures 3-6 as terminal heat maps.
+``repro simulate TRACE POLICY [--nodes N] [--requests K] [--memory MB]``
+    One simulation run with a summary line.
+``repro figure {7,8,9,10} [--requests K]``
+    Reproduce one of the scaling figures (model + all three systems).
+``repro bound TRACE [--nodes N] [--memory MB]``
+    The analytic locality-conscious bound for a trace.
+``repro analyze TRACE [--requests K] [--memories 8,32,128]``
+    Workload analysis: working set, exact LRU miss-rate curve, and the
+    model-vs-LRU hit-rate comparison.  TRACE may be a preset name or a
+    ``.npz`` file saved with ``Trace.save``.
+``repro ingest LOG -o TRACE.npz [--max-requests K]``
+    Convert a (possibly gzipped) Common Log Format access log into a
+    trace file for ``repro analyze`` / ``run_simulation``.
+``repro reproduce [--out REPORT.md] [--requests K] [--model-only]``
+    Run the whole suite and write a consolidated markdown report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+#: Figure number -> trace name (the paper's assignment).
+FIGURE_TRACES = {7: "calgary", 8: "clarknet", 9: "nasa", 10: "rutgers"}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Evaluating Cluster-Based Network Servers' "
+            "(Carrera & Bianchini, HPDC 2000)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="print Tables 1 and 2")
+
+    sub.add_parser("surfaces", help="print the model figures 3-6")
+
+    p_sim = sub.add_parser("simulate", help="run one simulation")
+    p_sim.add_argument("trace", help="calgary|clarknet|nasa|rutgers")
+    p_sim.add_argument(
+        "policy", help="l2s|lard|traditional|round-robin|consistent-hash"
+    )
+    p_sim.add_argument("--nodes", type=int, default=16)
+    p_sim.add_argument("--requests", type=int, default=None)
+    p_sim.add_argument("--memory", type=int, default=32, help="MB per node")
+    p_sim.add_argument("--seed", type=int, default=0)
+
+    p_fig = sub.add_parser("figure", help="reproduce figure 7, 8, 9 or 10")
+    p_fig.add_argument("number", type=int, choices=sorted(FIGURE_TRACES))
+    p_fig.add_argument("--requests", type=int, default=None)
+
+    p_bound = sub.add_parser("bound", help="analytic bound for a trace")
+    p_bound.add_argument("trace")
+    p_bound.add_argument("--nodes", type=int, default=16)
+    p_bound.add_argument("--memory", type=int, default=32, help="MB per node")
+
+    p_an = sub.add_parser(
+        "analyze", help="workload analysis: working set, LRU miss-rate curve"
+    )
+    p_an.add_argument(
+        "trace", help="preset name or a .npz trace saved with Trace.save"
+    )
+    p_an.add_argument("--requests", type=int, default=None)
+    p_an.add_argument(
+        "--memories",
+        type=str,
+        default="8,32,128",
+        help="comma-separated cache sizes in MB for the miss-rate curve",
+    )
+
+    p_ing = sub.add_parser(
+        "ingest", help="convert a Common Log Format access log to a trace"
+    )
+    p_ing.add_argument("log", help="access log path (plain or .gz)")
+    p_ing.add_argument("-o", "--out", required=True, help="output .npz path")
+    p_ing.add_argument("--name", default=None)
+    p_ing.add_argument("--max-requests", type=int, default=None)
+
+    p_rep = sub.add_parser(
+        "reproduce", help="run the whole suite and write a markdown report"
+    )
+    p_rep.add_argument("--out", default="REPORT.md")
+    p_rep.add_argument("--requests", type=int, default=16_000)
+    p_rep.add_argument(
+        "--traces", default="calgary,clarknet,nasa,rutgers",
+        help="comma-separated trace presets",
+    )
+    p_rep.add_argument(
+        "--nodes", default="2,4,8,16", help="comma-separated cluster sizes"
+    )
+    p_rep.add_argument(
+        "--model-only", action="store_true",
+        help="skip the simulations (tables + model figures only)",
+    )
+    return parser
+
+
+def _cmd_tables() -> int:
+    from .experiments import render_table1, render_table2
+
+    print("Table 1: model parameters and default values\n")
+    print(render_table1())
+    print("\nTable 2: trace characteristics (paper vs synthesized)\n")
+    print(render_table2())
+    return 0
+
+
+def _cmd_surfaces() -> int:
+    from .experiments import model_figures
+    from .experiments.figures import (
+        render_figure3,
+        render_figure4,
+        render_figure5,
+        render_figure6,
+    )
+
+    surfaces = model_figures()
+    for render in (render_figure3, render_figure4, render_figure5):
+        print(render(surfaces))
+        print()
+    print("Figure 6: side view (min/max increase per hit rate)\n")
+    print(render_figure6(surfaces))
+    print(
+        f"\npeak increase: {surfaces.peak_increase():.2f}x at "
+        f"(hit rate, size KB) = {surfaces.peak_location()}"
+    )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .model import MB
+    from .sim import model_bound_for_trace, run_simulation
+    from .workload import synthesize
+
+    trace = synthesize(args.trace, num_requests=args.requests, seed=args.seed)
+    bound = model_bound_for_trace(
+        trace, nodes=args.nodes, cache_bytes=args.memory * MB
+    )
+    result = run_simulation(
+        trace, args.policy, nodes=args.nodes, cache_bytes=args.memory * MB
+    )
+    print(result.summary_row())
+    print(
+        f"model bound: {bound.throughput:,.0f} req/s "
+        f"({result.throughput_rps / bound.throughput:.0%} achieved; "
+        f"bottleneck {bound.bottleneck})"
+    )
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from .experiments import scaling_experiment
+
+    trace = FIGURE_TRACES[args.number]
+    exp = scaling_experiment(trace, num_requests=args.requests)
+    print(f"Figure {args.number}: throughputs for the {trace} trace\n")
+    print(exp.render())
+    return 0
+
+
+def _cmd_bound(args: argparse.Namespace) -> int:
+    from .model import MB
+    from .sim import model_bound_for_trace
+
+    bound = model_bound_for_trace(
+        args.trace, nodes=args.nodes, cache_bytes=args.memory * MB
+    )
+    print(
+        f"{args.trace} x {args.nodes} nodes x {args.memory} MB: "
+        f"{bound.throughput:,.0f} req/s (bottleneck {bound.bottleneck}, "
+        f"Hlc {bound.hit_rate:.3f}, Q {bound.forward_fraction:.3f})"
+    )
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .model import MB
+    from .workload import (
+        Trace,
+        miss_rate_curve,
+        model_vs_lru_hit_rate,
+        synthesize,
+        working_set_bytes,
+    )
+
+    if args.trace.endswith(".npz") or Path(args.trace).exists():
+        trace = Trace.load(args.trace)
+    else:
+        trace = synthesize(args.trace, num_requests=args.requests)
+    stats = trace.stats()
+    print(
+        f"{trace.name}: {stats.num_requests:,} requests over "
+        f"{stats.num_files:,} files (alpha {stats.alpha:g})"
+    )
+    print(
+        f"  mean file {stats.avg_file_kb:.1f} KB, mean request "
+        f"{stats.avg_request_kb:.1f} KB"
+    )
+    print(
+        f"  footprint {stats.total_footprint_mb:,.0f} MB, touched working "
+        f"set {working_set_bytes(trace) / MB:,.0f} MB "
+        f"({trace.unique_files_touched():,} files)"
+    )
+    memories = [int(m.strip()) for m in args.memories.split(",") if m.strip()]
+    curve = miss_rate_curve(trace, [m * MB for m in memories], include_cold=False)
+    print("  exact LRU capacity-miss rates:")
+    for cache_bytes, miss in curve:
+        print(f"    {cache_bytes // MB:>6d} MB: {miss:7.2%}")
+    predicted, actual = model_vs_lru_hit_rate(trace, memories[0] * MB)
+    print(
+        f"  model z(C/S, F) vs exact LRU hit rate at {memories[0]} MB: "
+        f"{predicted:.3f} vs {actual:.3f}"
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "tables":
+        return _cmd_tables()
+    if args.command == "surfaces":
+        return _cmd_surfaces()
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "bound":
+        return _cmd_bound(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
+    if args.command == "ingest":
+        from .workload import ingest_log
+
+        trace = ingest_log(args.log, name=args.name, max_requests=args.max_requests)
+        trace.save(args.out)
+        s = trace.stats()
+        print(
+            f"wrote {args.out}: {s.num_requests:,} requests over "
+            f"{s.num_files:,} files (alpha {s.alpha:.2f}, "
+            f"mean request {s.avg_request_kb:.1f} KB)"
+        )
+        return 0
+    if args.command == "reproduce":
+        from .experiments.reproduce import write_report
+
+        write_report(
+            args.out,
+            num_requests=args.requests,
+            traces=tuple(t.strip() for t in args.traces.split(",") if t.strip()),
+            node_counts=tuple(
+                int(n) for n in args.nodes.split(",") if n.strip()
+            ),
+            include_sims=not args.model_only,
+        )
+        print(f"wrote {args.out}")
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

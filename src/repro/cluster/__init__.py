@@ -1,0 +1,29 @@
+"""``repro.cluster`` — the simulated hardware substrate.
+
+Workstation nodes (CPU, duplex NI, disk, LRU file cache), the router that
+bridges the cluster to the Internet, the switched intra-cluster network
+with M-VIA-style message costs, and the distributed file system read
+path.  Server policies (:mod:`repro.servers`) and the request lifecycle
+(:mod:`repro.sim`) are built on top of these components.
+"""
+
+from .cache import LRUFileCache
+from .cluster import Cluster
+from .policies import CACHE_POLICIES, GDSFileCache, LFUFileCache, make_cache
+from .config import ClusterConfig
+from .dfs import DistributedFS
+from .network import Interconnect
+from .node import Node
+
+__all__ = [
+    "ClusterConfig",
+    "LRUFileCache",
+    "GDSFileCache",
+    "LFUFileCache",
+    "make_cache",
+    "CACHE_POLICIES",
+    "Node",
+    "Interconnect",
+    "DistributedFS",
+    "Cluster",
+]

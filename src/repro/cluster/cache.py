@@ -1,0 +1,119 @@
+"""Byte-capacity LRU file cache — each node's main memory.
+
+Whole files are the caching unit (the servers cache files, not blocks).
+Insertion of a file larger than the capacity is a no-op: such a file can
+never be cached and is always streamed from disk.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, List, Optional
+
+__all__ = ["LRUFileCache"]
+
+
+class LRUFileCache:
+    """LRU cache of (file_id -> size_bytes) bounded by total bytes."""
+
+    __slots__ = ("capacity", "_entries", "_used", "hits", "misses", "insertions", "evictions")
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_bytes}")
+        self.capacity = int(capacity_bytes)
+        self._entries: "OrderedDict[int, int]" = OrderedDict()
+        self._used = 0
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
+
+    def __contains__(self, file_id: int) -> bool:
+        return file_id in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[int]:
+        """File ids from least to most recently used."""
+        return iter(self._entries)
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity - self._used
+
+    def lookup(self, file_id: int) -> bool:
+        """Check for ``file_id``; counts a hit/miss and refreshes recency."""
+        if file_id in self._entries:
+            self._entries.move_to_end(file_id)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def peek(self, file_id: int) -> bool:
+        """Check without recency update or hit/miss accounting."""
+        return file_id in self._entries
+
+    def touch(self, file_id: int) -> bool:
+        """Refresh recency without hit/miss accounting (warmup passes)."""
+        if file_id in self._entries:
+            self._entries.move_to_end(file_id)
+            return True
+        return False
+
+    def size_of(self, file_id: int) -> Optional[int]:
+        return self._entries.get(file_id)
+
+    def insert(self, file_id: int, size_bytes: int) -> List[int]:
+        """Insert (or refresh) a file; returns the ids evicted to make room.
+
+        A file larger than the whole cache is not inserted (returns []).
+        """
+        if size_bytes <= 0:
+            raise ValueError(f"size must be positive, got {size_bytes}")
+        if file_id in self._entries:
+            # Size is immutable per file in our workloads; refresh recency.
+            self._entries.move_to_end(file_id)
+            return []
+        if size_bytes > self.capacity:
+            return []
+        evicted: List[int] = []
+        while self._used + size_bytes > self.capacity:
+            old_id, old_size = self._entries.popitem(last=False)
+            self._used -= old_size
+            self.evictions += 1
+            evicted.append(old_id)
+        self._entries[file_id] = size_bytes
+        self._used += size_bytes
+        self.insertions += 1
+        return evicted
+
+    def invalidate(self, file_id: int) -> bool:
+        """Drop a file if present; returns whether it was cached."""
+        size = self._entries.pop(file_id, None)
+        if size is None:
+            return False
+        self._used -= size
+        return True
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._used = 0
+
+    def reset_stats(self) -> None:
+        """Zero hit/miss counters (e.g. after warmup) without losing content."""
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0

@@ -1,0 +1,72 @@
+"""Cluster assembly: nodes + interconnect + DFS as one object."""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+from ..des import Environment
+from .config import ClusterConfig
+from .dfs import DistributedFS
+from .network import Interconnect
+from .node import Node
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """An N-node cluster wired to a router (Figure 1)."""
+
+    def __init__(self, env: Environment, config: ClusterConfig):
+        self.env = env
+        self.config = config
+        self.nodes: List[Node] = [
+            Node(env, i, config) for i in range(config.nodes)
+        ]
+        self.net = Interconnect(env, config, self.nodes)
+        self.dfs = DistributedFS(env, config, self.nodes, self.net)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def node(self, node_id: int) -> Node:
+        return self.nodes[node_id]
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    def fetch_file(self, node_id: int, file_id: int, size_bytes: int) -> Generator:
+        """Bring a file into node ``node_id``'s cache (hit: free).
+
+        The caching unit is the whole file; on a miss the DFS read path is
+        charged and the file inserted with LRU replacement.
+        """
+        node = self.nodes[node_id]
+        if not node.cache.lookup(file_id):
+            yield from self.dfs.read(node_id, file_id, size_bytes)
+            node.cache.insert(file_id, size_bytes)
+
+    def least_loaded_node(self) -> int:
+        """Node id with the fewest open connections (ties: lowest id)."""
+        return min(range(len(self.nodes)), key=lambda i: (self.nodes[i].open_connections, i))
+
+    def connection_counts(self) -> List[int]:
+        return [n.open_connections for n in self.nodes]
+
+    def total_cache_hits(self) -> int:
+        return sum(n.cache.hits for n in self.nodes)
+
+    def total_cache_misses(self) -> int:
+        return sum(n.cache.misses for n in self.nodes)
+
+    def overall_miss_rate(self) -> float:
+        hits, misses = self.total_cache_hits(), self.total_cache_misses()
+        total = hits + misses
+        return misses / total if total else 0.0
+
+    def reset_accounting(self) -> None:
+        """Discard warmup statistics everywhere (cache contents survive)."""
+        for node in self.nodes:
+            node.reset_accounting()
+        self.net.reset_accounting()
+        self.dfs.reset_accounting()

@@ -1,0 +1,75 @@
+"""Distributed file system: how misses reach disk content.
+
+The paper's cluster gives every node "access to data stored on any disk
+via a distributed file system".  Two layouts are provided:
+
+* **replicated** (default, and the analytic model's implicit assumption):
+  every disk holds the full content, a miss is a local disk read; and
+* **partitioned**: content is hash-partitioned across disks; a miss on a
+  file homed elsewhere pays a request/response message pair around the
+  remote node's disk read.  This is the DFS ablation — it quantifies how
+  much the "local replica" assumption is worth.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+from ..des import Environment
+from .config import ClusterConfig
+from .network import Interconnect
+from .node import Node
+
+__all__ = ["DistributedFS"]
+
+
+class DistributedFS:
+    """Read path from the disks, under either content layout."""
+
+    def __init__(
+        self,
+        env: Environment,
+        config: ClusterConfig,
+        nodes: List[Node],
+        interconnect: Interconnect,
+    ):
+        self.env = env
+        self.config = config
+        self.nodes = nodes
+        self.net = interconnect
+        self.remote_reads = 0
+        self.local_reads = 0
+
+    def home_of(self, file_id: int) -> int:
+        """The node whose disk holds ``file_id`` in partitioned layout."""
+        return file_id % len(self.nodes)
+
+    def read(self, node_id: int, file_id: int, size_bytes: int) -> Generator:
+        """Fetch a file from stable storage into node ``node_id``'s memory.
+
+        Replicated layout: local disk read.  Partitioned layout with a
+        remote home: request message out, remote disk read, bulk data
+        transfer back through the NIs.
+        """
+        size_kb = size_bytes / 1024.0
+        reader = self.nodes[node_id]
+        if self.config.replicated_disks:
+            self.local_reads += 1
+            yield from reader.read_from_disk(size_kb)
+            return
+        home = self.home_of(file_id)
+        if home == node_id:
+            self.local_reads += 1
+            yield from reader.read_from_disk(size_kb)
+            return
+        self.remote_reads += 1
+        # Ask the home node...
+        yield from self.net.send_control(node_id, home, kind="dfs_req")
+        # ...it reads from its disk...
+        yield from self.nodes[home].read_from_disk(size_kb)
+        # ...and streams the file back.
+        yield from self.net.send_message(home, node_id, size_kb, kind="dfs_data")
+
+    def reset_accounting(self) -> None:
+        self.remote_reads = 0
+        self.local_reads = 0

@@ -1,0 +1,127 @@
+"""Cluster interconnect: router to the Internet, switch, VIA messaging.
+
+The router (the cluster's bridge to the Internet) is a single FIFO queue
+whose occupancy is ``size / 500000 KB/s`` per transfer (Table 1's mu_r).
+The switched network between nodes adds a fixed 1 microsecond latency and
+is otherwise contention-free ("we are simulating a very fast switched
+network"); contention appears at the NIs and CPUs instead.
+
+:meth:`Interconnect.send_message` models a user-level (M-VIA) message:
+3 us CPU at the sender, NI-out occupancy, switch latency, NI-in occupancy
+at the receiver, and 3 us CPU at the receiver — 19 us end to end for a
+4-byte payload, matching the measurement the paper quotes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, List, Optional
+
+from ..des import Environment, Resource
+from .config import ClusterConfig
+from .node import Node
+
+__all__ = ["Interconnect"]
+
+
+class Interconnect:
+    """Router plus switched intra-cluster network."""
+
+    def __init__(self, env: Environment, config: ClusterConfig, nodes: List[Node]):
+        self.env = env
+        self.config = config
+        self.nodes = nodes
+        self.router = Resource(env, capacity=1, name="router")
+        #: Count of intra-cluster messages sent (for overhead accounting).
+        self.messages_sent = 0
+        #: Total control-message payload count by kind, for reporting.
+        self.message_counts: dict = {}
+        #: Output-queued switch ports (one per destination node), present
+        #: only when the config asks for fabric contention.
+        self.switch_ports: Optional[List[Resource]] = None
+        if config.model_switch_contention:
+            self.switch_ports = [
+                Resource(env, capacity=1, name=f"swport{n.id}") for n in nodes
+            ]
+
+    # -- router (Internet side) ---------------------------------------------
+
+    def route(self, size_kb: float) -> Generator:
+        """Move ``size_kb`` through the router (requests in, replies out)."""
+        with self.router.request() as req:
+            yield req
+            yield self.env.timeout(self.config.hardware.route_time(size_kb))
+
+    # -- intra-cluster messaging ----------------------------------------------
+
+    def send_message(
+        self,
+        src: int,
+        dst: int,
+        size_kb: float,
+        kind: str = "msg",
+        ni_time_s: Optional[float] = None,
+    ) -> Generator:
+        """Deliver one message from node ``src`` to node ``dst``.
+
+        Yields until the message has been fully received (the receiver's
+        CPU overhead included).  Charges, in order: sender CPU overhead,
+        sender NI-out, switch latency, receiver NI-in, receiver CPU
+        overhead.  ``ni_time_s`` overrides the per-side NI occupancy
+        (used for control messages).  A zero-latency shortcut applies
+        when src == dst.
+        """
+        if not (0 <= src < len(self.nodes) and 0 <= dst < len(self.nodes)):
+            raise ValueError(f"message endpoints out of range: {src} -> {dst}")
+        if size_kb <= 0:
+            raise ValueError(f"size_kb must be positive, got {size_kb}")
+        if src == dst:
+            return
+        self.messages_sent += 1
+        self.message_counts[kind] = self.message_counts.get(kind, 0) + 1
+        cfg = self.config
+        ni_time = ni_time_s if ni_time_s is not None else cfg.hardware.ni_message_time(size_kb)
+        sender, receiver = self.nodes[src], self.nodes[dst]
+        yield from sender.use_cpu(cfg.cpu_msg_overhead_s)
+        yield from sender.use_ni_out(ni_time)
+        if self.switch_ports is not None:
+            # Output-queued fabric: the destination port serializes
+            # transfers headed to the same node.
+            with self.switch_ports[dst].request() as port:
+                yield port
+                yield self.env.timeout(
+                    cfg.switch_latency_s + size_kb / cfg.hardware.ni_kb_per_s
+                )
+        else:
+            yield self.env.timeout(cfg.switch_latency_s)
+        yield from receiver.use_ni_in(ni_time)
+        yield from receiver.use_cpu(cfg.cpu_msg_overhead_s)
+
+    def send_control(self, src: int, dst: int, kind: str = "control") -> Generator:
+        """A small (4-byte payload) control message: 19 us one-way."""
+        yield from self.send_message(
+            src, dst, self.config.control_kb, kind, ni_time_s=self.config.ni_control_time()
+        )
+
+    def broadcast_control(
+        self,
+        src: int,
+        kind: str = "broadcast",
+        exclude: Optional[int] = None,
+    ) -> None:
+        """Fire-and-forget control messages from ``src`` to all other nodes.
+
+        The paper implements broadcast as multiple point-to-point M-VIA
+        messages; each is spawned as an independent process so the sender
+        does not block on delivery.
+        """
+        for node in self.nodes:
+            if node.id == src or node.id == exclude:
+                continue
+            self.env.process(
+                self.send_control(src, node.id, kind), name=f"{kind}:{src}->{node.id}"
+            )
+
+    def reset_accounting(self) -> None:
+        self.router.reset_accounting()
+        self.messages_sent = 0
+        self.message_counts.clear()

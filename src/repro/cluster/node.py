@@ -1,0 +1,151 @@
+"""A cluster node: CPU, duplex network interface, disk, and file cache.
+
+Each hardware component is a FIFO :class:`repro.des.Resource`, so all the
+contention the paper simulates "faithfully" (CPU, NI, disk) emerges from
+queueing.  Convenience generators (``use_cpu``, ``read_from_disk``, ...)
+encapsulate the acquire/hold/release pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from ..des import Environment, PriorityResource, Resource, TimeWeightedValue
+from .cache import LRUFileCache
+from .config import ClusterConfig
+
+__all__ = ["Node", "CPU_PROMPT", "CPU_BULK"]
+
+#: CPU priority for short control work: request parsing, forwarding,
+#: message overheads.  Event-driven servers (Flash, on which the paper's
+#: mu_p is based) accept and parse new requests promptly instead of
+#: queueing them behind multi-millisecond reply transmissions.
+CPU_PROMPT = 0
+#: CPU priority for bulk reply work (1/mu_m).
+CPU_BULK = 1
+
+
+class Node:
+    """One workstation of the cluster (Figure 1)."""
+
+    def __init__(self, env: Environment, node_id: int, config: ClusterConfig):
+        self.env = env
+        self.id = node_id
+        self.config = config
+        hw = config.hardware
+        self.cpu = PriorityResource(env, capacity=1, name=f"cpu{node_id}")
+        self.ni_in = Resource(env, capacity=1, name=f"ni_in{node_id}")
+        self.ni_out = Resource(env, capacity=1, name=f"ni_out{node_id}")
+        self.disk = Resource(env, capacity=1, name=f"disk{node_id}")
+        from .policies import make_cache
+
+        self.cache = make_cache(config.cache_policy, config.cache_bytes)
+        #: Open client connections currently assigned to this node — the
+        #: load metric every policy in the paper uses.
+        self.connections = TimeWeightedValue(env, 0)
+        #: Completed requests (for completion-batch notifications).
+        self.completed = 0
+        #: Requests this node forwarded elsewhere.
+        self.forwarded = 0
+        #: True once the node has crashed (failure-injection runs).  The
+        #: request lifecycle checks this at stage boundaries and aborts.
+        self.failed = False
+        #: CPU speed multiplier (heterogeneity extension): CPU work takes
+        #: ``seconds / speed``.
+        self.speed = config.speed_of(node_id)
+        self._hw = hw
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Node {self.id} conn={self.open_connections}>"
+
+    # -- load --------------------------------------------------------------
+
+    @property
+    def open_connections(self) -> int:
+        return int(self.connections.value)
+
+    def connection_opened(self) -> None:
+        self.connections.add(1)
+
+    def connection_closed(self) -> None:
+        if self.open_connections <= 0:
+            raise RuntimeError(f"node {self.id}: closing a connection at zero")
+        self.connections.add(-1)
+        self.completed += 1
+
+    # -- hardware occupancy generators --------------------------------------
+
+    def use_cpu(self, seconds: float, priority: int = CPU_PROMPT) -> Generator:
+        """Occupy the CPU for ``seconds``.
+
+        Control work (the default ``CPU_PROMPT``) overtakes queued bulk
+        reply work, mirroring an event-driven server; work at equal
+        priority is FIFO.  ``seconds`` is the baseline (speed 1.0) cost;
+        slower nodes take proportionally longer.
+        """
+        with self.cpu.request(priority=priority) as req:
+            yield req
+            yield self.env.timeout(seconds / self.speed)
+
+    def use_ni_in(self, seconds: float) -> Generator:
+        with self.ni_in.request() as req:
+            yield req
+            yield self.env.timeout(seconds)
+
+    def use_ni_out(self, seconds: float) -> Generator:
+        with self.ni_out.request() as req:
+            yield req
+            yield self.env.timeout(seconds)
+
+    def parse_request(self) -> Generator:
+        """CPU work to read and parse an incoming request (1/mu_p)."""
+        yield from self.use_cpu(self._hw.parse_time())
+
+    def forward_work(self) -> Generator:
+        """CPU work to hand a request off to another node (1/mu_f)."""
+        yield from self.use_cpu(self._hw.forward_time())
+
+    def reply_work(self, size_kb: float) -> Generator:
+        """CPU work to send a locally available file (1/mu_m, bulk)."""
+        yield from self.use_cpu(self._hw.reply_time(size_kb), priority=CPU_BULK)
+
+    def read_from_disk(self, size_kb: float) -> Generator:
+        """Disk occupancy for a whole-file read (1/mu_d)."""
+        with self.disk.request() as req:
+            yield req
+            yield self.env.timeout(self._hw.disk_time(size_kb))
+
+    # -- cache path ----------------------------------------------------------
+
+    def serve_file(self, file_id: int, size_bytes: int) -> Generator:
+        """Bring a file into memory: cache hit is free, miss reads disk.
+
+        Updates LRU state and hit/miss counters; yields disk time on miss.
+        """
+        if not self.cache.lookup(file_id):
+            yield from self.read_from_disk(size_bytes / 1024.0)
+            self.cache.insert(file_id, size_bytes)
+
+    def warm_cache(self, file_id: int, size_bytes: int) -> None:
+        """Zero-time cache touch used by warmup passes (no stats)."""
+        if not self.cache.touch(file_id):
+            self.cache.insert(file_id, size_bytes)
+
+    # -- accounting ----------------------------------------------------------
+
+    def reset_accounting(self) -> None:
+        """Discard warmup statistics; cache *contents* are preserved."""
+        self.cpu.reset_accounting()
+        self.ni_in.reset_accounting()
+        self.ni_out.reset_accounting()
+        self.disk.reset_accounting()
+        self.cache.reset_stats()
+        self.connections.reset()
+        self.completed = 0
+        self.forwarded = 0
+
+    def cpu_utilization(self, elapsed: float) -> float:
+        return self.cpu.utilization(elapsed)
+
+    def cpu_idle(self, elapsed: float) -> float:
+        return 1.0 - self.cpu_utilization(elapsed)

@@ -1,0 +1,246 @@
+"""Alternative cache-replacement policies: GreedyDual-Size and LFU.
+
+The paper's servers cache whole files under LRU.  Web-caching work of
+the same era (Cao & Irani's GreedyDual-Size, LFU variants) showed the
+replacement policy can matter when file sizes vary by orders of
+magnitude.  These drop-in replacements for
+:class:`~repro.cluster.cache.LRUFileCache` let the cache-policy
+ablation quantify how much of the paper's story depends on LRU:
+
+* :class:`GDSFileCache` — GreedyDual-Size with uniform miss cost
+  (``H = clock + 1/size``): favors keeping many small files, maximizing
+  object hit rate;
+* :class:`LFUFileCache` — least-frequently-used with LRU tie-breaking
+  (in-cache frequency, reset on eviction).
+
+All caches share the LRU cache's interface (lookup/insert/peek/touch/
+invalidate/clear/stats), so a node can host any of them.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .cache import LRUFileCache
+
+__all__ = ["GDSFileCache", "LFUFileCache", "make_cache", "CACHE_POLICIES"]
+
+
+class _HeapCacheBase:
+    """Shared machinery: byte accounting, stats, lazy-deletion heap."""
+
+    __slots__ = (
+        "capacity",
+        "_entries",
+        "_heap",
+        "_seq",
+        "_used",
+        "hits",
+        "misses",
+        "insertions",
+        "evictions",
+    )
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_bytes}")
+        self.capacity = int(capacity_bytes)
+        #: file_id -> (size, priority_key, seq_of_live_heap_entry)
+        self._entries: Dict[int, Tuple[int, float, int]] = {}
+        #: lazy heap of (priority_key, seq, file_id)
+        self._heap: List[Tuple[float, int, int]] = []
+        self._seq = 0
+        self._used = 0
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
+
+    # -- shared interface ---------------------------------------------------
+
+    def __contains__(self, file_id: int) -> bool:
+        return file_id in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[int]:
+        """File ids in eviction order (worst candidate first)."""
+        live = sorted(
+            (key, seq, fid)
+            for fid, (size, key, seq) in self._entries.items()
+        )
+        return iter(fid for _, _, fid in live)
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity - self._used
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
+
+    def peek(self, file_id: int) -> bool:
+        return file_id in self._entries
+
+    def size_of(self, file_id: int) -> Optional[int]:
+        entry = self._entries.get(file_id)
+        return entry[0] if entry else None
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._heap.clear()
+        self._used = 0
+
+    def invalidate(self, file_id: int) -> bool:
+        entry = self._entries.pop(file_id, None)
+        if entry is None:
+            return False
+        self._used -= entry[0]
+        return True
+
+    # -- policy hooks ----------------------------------------------------------
+
+    def _priority(self, file_id: int, size: int) -> float:
+        raise NotImplementedError
+
+    def _on_hit(self, file_id: int) -> None:
+        size, _, _ = self._entries[file_id]
+        self._push(file_id, size, self._priority(file_id, size))
+
+    # -- internals ----------------------------------------------------------------
+
+    def _push(self, file_id: int, size: int, key: float) -> None:
+        self._seq += 1
+        self._entries[file_id] = (size, key, self._seq)
+        heapq.heappush(self._heap, (key, self._seq, file_id))
+
+    def _pop_victim(self) -> Tuple[int, int, float]:
+        """(file_id, size, key) of the live entry with the lowest key."""
+        while self._heap:
+            key, seq, fid = heapq.heappop(self._heap)
+            entry = self._entries.get(fid)
+            if entry is not None and entry[2] == seq:
+                return fid, entry[0], key
+        raise RuntimeError("eviction requested from an empty cache")
+
+    # -- operations ------------------------------------------------------------------
+
+    def lookup(self, file_id: int) -> bool:
+        if file_id in self._entries:
+            self.hits += 1
+            self._on_hit(file_id)
+            return True
+        self.misses += 1
+        return False
+
+    def touch(self, file_id: int) -> bool:
+        if file_id in self._entries:
+            self._on_hit(file_id)
+            return True
+        return False
+
+    def insert(self, file_id: int, size_bytes: int) -> List[int]:
+        if size_bytes <= 0:
+            raise ValueError(f"size must be positive, got {size_bytes}")
+        if file_id in self._entries:
+            self._on_hit(file_id)
+            return []
+        if size_bytes > self.capacity:
+            return []
+        evicted: List[int] = []
+        while self._used + size_bytes > self.capacity:
+            fid, vsize, vkey = self._pop_victim()
+            del self._entries[fid]
+            self._used -= vsize
+            self.evictions += 1
+            evicted.append(fid)
+            self._on_evict(fid, vkey)
+        self._push(file_id, size_bytes, self._priority(file_id, size_bytes))
+        self._used += size_bytes
+        self.insertions += 1
+        return evicted
+
+    def _on_evict(self, file_id: int, key: float) -> None:
+        """Policy hook after a victim leaves."""
+
+
+class GDSFileCache(_HeapCacheBase):
+    """GreedyDual-Size with uniform miss cost: H = L + 1/size.
+
+    ``L`` (the inflation clock) rises to each victim's H on eviction, so
+    recency and size trade off without per-access aging of every entry.
+    """
+
+    __slots__ = ("_clock",)
+
+    def __init__(self, capacity_bytes: int):
+        super().__init__(capacity_bytes)
+        self._clock = 0.0
+
+    def _priority(self, file_id: int, size: int) -> float:
+        return self._clock + 1.0 / size
+
+    def _on_evict(self, file_id: int, key: float) -> None:
+        self._clock = max(self._clock, key)
+
+
+class LFUFileCache(_HeapCacheBase):
+    """In-cache LFU: evict the least-frequently-used file.
+
+    Frequency counts live only while the file is cached (eviction
+    forgets them — "LFU-aging" via forgetting).  Ties break towards the
+    least recently inserted/refreshed entry via the heap sequence.
+    """
+
+    __slots__ = ("_freq",)
+
+    def __init__(self, capacity_bytes: int):
+        super().__init__(capacity_bytes)
+        self._freq: Dict[int, int] = {}
+
+    def _priority(self, file_id: int, size: int) -> float:
+        self._freq[file_id] = self._freq.get(file_id, 0) + 1
+        return float(self._freq[file_id])
+
+    def _on_evict(self, file_id: int, key: float) -> None:
+        self._freq.pop(file_id, None)
+
+    def invalidate(self, file_id: int) -> bool:
+        self._freq.pop(file_id, None)
+        return super().invalidate(file_id)
+
+    def clear(self) -> None:
+        self._freq.clear()
+        super().clear()
+
+
+#: Registry of cache constructors by policy name.
+CACHE_POLICIES = {
+    "lru": LRUFileCache,
+    "gds": GDSFileCache,
+    "lfu": LFUFileCache,
+}
+
+
+def make_cache(policy: str, capacity_bytes: int):
+    """Build a file cache by policy name ("lru", "gds", "lfu")."""
+    try:
+        cls = CACHE_POLICIES[policy.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown cache policy {policy!r}; available: {sorted(CACHE_POLICIES)}"
+        ) from None
+    return cls(capacity_bytes)

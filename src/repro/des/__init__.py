@@ -1,0 +1,69 @@
+"""``repro.des`` — a small, deterministic discrete-event simulation kernel.
+
+A from-scratch, simpy-style kernel: processes are Python generators that
+yield events; :class:`Environment` advances a global clock over a binary
+heap of scheduled events.  See :mod:`repro.des.core` for the execution
+model and :mod:`repro.des.resources` / :mod:`repro.des.stores` for the
+queueing primitives the cluster simulator is built on.
+
+Example
+-------
+>>> from repro.des import Environment
+>>> env = Environment()
+>>> log = []
+>>> def clock(env, name, period):
+...     while True:
+...         yield env.timeout(period)
+...         log.append((name, env.now))
+>>> _ = env.process(clock(env, "fast", 1))
+>>> _ = env.process(clock(env, "slow", 2))
+>>> env.run(until=4)
+>>> log
+[('fast', 1), ('fast', 2), ('slow', 2), ('fast', 3)]
+"""
+
+from .core import (
+    EmptySchedule,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    StopProcess,
+    Timeout,
+)
+from .events import AllOf, AnyOf, Condition, ConditionValue
+from .monitor import RateMeter, Tally, TimeWeightedValue
+from .resources import (
+    Container,
+    PriorityRequest,
+    PriorityResource,
+    Release,
+    Request,
+    Resource,
+)
+from .stores import FilterStore, Store
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "StopProcess",
+    "EmptySchedule",
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "ConditionValue",
+    "Resource",
+    "PriorityResource",
+    "Request",
+    "PriorityRequest",
+    "Release",
+    "Container",
+    "Store",
+    "FilterStore",
+    "TimeWeightedValue",
+    "Tally",
+    "RateMeter",
+]

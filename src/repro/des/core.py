@@ -1,0 +1,481 @@
+"""Core of the discrete-event simulation kernel.
+
+This module provides a small, self-contained, simpy-style kernel:
+an :class:`Environment` owning a time-ordered event heap, :class:`Event`
+objects with success/failure semantics, and :class:`Process` objects that
+drive Python generators, suspending on the events they ``yield``.
+
+The kernel is deterministic: events scheduled for the same simulated time
+are processed in (priority, insertion-order) order, so a simulation run is
+exactly reproducible from its random seed.
+
+Design notes
+------------
+The simulator in :mod:`repro.sim` schedules on the order of millions of
+events per run, so this module is written for speed as much as clarity:
+``__slots__`` everywhere on the hot classes, a plain ``heapq`` of tuples,
+and no per-event allocations beyond the event object itself.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from math import inf
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "StopProcess",
+    "EmptySchedule",
+    "PENDING",
+    "URGENT",
+    "NORMAL",
+]
+
+#: Sentinel for the value of an event that has not been triggered yet.
+PENDING: Any = object()
+
+#: Scheduling priority for events that must run before ordinary events at
+#: the same simulated time (used internally when resuming processes).
+URGENT = 0
+#: Default scheduling priority.
+NORMAL = 1
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class StopProcess(Exception):
+    """Graceful early exit from a process.
+
+    ``raise StopProcess(value)`` inside a process generator terminates the
+    process successfully with ``value`` as its result, mirroring
+    ``return value``.  Provided mainly for helper functions that cannot use
+    a plain ``return`` because they are not themselves generators.
+    """
+
+    def __init__(self, value: Any = None):
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(Exception):
+    """Thrown *into* a process by :meth:`Process.interrupt`.
+
+    The interrupted process may catch the exception and continue; the event
+    it was waiting for remains pending and may be re-yielded.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> Any:
+        """Whatever was passed to :meth:`Process.interrupt`."""
+        return self.args[0]
+
+
+class Event:
+    """An event that may eventually be triggered and carry a value.
+
+    Events move through three states:
+
+    1. *pending* — created, not yet triggered;
+    2. *triggered* — a value (or failure) has been set and the event sits in
+       the environment's queue;
+    3. *processed* — its callbacks have run.
+
+    Processes wait for events by yielding them.  Multiple processes may wait
+    on the same event.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, env: "Environment"):
+        #: The environment the event lives in.
+        self.env = env
+        #: List of callables invoked (with the event) when processed.
+        #: ``None`` once the event has been processed.
+        self.callbacks: Optional[list] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        self._defused: bool = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "pending"
+            if self._value is PENDING
+            else ("processed" if self.callbacks is None else "triggered")
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once a value or failure has been set."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been executed."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only meaningful once triggered."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or failure exception).
+
+        Raises :class:`AttributeError` if the event is still pending.
+        """
+        if self._value is PENDING:
+            raise AttributeError(f"value of {self!r} is not yet available")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, NORMAL)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with ``exception``.
+
+        Every process waiting on the event will have the exception thrown
+        into it.  If no process handles the failure the environment's
+        :meth:`Environment.run` re-raises it (unless :meth:`defused`).
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, NORMAL)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger with the state of another event (callback helper)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self._defuse_of(event)
+            self.fail(event._value)
+
+    @staticmethod
+    def _defuse_of(event: "Event") -> None:
+        event._defused = True
+
+    def defused(self) -> None:
+        """Mark a failed event as handled so ``run()`` won't re-raise it."""
+        self._defused = True
+
+    # -- composition ------------------------------------------------------
+
+    def __and__(self, other: "Event") -> "Condition":
+        from .events import AllOf
+
+        return AllOf(self.env, [self, other])
+
+    def __or__(self, other: "Event") -> "Condition":
+        from .events import AnyOf
+
+        return AnyOf(self.env, [self, other])
+
+
+class Timeout(Event):
+    """An event that fires after a fixed ``delay`` of simulated time."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, NORMAL, delay)
+
+
+class Initialize(Event):
+    """Internal event that starts a freshly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self.callbacks = [process._resume]
+        self._ok = True
+        self._value = None
+        env._schedule(self, URGENT)
+
+
+class Process(Event):
+    """A running process: drives a generator, waits on yielded events.
+
+    A process is itself an event that triggers when the generator returns
+    (successfully, with the generator's return value) or raises
+    (as a failure).  Other processes can therefore wait for it to finish by
+    yielding it.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ):
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        #: Event the process is currently waiting on (None when running or
+        #: terminated).
+        self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        Initialize(env, self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Process({self.name}) at {id(self):#x}>"
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not terminated."""
+        return self._value is PENDING
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting for (if any)."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw an :class:`Interrupt` into the process.
+
+        The process resumes immediately (at the current simulated time,
+        before ordinary events).  Interrupting a terminated process is an
+        error; interrupting a process that is about to resume anyway is
+        allowed — the interrupt wins.
+        """
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self!r} has terminated and cannot be interrupted")
+        if self is self.env.active_process:
+            raise RuntimeError("a process cannot interrupt itself")
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._defused = True
+        interrupt_event.callbacks = [self._resume]
+        self.env._schedule(interrupt_event, URGENT)
+
+    # -- generator driving --------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the value/failure of ``event``."""
+        env = self.env
+        if self._value is not PENDING:
+            # Already terminated (e.g. interrupted to death while an older
+            # wake-up was in flight).  Nothing to do.
+            return
+        # Detach from the event we were waiting on (the interrupt path
+        # resumes us while self._target is still pending).
+        if self._target is not None and event is not self._target:
+            # Late interrupt: forget the original target's callback so a
+            # later trigger does not resume us twice.
+            try:
+                self._target.callbacks.remove(self._resume)
+            except (ValueError, AttributeError):
+                pass
+        self._target = None
+        env._active_proc = self
+
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    # The event failed: throw its exception into the process.
+                    event._defused = True
+                    next_event = self._generator.throw(event._value)
+            except StopIteration as exc:
+                self._ok = True
+                self._value = exc.value
+                env._schedule(self, NORMAL)
+                break
+            except StopProcess as exc:
+                self._generator.close()
+                self._ok = True
+                self._value = exc.value
+                env._schedule(self, NORMAL)
+                break
+            except BaseException as exc:
+                self._generator.close()
+                self._ok = False
+                self._value = exc
+                env._schedule(self, NORMAL)
+                break
+
+            if not isinstance(next_event, Event):
+                exc = RuntimeError(
+                    f"process {self.name!r} yielded a non-event: {next_event!r}"
+                )
+                self._generator.close()
+                self._ok = False
+                self._value = exc
+                env._schedule(self, NORMAL)
+                break
+
+            if next_event.callbacks is not None:
+                # Event still pending or triggered-but-unprocessed: wait.
+                self._target = next_event
+                next_event.callbacks.append(self._resume)
+                break
+
+            # Event already processed: feed its value straight back in.
+            event = next_event
+
+        env._active_proc = None
+
+
+class Environment:
+    """Execution environment: simulated clock plus the event queue."""
+
+    __slots__ = ("_now", "_queue", "_eid", "_active_proc")
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        # Heap of (time, priority, eid, event).
+        self._queue: list = []
+        self._eid = 0
+        self._active_proc: Optional[Process] = None
+
+    # -- public API ---------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being advanced (None between events)."""
+        return self._active_proc
+
+    def event(self) -> Event:
+        """Create a new pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a :class:`Timeout` firing ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self,
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ) -> Process:
+        """Start a new :class:`Process` driving ``generator``."""
+        return Process(self, generator, name)
+
+    def all_of(self, events: Iterable[Event]) -> "Condition":
+        from .events import AllOf
+
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> "Condition":
+        from .events import AnyOf
+
+        return AnyOf(self, events)
+
+    def schedule_callback(
+        self, delay: float, callback: Callable[[], None]
+    ) -> Event:
+        """Run ``callback()`` after ``delay`` without creating a process."""
+        ev = Timeout(self, delay)
+        ev.callbacks.append(lambda _e: callback())
+        return ev
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
+        self._eid += 1
+        heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else inf
+
+    def step(self) -> None:
+        """Process the next event.  Raises :class:`EmptySchedule` if none."""
+        try:
+            self._now, _, _, event = heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            # Nobody handled this failure.
+            exc = event._value
+            raise exc
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until the queue drains), a number
+        (run until that simulated time), or an :class:`Event` (run until it
+        is processed and return its value).
+        """
+        stop_at = inf
+        stop_event: Optional[Event] = None
+        if until is not None:
+            if isinstance(until, Event):
+                stop_event = until
+                if stop_event.callbacks is None:
+                    # Already processed.
+                    if stop_event._ok:
+                        return stop_event._value
+                    raise stop_event._value
+                done = []
+                stop_event.callbacks.append(lambda _e: done.append(True))
+                while not done:
+                    try:
+                        self.step()
+                    except EmptySchedule:
+                        raise RuntimeError(
+                            "run(until=event): schedule drained before the "
+                            "event triggered"
+                        ) from None
+                if stop_event._ok:
+                    return stop_event._value
+                stop_event._defused = True
+                raise stop_event._value
+            stop_at = float(until)
+            if stop_at <= self._now:
+                raise ValueError(
+                    f"until ({stop_at}) must be greater than now ({self._now})"
+                )
+
+        while self._queue and self._queue[0][0] < stop_at:
+            self.step()
+        if stop_at is not inf:
+            self._now = stop_at
+        return None

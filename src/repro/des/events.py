@@ -1,0 +1,140 @@
+"""Composite events: wait for *all* or *any* of a set of events."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List
+
+from .core import Event, Environment, NORMAL, PENDING
+
+__all__ = ["Condition", "AllOf", "AnyOf", "ConditionValue"]
+
+
+class ConditionValue:
+    """Ordered mapping of the events of a condition to their values.
+
+    Only events that had triggered by the time the condition fired are
+    included.  Behaves like a read-only ordered dict keyed by event.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: List[Event]):
+        self.events = events
+
+    def __getitem__(self, key: Event) -> Any:
+        if key not in self.events:
+            raise KeyError(key)
+        return key.value
+
+    def __contains__(self, key: Event) -> bool:
+        return key in self.events
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ConditionValue):
+            return self.todict() == other.todict()
+        if isinstance(other, dict):
+            return self.todict() == other
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ConditionValue {self.todict()!r}>"
+
+    def keys(self):
+        return iter(self.events)
+
+    def values(self):
+        return (e.value for e in self.events)
+
+    def items(self):
+        return ((e, e.value) for e in self.events)
+
+    def todict(self) -> Dict[Event, Any]:
+        return {e: e.value for e in self.events}
+
+
+class Condition(Event):
+    """Event that triggers when ``evaluate(events, count)`` becomes true.
+
+    ``count`` is the number of constituent events that have triggered so
+    far.  Nested conditions are flattened so the resulting
+    :class:`ConditionValue` exposes leaf events only.
+    """
+
+    __slots__ = ("_evaluate", "_events", "_count")
+
+    def __init__(
+        self,
+        env: Environment,
+        evaluate: Callable[[List[Event], int], bool],
+        events: Iterable[Event],
+    ):
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("all events of a condition must share one env")
+
+        # Check for immediately-decidable conditions.
+        if not self._events or self._evaluate(self._events, 0):
+            self.succeed(ConditionValue([]))
+            return
+
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _collect_values(self) -> ConditionValue:
+        # Note: *processed*, not merely *triggered* — a Timeout carries its
+        # value from construction, so "triggered" would leak future events.
+        fired = [e for e in self._flatten(self._events) if e.processed]
+        return ConditionValue(fired)
+
+    @classmethod
+    def _flatten(cls, events: List[Event]) -> List[Event]:
+        result: List[Event] = []
+        for event in events:
+            if isinstance(event, Condition):
+                result.extend(cls._flatten(event._events))
+            else:
+                result.append(event)
+        return result
+
+    def _check(self, event: Event) -> None:
+        if self._value is not PENDING:
+            return
+        self._count += 1
+        if not event._ok:
+            # A failed constituent fails the whole condition.
+            event._defused = True
+            self.fail(event._value)
+        elif self._evaluate(self._events, self._count):
+            self.succeed(self._collect_values())
+
+
+class AllOf(Condition):
+    """Triggers once every constituent event has triggered."""
+
+    __slots__ = ()
+
+    def __init__(self, env: Environment, events: Iterable[Event]):
+        super().__init__(env, lambda events, count: count >= len(events), events)
+
+
+class AnyOf(Condition):
+    """Triggers as soon as one constituent event has triggered."""
+
+    __slots__ = ()
+
+    def __init__(self, env: Environment, events: Iterable[Event]):
+        super().__init__(env, lambda events, count: count >= 1, events)

@@ -1,0 +1,162 @@
+"""Measurement helpers for simulations.
+
+:class:`TimeWeightedValue` tracks a piecewise-constant quantity (queue
+length, connection count, ...) and reports its time-weighted average.
+:class:`Tally` accumulates plain observations (latencies, sizes).
+:class:`RateMeter` counts events over a window and reports a rate.
+
+All three support ``reset()`` so a warmup phase can be discarded.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from .core import Environment
+
+__all__ = ["TimeWeightedValue", "Tally", "RateMeter"]
+
+
+class TimeWeightedValue:
+    """Time-weighted average of a piecewise-constant value."""
+
+    __slots__ = ("env", "_value", "_last_change", "_area", "_t0", "_max")
+
+    def __init__(self, env: Environment, initial: float = 0.0):
+        self.env = env
+        self._value = initial
+        self._last_change = env.now
+        self._area = 0.0
+        self._t0 = env.now
+        self._max = initial
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        now = self.env.now
+        self._area += self._value * (now - self._last_change)
+        self._value = value
+        self._last_change = now
+        if value > self._max:
+            self._max = value
+
+    def add(self, delta: float) -> None:
+        self.set(self._value + delta)
+
+    @property
+    def maximum(self) -> float:
+        return self._max
+
+    def mean(self, now: Optional[float] = None) -> float:
+        """Time-weighted mean since construction (or last reset)."""
+        if now is None:
+            now = self.env.now
+        elapsed = now - self._t0
+        if elapsed <= 0:
+            return self._value
+        area = self._area + self._value * (now - self._last_change)
+        return area / elapsed
+
+    def reset(self) -> None:
+        self._area = 0.0
+        self._t0 = self.env.now
+        self._last_change = self.env.now
+        self._max = self._value
+
+
+class Tally:
+    """Streaming mean/variance/min/max of plain observations (Welford)."""
+
+    __slots__ = ("_n", "_mean", "_m2", "_min", "_max", "_sum")
+
+    def __init__(self):
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._sum = 0.0
+
+    def record(self, x: float) -> None:
+        self._n += 1
+        self._sum += x
+        delta = x - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (x - self._mean)
+        if x < self._min:
+            self._min = x
+        if x > self._max:
+            self._max = x
+
+    @property
+    def count(self) -> int:
+        return self._n
+
+    @property
+    def total(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self._n else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self._n - 1) if self._n > 1 else 0.0
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        return self._min if self._n else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return self._max if self._n else 0.0
+
+    def reset(self) -> None:
+        self.__init__()
+
+
+class RateMeter:
+    """Counts discrete events; reports count / elapsed-time."""
+
+    __slots__ = ("env", "_count", "_t0", "_times", "_keep_times")
+
+    def __init__(self, env: Environment, keep_times: bool = False):
+        self.env = env
+        self._count = 0
+        self._t0 = env.now
+        self._keep_times = keep_times
+        self._times: List[float] = []
+
+    def tick(self, n: int = 1) -> None:
+        self._count += n
+        if self._keep_times:
+            self._times.append(self.env.now)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def times(self) -> List[float]:
+        return self._times
+
+    def rate(self, now: Optional[float] = None) -> float:
+        if now is None:
+            now = self.env.now
+        elapsed = now - self._t0
+        if elapsed <= 0:
+            return 0.0
+        return self._count / elapsed
+
+    def reset(self) -> None:
+        self._count = 0
+        self._t0 = self.env.now
+        self._times.clear()

@@ -1,0 +1,310 @@
+"""Shared resources with queueing: counted resources and level containers.
+
+:class:`Resource` models a server (or pool of ``capacity`` identical
+servers) with a FIFO request queue — the building block for CPUs, NICs,
+disks and router ports in :mod:`repro.cluster`.  :class:`PriorityResource`
+adds a priority to each request.  :class:`Container` models a continuous
+level (e.g. buffer space) with put/get semantics.
+
+Usage::
+
+    cpu = Resource(env, capacity=1)
+    with cpu.request() as req:
+        yield req              # wait until granted
+        yield env.timeout(work)
+    # released on exiting the with-block
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Any, Deque, List, Optional
+
+from .core import Environment, Event, PENDING
+
+__all__ = [
+    "Request",
+    "Release",
+    "Resource",
+    "PriorityRequest",
+    "PriorityResource",
+    "Container",
+]
+
+
+class Request(Event):
+    """Request to use a :class:`Resource`; triggers once granted.
+
+    Usable as a context manager: exiting the ``with`` block releases the
+    resource (or cancels the request if it was never granted).
+    """
+
+    __slots__ = ("resource", "usage_since")
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+        #: Simulated time the request was granted (None while queued).
+        self.usage_since: Optional[float] = None
+        resource._do_request(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.cancel() if self.usage_since is None else self.release()
+
+    def release(self) -> "Release":
+        """Release the resource (only valid once granted)."""
+        return Release(self.resource, self)
+
+    def cancel(self) -> None:
+        """Withdraw a request that has not been granted yet."""
+        self.resource._do_cancel(self)
+
+
+class Release(Event):
+    """Event that releases a granted :class:`Request` (fires immediately)."""
+
+    __slots__ = ("resource", "request")
+
+    def __init__(self, resource: "Resource", request: Request):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.request = request
+        resource._do_release(request)
+        self.succeed()
+
+
+class Resource:
+    """``capacity`` identical servers with a FIFO queue of requests."""
+
+    def __init__(self, env: Environment, capacity: int = 1, name: str = ""):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.name = name
+        self._capacity = capacity
+        self.queue: Deque[Request] = deque()
+        self.users: List[Request] = []
+        # Cumulative busy time accounting (for utilization metrics).
+        self._busy_since: Optional[float] = None
+        self._busy_time = 0.0
+        self._total_served = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Resource {self.name or id(self):}, {len(self.users)}/"
+            f"{self._capacity} busy, {len(self.queue)} queued>"
+        )
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Number of requests currently being served."""
+        return len(self.users)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self.queue)
+
+    @property
+    def total_served(self) -> int:
+        """Number of requests granted so far."""
+        return self._total_served
+
+    def request(self) -> Request:
+        """Create (and enqueue) a new request for this resource."""
+        return Request(self)
+
+    # -- utilization accounting ------------------------------------------
+
+    def busy_time(self, now: Optional[float] = None) -> float:
+        """Total time at least one server was busy, up to ``now``."""
+        if now is None:
+            now = self.env.now
+        busy = self._busy_time
+        if self._busy_since is not None:
+            busy += now - self._busy_since
+        return busy
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` time this resource was busy."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time() / elapsed)
+
+    def reset_accounting(self) -> None:
+        """Zero the busy-time counters (e.g. after a warmup phase)."""
+        self._busy_time = 0.0
+        self._total_served = 0
+        if self.users:
+            self._busy_since = self.env.now
+        else:
+            self._busy_since = None
+
+    # -- internals ---------------------------------------------------------
+
+    def _grant(self, req: Request) -> None:
+        if not self.users:
+            self._busy_since = self.env.now
+        self.users.append(req)
+        req.usage_since = self.env.now
+        self._total_served += 1
+        req.succeed()
+
+    def _do_request(self, req: Request) -> None:
+        if len(self.users) < self._capacity:
+            self._grant(req)
+        else:
+            self.queue.append(req)
+
+    def _do_cancel(self, req: Request) -> None:
+        try:
+            self.queue.remove(req)
+        except ValueError:
+            pass
+
+    def _do_release(self, req: Request) -> None:
+        try:
+            self.users.remove(req)
+        except ValueError:
+            raise RuntimeError(
+                f"release of a request that does not hold {self!r}"
+            ) from None
+        if not self.users and self._busy_since is not None:
+            self._busy_time += self.env.now - self._busy_since
+            self._busy_since = None
+        # Hand the slot to the next queued request (skipping cancelled).
+        while self.queue:
+            nxt = self.queue.popleft()
+            if nxt._value is PENDING:
+                self._grant(nxt)
+                break
+
+
+class PriorityRequest(Request):
+    """Request with a priority; lower values are served first.
+
+    Ties are broken FIFO via a monotonically increasing sequence number.
+    """
+
+    __slots__ = ("priority", "seq")
+
+    _seq = itertools.count()
+
+    def __init__(self, resource: "PriorityResource", priority: int = 0):
+        self.priority = priority
+        self.seq = next(PriorityRequest._seq)
+        super().__init__(resource)
+
+    @property
+    def key(self):
+        return (self.priority, self.seq)
+
+
+class PriorityResource(Resource):
+    """Resource whose queue is ordered by request priority."""
+
+    def request(self, priority: int = 0) -> PriorityRequest:  # type: ignore[override]
+        return PriorityRequest(self, priority)
+
+    def _do_request(self, req: Request) -> None:
+        if len(self.users) < self._capacity:
+            self._grant(req)
+        else:
+            assert isinstance(req, PriorityRequest)
+            # Insert keeping the queue sorted by (priority, seq).
+            q = self.queue
+            key = req.key
+            idx = len(q)
+            for i, other in enumerate(q):
+                if other.key > key:  # type: ignore[attr-defined]
+                    idx = i
+                    break
+            q.insert(idx, req)
+
+
+class ContainerPut(Event):
+    __slots__ = ("amount",)
+
+    def __init__(self, container: "Container", amount: float):
+        if amount <= 0:
+            raise ValueError(f"amount must be positive, got {amount}")
+        super().__init__(container.env)
+        self.amount = amount
+        container._put_queue.append(self)
+        container._trigger()
+
+
+class ContainerGet(Event):
+    __slots__ = ("amount",)
+
+    def __init__(self, container: "Container", amount: float):
+        if amount <= 0:
+            raise ValueError(f"amount must be positive, got {amount}")
+        super().__init__(container.env)
+        self.amount = amount
+        container._get_queue.append(self)
+        container._trigger()
+
+
+class Container:
+    """A continuous level between 0 and ``capacity`` with blocking put/get."""
+
+    def __init__(
+        self,
+        env: Environment,
+        capacity: float = float("inf"),
+        init: float = 0.0,
+    ):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 <= init <= capacity:
+            raise ValueError("init must lie within [0, capacity]")
+        self.env = env
+        self._capacity = capacity
+        self._level = init
+        self._put_queue: Deque[ContainerPut] = deque()
+        self._get_queue: Deque[ContainerGet] = deque()
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    def put(self, amount: float) -> ContainerPut:
+        """Add ``amount``; blocks while it would overflow the capacity."""
+        return ContainerPut(self, amount)
+
+    def get(self, amount: float) -> ContainerGet:
+        """Remove ``amount``; blocks while the level is insufficient."""
+        return ContainerGet(self, amount)
+
+    def _trigger(self) -> None:
+        # Serve puts then gets repeatedly until neither can progress;
+        # strict FIFO within each queue (no overtaking).
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._put_queue:
+                put = self._put_queue[0]
+                if self._level + put.amount <= self._capacity:
+                    self._put_queue.popleft()
+                    self._level += put.amount
+                    put.succeed()
+                    progressed = True
+            if self._get_queue:
+                get = self._get_queue[0]
+                if self._level >= get.amount:
+                    self._get_queue.popleft()
+                    self._level -= get.amount
+                    get.succeed()
+                    progressed = True

@@ -1,0 +1,148 @@
+"""Object stores: blocking FIFO queues of arbitrary items.
+
+:class:`Store` is the message-passing primitive used by the cluster's
+messaging layer: producers ``put`` items, consumers ``get`` them, and both
+sides block when the store is full/empty.  :class:`FilterStore` lets a
+consumer wait for the first item matching a predicate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, List
+
+from .core import Environment, Event, PENDING
+
+__all__ = ["Store", "FilterStore", "StorePut", "StoreGet"]
+
+
+class StorePut(Event):
+    __slots__ = ("item",)
+
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.env)
+        self.item = item
+        store._put_queue.append(self)
+        store._trigger()
+
+
+class StoreGet(Event):
+    __slots__ = ()
+
+    def __init__(self, store: "Store"):
+        super().__init__(store.env)
+        store._get_queue.append(self)
+        store._trigger()
+
+
+class FilterStoreGet(StoreGet):
+    __slots__ = ("filter",)
+
+    def __init__(self, store: "FilterStore", filter: Callable[[Any], bool]):
+        self.filter = filter
+        super().__init__(store)
+
+
+class Store:
+    """FIFO store of items with capacity-bounded, blocking put/get."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self._capacity = capacity
+        self.items: List[Any] = []
+        self._put_queue: Deque[StorePut] = deque()
+        self._get_queue: Deque[StoreGet] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    def put(self, item: Any) -> StorePut:
+        """Insert ``item``; blocks while the store is full."""
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        """Remove and return the oldest item; blocks while empty."""
+        return StoreGet(self)
+
+    # -- internals ---------------------------------------------------------
+
+    def _do_put(self, put: StorePut) -> bool:
+        if len(self.items) < self._capacity:
+            self.items.append(put.item)
+            put.succeed()
+            return True
+        return False
+
+    def _do_get(self, get: StoreGet) -> bool:
+        if self.items:
+            get.succeed(self.items.pop(0))
+            return True
+        return False
+
+    def _trigger(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._put_queue:
+                put = self._put_queue[0]
+                if put._value is not PENDING:  # cancelled/failed externally
+                    self._put_queue.popleft()
+                    continue
+                if self._do_put(put):
+                    self._put_queue.popleft()
+                    progressed = True
+                break
+            while self._get_queue:
+                get = self._get_queue[0]
+                if get._value is not PENDING:
+                    self._get_queue.popleft()
+                    continue
+                if self._do_get(get):
+                    self._get_queue.popleft()
+                    progressed = True
+                break
+
+
+class FilterStore(Store):
+    """Store whose consumers may wait for an item matching a predicate."""
+
+    def get(self, filter: Callable[[Any], bool] = lambda item: True) -> FilterStoreGet:  # type: ignore[override]
+        return FilterStoreGet(self, filter)
+
+    def _do_get(self, get: StoreGet) -> bool:
+        assert isinstance(get, FilterStoreGet)
+        for i, item in enumerate(self.items):
+            if get.filter(item):
+                del self.items[i]
+                get.succeed(item)
+                return True
+        return False
+
+    def _trigger(self) -> None:
+        # Unlike the plain store, a blocked head-of-line get must not stop
+        # later gets whose filters match available items.
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._put_queue:
+                put = self._put_queue[0]
+                if put._value is not PENDING:
+                    self._put_queue.popleft()
+                    continue
+                if self._do_put(put):
+                    self._put_queue.popleft()
+                    progressed = True
+                break
+            for get in list(self._get_queue):
+                if get._value is not PENDING:
+                    self._get_queue.remove(get)
+                    continue
+                if self._do_get(get):
+                    self._get_queue.remove(get)
+                    progressed = True

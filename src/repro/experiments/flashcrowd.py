@@ -1,0 +1,155 @@
+"""Flash-crowd experiment: a sudden hot-file spike (extension).
+
+The era's nightmare scenario — one page gets slashdotted and most of
+the traffic converges on a single file.  This is precisely the case the
+paper's replication machinery exists for: L2S notices the hot node
+blowing past its overload threshold and replicates the file across the
+cluster; LARD/R does the same from its front-end.  Designs without
+dynamic replication (consistent hashing, LARD with replication
+disabled) leave the file pinned to one node, which saturates while the
+rest idle.
+
+:func:`flash_crowd_trace` rewrites a window of an ordinary trace so a
+``hot_share`` of its requests hit one (small, cacheable) file;
+:func:`flash_crowd_experiment` measures throughput inside vs outside
+the spike window from the completion timeline.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..cluster import ClusterConfig
+from ..servers import DistributionPolicy, make_policy
+from ..sim import Simulation
+from ..workload import Trace, synthesize
+from .figures import bench_requests
+
+__all__ = ["FlashCrowdResult", "flash_crowd_trace", "flash_crowd_experiment"]
+
+
+def pick_hot_rank(trace: Trace) -> int:
+    """A viral-page candidate: size near the trace's mean requested size.
+
+    Popular ranks are small files by construction, so picking e.g. rank
+    50 would make spike requests *cheaper* than average and mask the
+    hotspot.  Search moderately warm ranks for a representative size.
+    """
+    sizes = trace.fileset.sizes
+    target = trace.mean_request_bytes()
+    lo, hi = 20, min(500, trace.fileset.num_files)
+    ranks = np.arange(lo, hi)
+    return int(ranks[np.argmin(np.abs(sizes[lo:hi] - target))])
+
+
+def flash_crowd_trace(
+    base: Trace,
+    spike_start: float = 0.4,
+    spike_length: float = 0.3,
+    hot_share: float = 0.6,
+    hot_rank: Optional[int] = None,
+    seed: int = 0,
+) -> Trace:
+    """Rewrite a window of ``base`` so one file dominates it.
+
+    Within requests ``[spike_start, spike_start + spike_length)`` (as
+    fractions of the trace), each request is redirected to the file of
+    popularity rank ``hot_rank`` with probability ``hot_share`` — a
+    modestly popular page suddenly going viral.  ``hot_rank=None`` picks
+    a file of representative size (see :func:`pick_hot_rank`).
+    """
+    if not 0.0 <= spike_start < 1.0:
+        raise ValueError("spike_start must be in [0, 1)")
+    if not 0.0 < spike_length <= 1.0 - spike_start:
+        raise ValueError("spike window must fit inside the trace")
+    if not 0.0 < hot_share <= 1.0:
+        raise ValueError("hot_share must be in (0, 1]")
+    if hot_rank is None:
+        hot_rank = pick_hot_rank(base)
+    if not 0 <= hot_rank < base.fileset.num_files:
+        raise IndexError("hot_rank outside the file population")
+    n = len(base)
+    lo = int(n * spike_start)
+    hi = int(n * (spike_start + spike_length))
+    rng = np.random.default_rng(seed)
+    ids = base.file_ids.copy()
+    window = slice(lo, hi)
+    mask = rng.random(hi - lo) < hot_share
+    ids[window] = np.where(mask, hot_rank, ids[window])
+    return Trace(f"{base.name}+flash", base.fileset, ids)
+
+
+@dataclass(frozen=True)
+class FlashCrowdResult:
+    """Throughput inside and outside the spike window."""
+
+    policy: str
+    nodes: int
+    baseline_rps: float
+    spike_rps: float
+    hot_server_count: int
+
+    @property
+    def spike_retention(self) -> float:
+        """Spike-window throughput relative to baseline (1.0 = unfazed)."""
+        if self.baseline_rps <= 0:
+            return 0.0
+        return self.spike_rps / self.baseline_rps
+
+
+def flash_crowd_experiment(
+    policy,
+    trace: Optional[Trace] = None,
+    trace_name: str = "calgary",
+    nodes: int = 8,
+    hot_share: float = 0.6,
+    num_requests: Optional[int] = None,
+) -> FlashCrowdResult:
+    """Measure one policy through a mid-trace flash crowd.
+
+    ``policy`` may be a name or instance.  The spike occupies the middle
+    30% of the measured pass; rates are computed from the completion
+    timeline with a small settle margin around the window edges.
+    """
+    if trace is None:
+        requests = num_requests if num_requests is not None else bench_requests()
+        trace = synthesize(trace_name, num_requests=requests)
+    hot_rank = pick_hot_rank(trace)
+    flash = flash_crowd_trace(trace, hot_share=hot_share, hot_rank=hot_rank)
+    if isinstance(policy, str):
+        policy = make_policy(policy)
+    assert isinstance(policy, DistributionPolicy)
+    sim = Simulation(
+        flash, policy, ClusterConfig(nodes=nodes), passes=2, record_timeline=True
+    )
+    sim.run()
+
+    times = sim.completion_times
+    n = len(flash)
+    lo, hi = int(n * 0.4), int(n * 0.7)
+    settle = max(1, n // 50)
+    t = lambda k: times[min(max(k, 0), len(times) - 1)]
+
+    def rate(first: int, last: int) -> float:
+        t0, t1 = t(first), t(last)
+        return (last - first) / (t1 - t0) if t1 > t0 else 0.0
+
+    spike = rate(lo + settle, hi - settle)
+    before = rate(settle, lo - settle)
+    after = rate(hi + settle, n - 1)
+    baseline = (before + after) / 2.0
+
+    hot_servers = 1
+    if hasattr(policy, "server_set"):
+        hot_servers = max(1, len(policy.server_set(hot_rank)))
+    return FlashCrowdResult(
+        policy=policy.name,
+        nodes=nodes,
+        baseline_rps=baseline,
+        spike_rps=spike,
+        hot_server_count=hot_servers,
+    )

@@ -1,0 +1,132 @@
+"""Latency under open-loop load, and the model's M/M/1 validation.
+
+The paper focuses on throughput ("latencies involved in servers are
+usually low compared to the overall latency a client experiences"), but
+its queuing model predicts response times too.  Two studies:
+
+* :func:`latency_vs_load` — drive a server with Poisson arrivals at
+  fractions of its measured capacity and report mean/percentile
+  response times: the hockey-stick every queueing system shows.
+* :func:`model_latency_validation` — compare the simulator's measured
+  mean response time against the model's open M/M/1 network sum at the
+  same arrival rate, for the locality-oblivious server whose topology
+  matches the model exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cluster import ClusterConfig
+from ..model import ModelParameters, bound_for_population
+from ..servers import make_policy
+from ..sim import Simulation
+from ..workload import Trace, synthesize
+from .figures import bench_requests
+
+__all__ = ["LoadPoint", "latency_vs_load", "model_latency_validation"]
+
+
+@dataclass(frozen=True)
+class LoadPoint:
+    """One operating point of the latency-vs-load curve."""
+
+    utilization: float
+    arrival_rate: float
+    mean_latency_s: float
+    percentiles: Dict[str, float]
+    throughput_rps: float
+
+
+def latency_vs_load(
+    policy_name: str = "l2s",
+    trace: Optional[Trace] = None,
+    trace_name: str = "calgary",
+    nodes: int = 8,
+    loads: Sequence[float] = (0.3, 0.5, 0.7, 0.85),
+    num_requests: Optional[int] = None,
+) -> List[LoadPoint]:
+    """Open-loop latency at fractions of the measured saturation rate.
+
+    The capacity reference is a closed-loop run of the same system, so
+    every load fraction is meaningful regardless of how far below the
+    analytic bound the policy lands.
+    """
+    if any(not 0.0 < l < 1.0 for l in loads):
+        raise ValueError("loads must be fractions in (0, 1)")
+    if trace is None:
+        requests = num_requests if num_requests is not None else bench_requests()
+        trace = synthesize(trace_name, num_requests=requests)
+    config = ClusterConfig(nodes=nodes)
+    capacity = (
+        Simulation(trace, make_policy(policy_name), config, passes=2)
+        .run()
+        .throughput_rps
+    )
+    points: List[LoadPoint] = []
+    for load in loads:
+        rate = load * capacity
+        sim = Simulation(
+            trace,
+            make_policy(policy_name),
+            config,
+            passes=2,
+            arrival_rate=rate,
+            record_latencies=True,
+        )
+        result = sim.run()
+        points.append(
+            LoadPoint(
+                utilization=load,
+                arrival_rate=rate,
+                mean_latency_s=result.mean_response_s,
+                percentiles=result.latency_percentiles,
+                throughput_rps=result.throughput_rps,
+            )
+        )
+    return points
+
+
+def model_latency_validation(
+    trace: Optional[Trace] = None,
+    trace_name: str = "calgary",
+    nodes: int = 8,
+    load: float = 0.5,
+    num_requests: Optional[int] = None,
+) -> Tuple[float, float]:
+    """(model, simulated) mean response time at one arrival rate.
+
+    Uses the traditional (locality-oblivious) server, whose request path
+    is exactly the model's station sequence.  The arrival rate is the
+    given fraction of the *model's* saturation bound, and the model's
+    response time is the open M/M/1 network sum at that rate.
+    """
+    if not 0.0 < load < 0.95:
+        raise ValueError("load must be in (0, 0.95)")
+    if trace is None:
+        requests = num_requests if num_requests is not None else bench_requests()
+        trace = synthesize(trace_name, num_requests=requests)
+    size_kb = trace.mean_request_bytes() / 1024.0
+    config = ClusterConfig(nodes=nodes)
+    params = ModelParameters(
+        nodes=nodes,
+        alpha=trace.fileset.alpha,
+        cache_bytes=config.cache_bytes,
+    )
+    bound = bound_for_population(
+        "oblivious", params, size_kb, trace.unique_files_touched()
+    )
+    rate = load * bound.throughput
+    model_latency = bound.response_time(rate)
+
+    sim = Simulation(
+        trace,
+        make_policy("traditional"),
+        config,
+        passes=2,
+        arrival_rate=rate,
+        record_latencies=True,
+    )
+    result = sim.run()
+    return model_latency, result.mean_response_s

@@ -1,0 +1,104 @@
+"""Multi-seed replication: means and confidence intervals.
+
+Every simulated number in this repository is a single deterministic run
+of one synthesized trace.  :func:`replicate` reruns an experiment over
+several seeds (new trace realization each time) and reports mean,
+standard deviation, and a t-based confidence interval — the error bars
+behind the headline comparisons (see ``benchmarks/test_replication.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import sqrt
+from typing import Callable, List, Optional, Sequence
+
+from scipy import stats as scipy_stats
+
+from ..sim import SimResult, run_simulation
+from ..workload import synthesize
+from .figures import bench_requests
+
+__all__ = ["ReplicatedMetric", "replicate", "replicate_throughput"]
+
+
+@dataclass(frozen=True)
+class ReplicatedMetric:
+    """Summary of one metric across seeds."""
+
+    name: str
+    values: tuple
+    confidence: float
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / self.n
+
+    @property
+    def stdev(self) -> float:
+        if self.n < 2:
+            return 0.0
+        m = self.mean
+        return sqrt(sum((v - m) ** 2 for v in self.values) / (self.n - 1))
+
+    @property
+    def half_width(self) -> float:
+        """Half-width of the t confidence interval around the mean."""
+        if self.n < 2:
+            return 0.0
+        t = scipy_stats.t.ppf(0.5 + self.confidence / 2.0, df=self.n - 1)
+        return float(t * self.stdev / sqrt(self.n))
+
+    @property
+    def interval(self) -> tuple:
+        h = self.half_width
+        return (self.mean - h, self.mean + h)
+
+    @property
+    def relative_half_width(self) -> float:
+        return self.half_width / self.mean if self.mean else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: {self.mean:,.1f} ± {self.half_width:,.1f} "
+            f"({self.confidence:.0%} CI, n={self.n})"
+        )
+
+
+def replicate(
+    metric_fn: Callable[[int], float],
+    seeds: Sequence[int] = (0, 1, 2, 3, 4),
+    name: str = "metric",
+    confidence: float = 0.95,
+) -> ReplicatedMetric:
+    """Evaluate ``metric_fn(seed)`` over seeds and summarize."""
+    if len(seeds) < 1:
+        raise ValueError("at least one seed is required")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    values = tuple(float(metric_fn(seed)) for seed in seeds)
+    return ReplicatedMetric(name=name, values=values, confidence=confidence)
+
+
+def replicate_throughput(
+    trace_name: str,
+    policy: str,
+    nodes: int = 16,
+    seeds: Sequence[int] = (0, 1, 2, 3, 4),
+    num_requests: Optional[int] = None,
+    confidence: float = 0.95,
+) -> ReplicatedMetric:
+    """Throughput of one server design across seeded trace realizations."""
+    requests = num_requests if num_requests is not None else bench_requests()
+
+    def one(seed: int) -> float:
+        trace = synthesize(trace_name, num_requests=requests, seed=seed)
+        return run_simulation(trace, policy, nodes=nodes, passes=2).throughput_rps
+
+    return replicate(
+        one, seeds=seeds, name=f"{policy}@{trace_name}x{nodes}", confidence=confidence
+    )

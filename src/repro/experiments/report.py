@@ -1,0 +1,101 @@
+"""Plain-text rendering of experiment outputs.
+
+The paper's artifacts are tables, 3-D surfaces, and line plots; in a
+terminal-first reproduction we render tables as aligned text, surfaces as
+coarse character heat maps, and line series as labeled columns — enough
+to eyeball every shape claim without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+__all__ = ["render_table", "render_series", "render_surface"]
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Align ``rows`` under ``headers`` (numbers right-, text left-aligned)."""
+    srows: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for cell in row:
+            if isinstance(cell, float):
+                cells.append(f"{cell:,.2f}" if abs(cell) < 1e5 else f"{cell:,.0f}")
+            elif isinstance(cell, int):
+                cells.append(f"{cell:,d}")
+            else:
+                cells.append(str(cell))
+        srows.append(cells)
+    headers = [str(h) for h in headers]
+    ncol = len(headers)
+    for cells in srows:
+        if len(cells) != ncol:
+            raise ValueError(f"row width {len(cells)} != header width {ncol}")
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in srows)) if srows else len(headers[c])
+        for c in range(ncol)
+    ]
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(widths[i]) for i, c in enumerate(cells))
+
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(r) for r in srows)
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict,
+) -> str:
+    """Render named series over shared x values as a table.
+
+    ``series`` maps a name to a sequence aligned with ``x_values``.
+    """
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append([x] + [series[name][i] for name in series])
+    return render_table(headers, rows)
+
+
+_SHADES = " .:-=+*#%@"
+
+
+def render_surface(
+    row_labels: Sequence[object],
+    col_labels: Sequence[object],
+    values: np.ndarray,
+    title: str = "",
+) -> str:
+    """Coarse character heat map of a 2-D array (rows x cols).
+
+    Intensity is linearly binned into ten shades between the surface's
+    min and max, mirroring how the paper's 3-D plots read at a glance.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.shape != (len(row_labels), len(col_labels)):
+        raise ValueError(
+            f"values shape {values.shape} does not match labels "
+            f"({len(row_labels)}, {len(col_labels)})"
+        )
+    lo, hi = float(values.min()), float(values.max())
+    span = hi - lo if hi > lo else 1.0
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"    min={lo:,.1f}  max={hi:,.1f}  (shade ramp '{_SHADES}')")
+    header = "          " + "".join(" " for _ in col_labels)
+    lines.append(header)
+    for i, rl in enumerate(row_labels):
+        shades = "".join(
+            _SHADES[min(9, int((values[i, j] - lo) / span * 9.999))]
+            for j in range(len(col_labels))
+        )
+        lines.append(f"{str(rl):>8s}  {shades}")
+    lines.append(
+        f"{'':8s}  cols: {col_labels[0]} .. {col_labels[-1]}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""S5 — §5.2 summary: L2S's robustness to communication parameters.
+
+"We find that the performance of L2S is only slightly affected by
+reasonable parameters of frequency of broadcasts, messaging overhead,
+and network latency and bandwidth."  Reproduced as three sweeps around
+the defaults, each reporting the relative throughput spread.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..cluster import ClusterConfig
+from ..model.parameters import ModelParameters
+from ..servers import L2SPolicy
+from ..sim import SimResult, run_simulation
+from ..workload import Trace, synthesize
+from .figures import bench_requests
+
+__all__ = [
+    "broadcast_frequency_sweep",
+    "message_overhead_sweep",
+    "network_bandwidth_sweep",
+    "relative_spread",
+]
+
+
+def _trace(trace: Optional[Trace], num_requests: Optional[int]) -> Trace:
+    if trace is not None:
+        return trace
+    requests = num_requests if num_requests is not None else bench_requests()
+    return synthesize("calgary", num_requests=requests)
+
+
+def relative_spread(values: Sequence[float]) -> float:
+    """(max - min) / max of a set of throughputs."""
+    vs = list(values)
+    if not vs or max(vs) <= 0:
+        return 0.0
+    return (max(vs) - min(vs)) / max(vs)
+
+
+def broadcast_frequency_sweep(
+    deltas: Sequence[int] = (2, 3, 4, 6, 8, 16),
+    trace: Optional[Trace] = None,
+    nodes: int = 16,
+    num_requests: Optional[int] = None,
+) -> Dict[int, SimResult]:
+    """L2S throughput vs the load-broadcast threshold (default 4).
+
+    Small deltas broadcast often (fresh views, more control traffic);
+    large deltas broadcast rarely (stale views, less traffic).  The
+    paper found "reasonable" frequencies flat; our sweep also exposes
+    the staleness cliff past delta ~ T/3, where decisions herd onto
+    stale least-loaded estimates and balancing collapses — the reason 4
+    "was found to be the best" in the paper's tuning.
+    """
+    t = _trace(trace, num_requests)
+    out: Dict[int, SimResult] = {}
+    for delta in deltas:
+        policy = L2SPolicy(broadcast_delta=delta)
+        out[delta] = run_simulation(t, policy, nodes=nodes, passes=2)
+    return out
+
+
+def message_overhead_sweep(
+    overheads_us: Sequence[float] = (1.0, 3.0, 6.0, 12.0),
+    trace: Optional[Trace] = None,
+    nodes: int = 16,
+    num_requests: Optional[int] = None,
+) -> Dict[float, SimResult]:
+    """L2S throughput vs the per-message CPU overhead (default 3 us)."""
+    t = _trace(trace, num_requests)
+    out: Dict[float, SimResult] = {}
+    for us in overheads_us:
+        config = ClusterConfig(nodes=nodes, cpu_msg_overhead_s=us * 1e-6)
+        out[us] = run_simulation(t, "l2s", config=config, passes=2)
+    return out
+
+
+def network_bandwidth_sweep(
+    gbits: Sequence[float] = (0.5, 1.0, 2.0),
+    trace: Optional[Trace] = None,
+    nodes: int = 16,
+    num_requests: Optional[int] = None,
+) -> Dict[float, SimResult]:
+    """L2S throughput vs cluster-network link bandwidth (default 1 Gb/s).
+
+    The Table-1 convention maps 1 Gbit/s to 128 000 KB/s of NI
+    throughput; the sweep scales that.
+    """
+    t = _trace(trace, num_requests)
+    out: Dict[float, SimResult] = {}
+    for g in gbits:
+        hardware = ModelParameters(ni_kb_per_s=128_000.0 * g)
+        config = ClusterConfig(nodes=nodes, hardware=hardware)
+        out[g] = run_simulation(t, "l2s", config=config, passes=2)
+    return out

@@ -1,0 +1,94 @@
+"""Reproduction of the paper's tables.
+
+Table 1 (model parameters and defaults) is rendered straight from
+:class:`~repro.model.ModelParameters`; Table 2 (trace characteristics)
+compares the published numbers against the measured characteristics of
+our synthesized traces — the check that the workload substitution holds.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..model import ModelParameters
+from ..workload import TRACE_ORDER, preset, synthesize
+from .report import render_table
+
+__all__ = ["table1_rows", "render_table1", "table2_rows", "render_table2"]
+
+
+def table1_rows(params: Optional[ModelParameters] = None) -> List[Tuple[str, str, str]]:
+    """(parameter, description, default) rows of Table 1."""
+    p = params if params is not None else ModelParameters()
+    return [
+        ("N", "Number of nodes", f"{p.nodes}"),
+        ("R", "Percentage of replication", f"{p.replication:.0%}"),
+        ("alpha", "Zipf constant", f"{p.alpha:g}"),
+        ("mu_r", "Routing rate", f"{p.router_kb_per_s:,.0f}/size ops/s"),
+        ("mu_i", "Request service rate at NI", f"{p.ni_request_rate:,.0f} ops/s"),
+        ("mu_p", "Request read/parsing rate", f"{p.parse_rate:,.0f} ops/s"),
+        ("mu_f", "Request forwarding rate", f"{p.forward_rate:,.0f} ops/s"),
+        (
+            "mu_m",
+            "Reply rate (after stored locally)",
+            f"(%.4f + S/%.0f)^-1 ops/s" % (p.reply_overhead_s, p.reply_kb_per_s),
+        ),
+        (
+            "mu_d",
+            "Disk access rate",
+            f"(%.3f + S/%.0f)^-1 ops/s" % (p.disk_access_s, p.disk_kb_per_s),
+        ),
+        (
+            "mu_o",
+            "Reply service rate at NI",
+            f"(%.6f + S/%.0f)^-1 ops/s" % (p.ni_overhead_s, p.ni_kb_per_s),
+        ),
+        ("C", "Total cache space per node", f"{p.cache_bytes // (1024*1024)} MBytes"),
+    ]
+
+
+def render_table1(params: Optional[ModelParameters] = None) -> str:
+    return render_table(
+        ["Param", "Description", "Default value"], table1_rows(params)
+    )
+
+
+def table2_rows(
+    num_requests: Optional[int] = None,
+    traces: Sequence[str] = TRACE_ORDER,
+    seed: int = 0,
+) -> List[Tuple]:
+    """Paper-vs-synthesized Table 2 rows.
+
+    Each trace contributes two rows: the published characteristics and
+    the measured characteristics of the synthetic workload (empirical
+    requested-size mean; file count / file-size mean / alpha by
+    construction).
+    """
+    rows: List[Tuple] = []
+    for name in traces:
+        p = preset(name)
+        rows.append(
+            ("paper", p.name, p.num_files, p.avg_file_kb, p.num_requests, p.avg_request_kb, p.alpha)
+        )
+        t = synthesize(name, num_requests=num_requests, seed=seed)
+        s = t.stats()
+        rows.append(
+            (
+                "synthetic",
+                t.name,
+                s.num_files,
+                round(s.avg_file_kb, 1),
+                s.num_requests,
+                round(s.avg_request_kb, 1),
+                s.alpha,
+            )
+        )
+    return rows
+
+
+def render_table2(num_requests: Optional[int] = None) -> str:
+    return render_table(
+        ["Source", "Log", "Num files", "Avg file KB", "Num requests", "Avg req KB", "alpha"],
+        table2_rows(num_requests=num_requests),
+    )

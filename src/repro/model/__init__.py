@@ -1,0 +1,58 @@
+"""``repro.model`` — the paper's analytic open queuing-network model.
+
+Section 3 of the paper: every cluster component is an M/M/1 queue
+(Figure 2), hit rates follow from Zipf accumulation (Table 1's ``z``),
+and the solved system yields an upper bound on the throughput of
+locality-oblivious and locality-conscious servers.  These bounds are the
+"model" curves of figures 7–10 and the surfaces of figures 3–6.
+"""
+
+from .mva import MVAResult, mva, mva_from_stations
+from .network import QueuingNetwork, StationDemand
+from .parameters import DEFAULT_PARAMETERS, KB, MB, ModelParameters
+from .servers import (
+    ServerModelResult,
+    bound_for_population,
+    conscious_hit_rates,
+    conscious_result,
+    oblivious_result,
+    throughput_increase,
+)
+from .surfaces import (
+    DEFAULT_HIT_RATES,
+    DEFAULT_SIZES_KB,
+    ModelSurfaces,
+    SurfaceGrid,
+    compute_surfaces,
+    peak_increase,
+    side_view,
+)
+from .zipfmath import fit_population, harmonic_continuous, zipf_mass
+
+__all__ = [
+    "ModelParameters",
+    "DEFAULT_PARAMETERS",
+    "KB",
+    "MB",
+    "QueuingNetwork",
+    "StationDemand",
+    "MVAResult",
+    "mva",
+    "mva_from_stations",
+    "ServerModelResult",
+    "oblivious_result",
+    "conscious_result",
+    "conscious_hit_rates",
+    "bound_for_population",
+    "throughput_increase",
+    "harmonic_continuous",
+    "zipf_mass",
+    "fit_population",
+    "SurfaceGrid",
+    "ModelSurfaces",
+    "compute_surfaces",
+    "peak_increase",
+    "side_view",
+    "DEFAULT_SIZES_KB",
+    "DEFAULT_HIT_RATES",
+]

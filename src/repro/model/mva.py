@@ -1,0 +1,111 @@
+"""Exact Mean Value Analysis (MVA) for closed queuing networks.
+
+The open M/M/1 model (:mod:`repro.model.network`) bounds throughput at
+saturation; the *simulator*, following the paper, is closed-loop — a
+fixed multiprogramming level of requests circulates.  For a closed
+product-form network, exact MVA computes the throughput and per-station
+queue lengths at any population:
+
+    R_k(m) = d_k * (1 + Q_k(m-1))          (arrival theorem)
+    X(m)   = m / (Z + sum_k R_k(m))
+    Q_k(m) = X(m) * R_k(m)
+
+This lets the closed-loop simulation be validated against closed-network
+theory at the same multiprogramming level, not just against the open
+saturation bound (see ``benchmarks/test_closed_loop_validation.py``).
+
+Multi-instance stations (the per-node CPUs, NIs, disks of
+:class:`~repro.model.network.StationDemand`) are expanded into their
+identical single-server instances, each receiving ``demand / servers``
+(a request visits one instance uniformly at random).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .network import StationDemand
+
+__all__ = ["MVAResult", "mva", "mva_from_stations"]
+
+
+@dataclass(frozen=True)
+class MVAResult:
+    """Solution of a closed network at one population."""
+
+    #: Number of circulating customers (requests in flight).
+    customers: int
+    #: System throughput, requests/second.
+    throughput: float
+    #: Mean response time per cycle (excluding think time), seconds.
+    response_time: float
+    #: Mean queue length per station (demand-expanded names).
+    queue_lengths: Dict[str, float]
+
+    def utilization(self, demands: Dict[str, float]) -> Dict[str, float]:
+        """Per-station utilization: X * d_k."""
+        return {k: self.throughput * d for k, d in demands.items()}
+
+
+def mva(
+    demands: Sequence[Tuple[str, float]],
+    customers: int,
+    think_time: float = 0.0,
+) -> MVAResult:
+    """Exact MVA over single-server FIFO stations.
+
+    ``demands`` maps station name to the expected service demand
+    (seconds) one request places on it per cycle.  ``think_time`` is a
+    delay (infinite-server) term — zero for our saturation drivers.
+    """
+    if customers < 1:
+        raise ValueError(f"customers must be >= 1, got {customers}")
+    if think_time < 0:
+        raise ValueError("think_time must be non-negative")
+    names = [n for n, _ in demands]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate station names: {names}")
+    ds = [float(d) for _, d in demands]
+    if any(d < 0 for d in ds):
+        raise ValueError("demands must be non-negative")
+    if sum(ds) <= 0 and think_time <= 0:
+        raise ValueError("at least one demand (or think time) must be positive")
+
+    q = [0.0] * len(ds)
+    x = 0.0
+    r_total = 0.0
+    for m in range(1, customers + 1):
+        r = [d * (1.0 + qk) for d, qk in zip(ds, q)]
+        r_total = sum(r)
+        x = m / (think_time + r_total)
+        q = [x * rk for rk in r]
+    return MVAResult(
+        customers=customers,
+        throughput=x,
+        response_time=r_total,
+        queue_lengths=dict(zip(names, q)),
+    )
+
+
+def mva_from_stations(
+    stations: Sequence[StationDemand],
+    customers: int,
+    think_time: float = 0.0,
+) -> MVAResult:
+    """MVA over :class:`StationDemand` objects.
+
+    A station with ``servers = s`` becomes ``s`` identical single-server
+    stations, each visited with probability ``1/s`` (per-request demand
+    ``d/s``) — the symmetric-cluster assumption the whole model rests on.
+    """
+    expanded: List[Tuple[str, float]] = []
+    for st in stations:
+        if st.servers == 1:
+            expanded.append((st.name, st.demand_s))
+        else:
+            share = st.demand_s / st.servers
+            expanded.extend(
+                (f"{st.name}[{i}]", share) for i in range(st.servers)
+            )
+    return mva(expanded, customers, think_time)

@@ -1,0 +1,103 @@
+"""Open M/M/1 queuing-network solution.
+
+The model (Figure 2) is an open network: every hardware component is an
+M/M/1 queue, requests arrive at aggregate rate ``N * lambda``, and each
+request deposits a known *service demand* at each station.  For such a
+network the maximum sustainable throughput is the saturation point of the
+bottleneck station — exactly the "upper bound on the throughput" the paper
+derives by solving its system of equations — and the expected response
+time below saturation is the sum of per-station M/M/1 residence times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import inf
+from typing import Dict, List, Tuple
+
+__all__ = ["StationDemand", "QueuingNetwork"]
+
+
+@dataclass(frozen=True)
+class StationDemand:
+    """Aggregate demand one client request places on one station type.
+
+    ``demand_s`` is the expected busy time (seconds) the request induces
+    at *one instance* of the station; ``servers`` is how many identical
+    instances exist (1 router, N NIs, N CPUs, ...).  With perfect load
+    balance each instance sees ``lambda * demand_s / servers`` busy
+    seconds per second.
+    """
+
+    name: str
+    demand_s: float
+    servers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.demand_s < 0:
+            raise ValueError(f"demand must be non-negative, got {self.demand_s}")
+        if self.servers < 1:
+            raise ValueError(f"servers must be >= 1, got {self.servers}")
+
+    @property
+    def capacity(self) -> float:
+        """Max request rate this station alone could sustain (req/s)."""
+        if self.demand_s == 0:
+            return inf
+        return self.servers / self.demand_s
+
+
+class QueuingNetwork:
+    """A set of station demands describing one server design."""
+
+    def __init__(self, stations: List[StationDemand]):
+        if not stations:
+            raise ValueError("a network needs at least one station")
+        names = [s.name for s in stations]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate station names: {names}")
+        self.stations = list(stations)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{s.name}={s.demand_s:.2e}s" for s in self.stations)
+        return f"QueuingNetwork({inner})"
+
+    def saturation_throughput(self) -> float:
+        """Upper bound on sustainable request rate (req/s)."""
+        return min(s.capacity for s in self.stations)
+
+    def bottleneck(self) -> StationDemand:
+        """The station that saturates first."""
+        return min(self.stations, key=lambda s: s.capacity)
+
+    def utilizations(self, arrival_rate: float) -> Dict[str, float]:
+        """Per-station utilization at the given request rate."""
+        if arrival_rate < 0:
+            raise ValueError("arrival_rate must be non-negative")
+        return {
+            s.name: (arrival_rate * s.demand_s / s.servers) for s in self.stations
+        }
+
+    def response_time(self, arrival_rate: float) -> float:
+        """Mean residence time (s) of a request below saturation.
+
+        Sum of per-station M/M/1 residence times ``d / (1 - rho)``;
+        returns ``inf`` at or above saturation.  The paper focuses on
+        throughput (server-side latencies are dwarfed by WAN latency) but
+        the model supports both.
+        """
+        if arrival_rate < 0:
+            raise ValueError("arrival_rate must be non-negative")
+        total = 0.0
+        for s in self.stations:
+            if s.demand_s == 0:
+                continue
+            rho = arrival_rate * s.demand_s / s.servers
+            if rho >= 1.0:
+                return inf
+            total += s.demand_s / (1.0 - rho)
+        return total
+
+    def as_dict(self) -> Dict[str, Tuple[float, int]]:
+        """{name: (demand_s, servers)} for reporting."""
+        return {s.name: (s.demand_s, s.servers) for s in self.stations}

@@ -1,0 +1,158 @@
+"""Model parameters — the paper's Table 1, with the same default values.
+
+All rates are expressed through per-operation *service times* in seconds
+(the reciprocal of the table's ops/s), because both the analytic model and
+the simulator consume times.  Size arguments are kilobytes, matching the
+table's formulas:
+
+==========  =====================================  =======================
+Parameter   Description                            Default
+==========  =====================================  =======================
+N           number of nodes                        16
+R           fraction of memory for replication     0 (model) / 0.15 (figs)
+alpha       Zipf constant                          1
+mu_r        routing rate                           500000 / size ops/s
+mu_i        request service rate at the NI         140000 ops/s
+mu_p        request read + parse rate              6300 ops/s
+mu_f        request forwarding rate                10000 ops/s
+mu_m        reply rate (file cached locally)       1/(0.0001 + S/12000)
+mu_d        disk access rate                       1/(0.028 + S/10000)
+mu_o        reply service rate at the NI           1/(0.000003 + S/128000)
+C           cache (memory) per node                128 MB
+==========  =====================================  =======================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+__all__ = ["ModelParameters", "DEFAULT_PARAMETERS", "KB", "MB"]
+
+KB = 1024
+MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class ModelParameters:
+    """Inputs of the analytic model (Table 1).
+
+    The service-time methods (``parse_time``, ``reply_time`` ...) are
+    shared verbatim with the simulator's hardware configuration so that
+    model and simulation describe the same cluster.
+    """
+
+    #: Number of cluster nodes (N).
+    nodes: int = 16
+    #: Fraction of each memory reserved for replicated files (R).
+    replication: float = 0.0
+    #: Zipf constant (alpha).
+    alpha: float = 1.0
+    #: Main-memory cache per node, bytes (C).
+    cache_bytes: int = 128 * MB
+    #: Router capacity in KB/s (Cisco 7576-class, 4 Gbit/s): mu_r = this/size.
+    router_kb_per_s: float = 500_000.0
+    #: NI request service rate, ops/s (mu_i).
+    ni_request_rate: float = 140_000.0
+    #: Request read+parse rate, ops/s (mu_p).
+    parse_rate: float = 6_300.0
+    #: Request forwarding rate, ops/s (mu_f).
+    forward_rate: float = 10_000.0
+    #: Reply fixed overhead, seconds (the 0.0001 in mu_m).
+    reply_overhead_s: float = 0.0001
+    #: Reply streaming rate, KB/s (the 12000 in mu_m).
+    reply_kb_per_s: float = 12_000.0
+    #: Disk access (seek + rotation + directory) time, seconds (mu_d).
+    disk_access_s: float = 0.028
+    #: Disk transfer rate, KB/s (the 10000 in mu_d = 10 MB/s).
+    disk_kb_per_s: float = 10_000.0
+    #: NI per-message overhead, seconds (the 3 microseconds in mu_o).
+    ni_overhead_s: float = 0.000003
+    #: NI link rate, KB/s (1 Gbit/s in the table's 128000 KB/s convention).
+    ni_kb_per_s: float = 128_000.0
+    #: Average client-request message size, KB (gives mu_i ~ 140000 ops/s).
+    request_kb: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError(f"nodes must be >= 1, got {self.nodes}")
+        if not 0.0 <= self.replication <= 1.0:
+            raise ValueError(f"replication must be in [0, 1], got {self.replication}")
+        if self.alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {self.alpha}")
+        if self.cache_bytes <= 0:
+            raise ValueError("cache_bytes must be positive")
+        for attr in (
+            "router_kb_per_s",
+            "ni_request_rate",
+            "parse_rate",
+            "forward_rate",
+            "reply_kb_per_s",
+            "disk_kb_per_s",
+            "ni_kb_per_s",
+        ):
+            if getattr(self, attr) <= 0:
+                raise ValueError(f"{attr} must be positive")
+
+    # -- derived cache sizes (Table 1, bottom rows) -------------------------
+
+    @property
+    def cache_kb(self) -> float:
+        return self.cache_bytes / KB
+
+    def oblivious_cache_kb(self) -> float:
+        """Clo = C: every node ends up caching the same hot files."""
+        return self.cache_kb
+
+    def conscious_cache_kb(self) -> float:
+        """Clc = N*(1-R)*C + R*C: partitioned space plus one replica pool."""
+        n, r, c = self.nodes, self.replication, self.cache_kb
+        return n * (1.0 - r) * c + r * c
+
+    def replicated_cache_kb(self) -> float:
+        """R*C: per-node memory devoted to replicated (hot) files."""
+        return self.replication * self.cache_kb
+
+    # -- service times in seconds (reciprocals of the Table 1 rates) --------
+
+    def route_time(self, size_kb: float) -> float:
+        """1/mu_r: router occupancy to move ``size_kb`` to/from the Internet."""
+        return size_kb / self.router_kb_per_s
+
+    def ni_request_time(self) -> float:
+        """1/mu_i: NI occupancy for a request-sized message."""
+        return 1.0 / self.ni_request_rate
+
+    def parse_time(self) -> float:
+        """1/mu_p: CPU occupancy to read and parse a request."""
+        return 1.0 / self.parse_rate
+
+    def forward_time(self) -> float:
+        """1/mu_f: CPU occupancy to forward (hand off) a request."""
+        return 1.0 / self.forward_rate
+
+    def reply_time(self, size_kb: float) -> float:
+        """1/mu_m: CPU occupancy to send a locally cached file."""
+        return self.reply_overhead_s + size_kb / self.reply_kb_per_s
+
+    def disk_time(self, size_kb: float) -> float:
+        """1/mu_d: disk occupancy to read a file (incl. directory access)."""
+        return self.disk_access_s + size_kb / self.disk_kb_per_s
+
+    def ni_reply_time(self, size_kb: float) -> float:
+        """1/mu_o: NI occupancy to push a reply of ``size_kb`` out."""
+        return self.ni_overhead_s + size_kb / self.ni_kb_per_s
+
+    def ni_message_time(self, size_kb: float) -> float:
+        """NI occupancy for an arbitrary message of ``size_kb``."""
+        return self.ni_overhead_s + size_kb / self.ni_kb_per_s
+
+    # -- convenience ---------------------------------------------------------
+
+    def with_(self, **changes: Any) -> "ModelParameters":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+#: The paper's default configuration (Table 1, last column).
+DEFAULT_PARAMETERS = ModelParameters()

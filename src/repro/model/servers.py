@@ -1,0 +1,236 @@
+"""Analytic throughput bounds for the two server designs.
+
+Implements Section 3 of the paper: given the average requested-file size
+``S`` and a description of the working set, compute the saturation
+throughput of
+
+* a **locality-oblivious** server — every node caches the same hot files
+  (total effective cache ``Clo = C``), no forwarding; and
+* a **locality-conscious** server — the node memories form one large cache
+  (``Clc = N*(1-R)*C + R*C``), a fraction ``Q`` of requests is forwarded
+  once, and a fraction ``h`` (hits on replicated files) is always local.
+
+Two parameterizations are supported, matching the paper's two uses:
+
+* :func:`oblivious_result` / :func:`conscious_result` take the
+  locality-oblivious **hit rate** as the free variable (figures 3–6); the
+  working set is recovered through the fitted population ``f``.
+* :func:`bound_for_population` takes an explicit file population (count +
+  alpha), which is how the "model" curves of figures 7–10 are produced
+  from the trace characteristics of Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import inf, isfinite
+from typing import Dict, Literal
+
+from .network import QueuingNetwork, StationDemand
+from .parameters import ModelParameters
+from .zipfmath import fit_population, zipf_mass
+
+__all__ = [
+    "ServerModelResult",
+    "conscious_hit_rates",
+    "oblivious_result",
+    "conscious_result",
+    "bound_for_population",
+    "throughput_increase",
+]
+
+ServerKind = Literal["oblivious", "conscious"]
+
+
+@dataclass(frozen=True)
+class ServerModelResult:
+    """Solution of the model for one server design at one operating point."""
+
+    kind: str
+    #: Saturation throughput, requests/second (the model's upper bound).
+    throughput: float
+    #: Cache hit rate used (Hlo or Hlc).
+    hit_rate: float
+    #: Fraction of requests forwarded between nodes (Q; 0 for oblivious).
+    forward_fraction: float
+    #: Hit rate on replicated files (h; only meaningful for conscious).
+    replicated_hit_rate: float
+    #: Name of the saturating station.
+    bottleneck: str
+    #: The underlying queuing network (for utilizations/latency).
+    network: QueuingNetwork
+
+    def response_time(self, arrival_rate: float) -> float:
+        return self.network.response_time(arrival_rate)
+
+    def utilizations(self, arrival_rate: float) -> Dict[str, float]:
+        return self.network.utilizations(arrival_rate)
+
+
+def _build_network(
+    params: ModelParameters,
+    size_kb: float,
+    hit_rate: float,
+    forward_fraction: float,
+) -> QueuingNetwork:
+    """Station demands for one request (Figure 2's queues).
+
+    Per-node stations are entered with ``servers = N``; the symmetric
+    steady state spreads request work evenly, so per-request demand at
+    *one* node instance is the cluster-average value.
+    """
+    n = params.nodes
+    q = forward_fraction
+    stations = [
+        # Router: moves the inbound request and the outbound reply.
+        StationDemand(
+            "router", params.route_time(size_kb + params.request_kb), servers=1
+        ),
+        # NI in: the client request, plus any forwarded request arriving.
+        StationDemand(
+            "ni_in", (1.0 + q) * params.ni_request_time(), servers=n
+        ),
+        # CPU: parse once, forward a fraction Q, reply once.
+        StationDemand(
+            "cpu",
+            params.parse_time() + q * params.forward_time() + params.reply_time(size_kb),
+            servers=n,
+        ),
+        # Disk: only on misses.
+        StationDemand(
+            "disk", (1.0 - hit_rate) * params.disk_time(size_kb), servers=n
+        ),
+        # NI out: the reply, plus any forwarded request leaving.
+        StationDemand(
+            "ni_out",
+            params.ni_reply_time(size_kb)
+            + q * params.ni_message_time(params.request_kb),
+            servers=n,
+        ),
+    ]
+    return QueuingNetwork(stations)
+
+
+def _result(
+    kind: str,
+    params: ModelParameters,
+    size_kb: float,
+    hit_rate: float,
+    forward_fraction: float,
+    replicated_hit_rate: float,
+) -> ServerModelResult:
+    net = _build_network(params, size_kb, hit_rate, forward_fraction)
+    return ServerModelResult(
+        kind=kind,
+        throughput=net.saturation_throughput(),
+        hit_rate=hit_rate,
+        forward_fraction=forward_fraction,
+        replicated_hit_rate=replicated_hit_rate,
+        bottleneck=net.bottleneck().name,
+        network=net,
+    )
+
+
+def conscious_hit_rates(
+    params: ModelParameters,
+    size_kb: float,
+    oblivious_hit_rate: float,
+) -> tuple[float, float, float]:
+    """(Hlc, h, Q) implied by a locality-oblivious hit rate (Table 1).
+
+    ``f`` is fitted so that ``Hlo = z(Clo/S, f)``; then
+    ``Hlc = z(min(Clc/S, f), f)``, ``h = z(min(R*C/S, f), f)`` and
+    ``Q = (N-1) * (1-h) / N``.
+    """
+    if size_kb <= 0:
+        raise ValueError(f"size_kb must be positive, got {size_kb}")
+    if not 0.0 <= oblivious_hit_rate <= 1.0:
+        raise ValueError(f"hit rate must be in [0, 1], got {oblivious_hit_rate}")
+    alpha = params.alpha
+    n_lo = params.oblivious_cache_kb() / size_kb
+    n_lc = params.conscious_cache_kb() / size_kb
+    n_rep = params.replicated_cache_kb() / size_kb
+
+    if oblivious_hit_rate == 0.0:
+        f = inf
+    else:
+        f = fit_population(oblivious_hit_rate, n_lo, alpha)
+
+    if not isfinite(f):
+        # Working set effectively unbounded: no finite cache holds mass.
+        h_lc = 0.0 if alpha <= 1.0 else zipf_mass(n_lc, inf, alpha)
+        h_rep = 0.0 if alpha <= 1.0 else zipf_mass(n_rep, inf, alpha)
+    else:
+        h_lc = zipf_mass(min(n_lc, f), f, alpha)
+        h_rep = zipf_mass(min(n_rep, f), f, alpha) if n_rep > 0 else 0.0
+
+    q = (params.nodes - 1) * (1.0 - h_rep) / params.nodes
+    return h_lc, h_rep, q
+
+
+def oblivious_result(
+    params: ModelParameters,
+    size_kb: float,
+    hit_rate: float,
+) -> ServerModelResult:
+    """Model bound for the locality-oblivious (traditional) server."""
+    if size_kb <= 0:
+        raise ValueError(f"size_kb must be positive, got {size_kb}")
+    if not 0.0 <= hit_rate <= 1.0:
+        raise ValueError(f"hit rate must be in [0, 1], got {hit_rate}")
+    return _result("oblivious", params, size_kb, hit_rate, 0.0, 0.0)
+
+
+def conscious_result(
+    params: ModelParameters,
+    size_kb: float,
+    oblivious_hit_rate: float,
+) -> ServerModelResult:
+    """Model bound for the locality-conscious server.
+
+    Parameterized by the hit rate the *oblivious* server would see on the
+    same workload (the x-axis of figures 3–6).
+    """
+    h_lc, h_rep, q = conscious_hit_rates(params, size_kb, oblivious_hit_rate)
+    return _result("conscious", params, size_kb, h_lc, q, h_rep)
+
+
+def bound_for_population(
+    kind: ServerKind,
+    params: ModelParameters,
+    size_kb: float,
+    num_files: float,
+) -> ServerModelResult:
+    """Model bound from an explicit file population (figures 7–10).
+
+    Hit rates come directly from ``z(n, F)`` with the given population —
+    no fitting step — using the trace's alpha from ``params``.
+    """
+    if size_kb <= 0:
+        raise ValueError(f"size_kb must be positive, got {size_kb}")
+    if num_files <= 0:
+        raise ValueError(f"num_files must be positive, got {num_files}")
+    alpha = params.alpha
+    if kind == "oblivious":
+        n_lo = params.oblivious_cache_kb() / size_kb
+        h = zipf_mass(n_lo, num_files, alpha)
+        return _result("oblivious", params, size_kb, h, 0.0, 0.0)
+    if kind == "conscious":
+        n_lc = params.conscious_cache_kb() / size_kb
+        n_rep = params.replicated_cache_kb() / size_kb
+        h_lc = zipf_mass(n_lc, num_files, alpha)
+        h_rep = zipf_mass(n_rep, num_files, alpha) if n_rep > 0 else 0.0
+        q = (params.nodes - 1) * (1.0 - h_rep) / params.nodes
+        return _result("conscious", params, size_kb, h_lc, q, h_rep)
+    raise ValueError(f"unknown server kind {kind!r}")
+
+
+def throughput_increase(
+    params: ModelParameters,
+    size_kb: float,
+    oblivious_hit_rate: float,
+) -> float:
+    """Conscious-over-oblivious throughput ratio (figures 5 and 6)."""
+    lo = oblivious_result(params, size_kb, oblivious_hit_rate).throughput
+    lc = conscious_result(params, size_kb, oblivious_hit_rate).throughput
+    return lc / lo

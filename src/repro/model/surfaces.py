@@ -1,0 +1,128 @@
+"""Parameter-space sweeps producing the model figures (3, 4, 5, 6).
+
+The paper plots throughput over a (hit rate, average file size) grid for
+both server designs, plus their ratio and its side view.  This module
+produces those grids as numpy arrays (hit rate along axis 0, size along
+axis 1), ready for rendering or assertion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from .parameters import ModelParameters
+from .servers import conscious_result, oblivious_result
+
+__all__ = [
+    "SurfaceGrid",
+    "ModelSurfaces",
+    "compute_surfaces",
+    "peak_increase",
+    "side_view",
+]
+
+#: Figures 3-6 sweep sizes 0-128 KB; the smallest physical grid point is
+#: 4 KB (a zero-byte file is meaningless and the table's rates diverge).
+DEFAULT_SIZES_KB = tuple(float(s) for s in range(4, 132, 4))
+#: Hit rates 0..1 (axis labeled "Hit Rate (trad)").
+DEFAULT_HIT_RATES = tuple(float(h) for h in np.linspace(0.0, 1.0, 21))
+
+
+@dataclass(frozen=True)
+class SurfaceGrid:
+    """The sweep axes: hit rates (rows) x file sizes KB (columns)."""
+
+    hit_rates: Tuple[float, ...] = DEFAULT_HIT_RATES
+    sizes_kb: Tuple[float, ...] = DEFAULT_SIZES_KB
+
+    def __post_init__(self) -> None:
+        if not self.hit_rates or not self.sizes_kb:
+            raise ValueError("grid axes must be non-empty")
+        if any(not 0.0 <= h <= 1.0 for h in self.hit_rates):
+            raise ValueError("hit rates must lie in [0, 1]")
+        if any(s <= 0 for s in self.sizes_kb):
+            raise ValueError("sizes must be positive")
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (len(self.hit_rates), len(self.sizes_kb))
+
+
+@dataclass(frozen=True)
+class ModelSurfaces:
+    """All four model figures computed over one grid."""
+
+    grid: SurfaceGrid
+    params: ModelParameters
+    #: Figure 3: locality-oblivious throughput (req/s).
+    oblivious: np.ndarray
+    #: Figure 4: locality-conscious throughput (req/s).
+    conscious: np.ndarray
+
+    @property
+    def increase(self) -> np.ndarray:
+        """Figure 5: conscious / oblivious throughput ratio."""
+        return self.conscious / self.oblivious
+
+    def peak_increase(self) -> float:
+        """Largest ratio anywhere on the grid (the paper's 'up to 7x')."""
+        return float(self.increase.max())
+
+    def peak_location(self) -> Tuple[float, float]:
+        """(hit_rate, size_kb) of the peak ratio."""
+        idx = np.unravel_index(int(self.increase.argmax()), self.increase.shape)
+        return (self.grid.hit_rates[idx[0]], self.grid.sizes_kb[idx[1]])
+
+    def to_csv(self) -> str:
+        """Long-format CSV: one row per grid cell, ready for any plotter.
+
+        Columns: hit_rate, size_kb, oblivious_rps, conscious_rps, increase.
+        """
+        lines = ["hit_rate,size_kb,oblivious_rps,conscious_rps,increase"]
+        inc = self.increase
+        for i, h in enumerate(self.grid.hit_rates):
+            for j, s in enumerate(self.grid.sizes_kb):
+                lines.append(
+                    f"{h:.6g},{s:.6g},{self.oblivious[i, j]:.6g},"
+                    f"{self.conscious[i, j]:.6g},{inc[i, j]:.6g}"
+                )
+        return "\n".join(lines) + "\n"
+
+
+def compute_surfaces(
+    params: ModelParameters | None = None,
+    grid: SurfaceGrid | None = None,
+) -> ModelSurfaces:
+    """Solve the model over the whole grid for both server designs."""
+    params = params if params is not None else ModelParameters()
+    grid = grid if grid is not None else SurfaceGrid()
+    nh, ns = grid.shape
+    oblivious = np.empty((nh, ns))
+    conscious = np.empty((nh, ns))
+    for i, h in enumerate(grid.hit_rates):
+        for j, s in enumerate(grid.sizes_kb):
+            oblivious[i, j] = oblivious_result(params, s, h).throughput
+            conscious[i, j] = conscious_result(params, s, h).throughput
+    return ModelSurfaces(grid=grid, params=params, oblivious=oblivious, conscious=conscious)
+
+
+def peak_increase(
+    params: ModelParameters | None = None,
+    grid: SurfaceGrid | None = None,
+) -> float:
+    """Shortcut: the maximum throughput-increase factor over the grid."""
+    return compute_surfaces(params, grid).peak_increase()
+
+
+def side_view(surfaces: ModelSurfaces) -> np.ndarray:
+    """Figure 6: the increase surface viewed along the size axis.
+
+    Returns an (n_hit_rates, 2) array of the (min, max) envelope of the
+    ratio across all file sizes for each hit rate — what the eye sees when
+    figure 5 is rotated to profile.
+    """
+    inc = surfaces.increase
+    return np.stack([inc.min(axis=1), inc.max(axis=1)], axis=1)

@@ -1,0 +1,139 @@
+"""Zipf accumulation math for the analytic model.
+
+The model (Section 3.1) expresses every cache hit rate through
+``z(n, F)`` — the accumulated probability of the ``n`` most popular of
+``F`` files under a Zipf-like distribution with exponent ``alpha``:
+
+    z(n, F) = H_n(alpha) / H_F(alpha),   H_n(alpha) = sum_{i=1..n} i^-alpha
+
+Two requirements push this beyond :func:`repro.workload.zipf.harmonic`:
+
+* the paper's ``Hlo -> f`` inversion ("f is such that Hlo = z(Clo/S, f)")
+  produces *fitted* populations up to ~1e16 files, far past anything an
+  exact vectorized sum can reach, and
+* cache capacities ``C/S`` are generally fractional numbers of files.
+
+We therefore evaluate a *continuous* generalized harmonic: exact cached
+partial sums up to an anchor, an Euler–Maclaurin continuation beyond it,
+and linear interpolation for fractional arguments below the anchor.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from math import inf, isfinite, log
+
+import numpy as np
+
+__all__ = ["harmonic_continuous", "zipf_mass", "fit_population"]
+
+#: Largest argument for which partial harmonic sums are computed exactly.
+_EXACT_LIMIT = 1 << 20
+
+#: Upper bound for the fitted population f; beyond this, hit rates are
+#: numerically indistinguishable from their asymptote.
+MAX_POPULATION = 1e18
+
+
+@lru_cache(maxsize=32)
+def _exact_cumsum(alpha: float) -> np.ndarray:
+    """Cached cumulative sums ``H_1..H_EXACT_LIMIT`` for one alpha."""
+    i = np.arange(1, _EXACT_LIMIT + 1, dtype=np.float64)
+    return np.cumsum(i**-alpha)
+
+
+def harmonic_continuous(x: float, alpha: float) -> float:
+    """Generalized harmonic number ``H_x(alpha)`` extended to real x ≥ 0.
+
+    Exact (cached) partial sums for ``x`` below 2**20 with linear
+    interpolation between integers; Euler–Maclaurin continuation above:
+
+        H_x ≈ H_a + ∫_a^x t^-alpha dt + (x^-alpha - a^-alpha) / 2
+
+    The continuation's relative error at the 2**20 anchor is far below
+    1e-9 for every alpha of interest (0 ≤ alpha ≤ 2.5).
+    """
+    if alpha < 0:
+        raise ValueError(f"alpha must be non-negative, got {alpha}")
+    if x < 0:
+        raise ValueError(f"x must be non-negative, got {x}")
+    if x == 0:
+        return 0.0
+    if x < 1.0:
+        # Fraction of the first (largest) term.
+        return x * 1.0
+    cs = _exact_cumsum(alpha)
+    if x <= _EXACT_LIMIT:
+        lo = int(x)
+        base = cs[lo - 1]
+        frac = x - lo
+        if frac == 0.0 or lo >= _EXACT_LIMIT:
+            return float(base)
+        return float(base + frac * (lo + 1) ** -alpha)
+    a = float(_EXACT_LIMIT)
+    base = float(cs[-1])
+    if abs(alpha - 1.0) < 1e-12:
+        integral = log(x / a)
+    else:
+        integral = (x ** (1.0 - alpha) - a ** (1.0 - alpha)) / (1.0 - alpha)
+    correction = 0.5 * (x**-alpha - a**-alpha)
+    return base + integral + correction
+
+
+def zipf_mass(n: float, population: float, alpha: float) -> float:
+    """Continuous ``z(n, F)``: top-``n`` probability mass of ``F`` files.
+
+    ``n`` is clamped to ``population``; both may be fractional.  An
+    infinite ``population`` with ``alpha <= 1`` gives mass 0 for any
+    finite ``n`` (the harmonic series diverges).
+    """
+    if population <= 0:
+        raise ValueError(f"population must be positive, got {population}")
+    if n <= 0:
+        return 0.0
+    n = min(float(n), float(population))
+    if not isfinite(population):
+        if alpha <= 1.0:
+            return 0.0
+        # For alpha > 1 the tail converges; approximate F -> inf with the
+        # numeric ceiling (error < 1e-12 at that scale).
+        population = MAX_POPULATION
+    return harmonic_continuous(n, alpha) / harmonic_continuous(population, alpha)
+
+
+def fit_population(hit_rate: float, cached_files: float, alpha: float) -> float:
+    """Invert ``z``: find ``f`` with ``z(cached_files, f) = hit_rate``.
+
+    This is the paper's device for parameterizing the model by the
+    locality-oblivious hit rate: given that a single node's cache holds
+    ``cached_files = Clo / S`` files and observes ``hit_rate``, the fitted
+    population ``f`` describes the implied working set.
+
+    Returns ``inf`` when the requested hit rate is at or below the
+    infinite-population asymptote (only possible for ``alpha > 1``; for
+    ``alpha <= 1`` every positive hit rate is reachable).  ``hit_rate = 1``
+    returns ``cached_files`` (everything popular fits in one cache).
+    """
+    if not 0.0 < hit_rate <= 1.0:
+        raise ValueError(f"hit_rate must be in (0, 1], got {hit_rate}")
+    if cached_files <= 0:
+        raise ValueError(f"cached_files must be positive, got {cached_files}")
+    if hit_rate == 1.0:
+        return float(cached_files)
+
+    target_h_f = harmonic_continuous(cached_files, alpha) / hit_rate
+
+    # z(n, f) is strictly decreasing in f; bisect on log(f).
+    lo, hi = float(cached_files), MAX_POPULATION
+    if harmonic_continuous(hi, alpha) < target_h_f:
+        return inf
+    llo, lhi = log(lo), log(hi)
+    for _ in range(200):
+        lmid = 0.5 * (llo + lhi)
+        if harmonic_continuous(np.exp(lmid), alpha) < target_h_f:
+            llo = lmid
+        else:
+            lhi = lmid
+        if lhi - llo < 1e-13:
+            break
+    return float(np.exp(0.5 * (llo + lhi)))

@@ -1,0 +1,60 @@
+"""``repro.servers`` — request-distribution policies.
+
+The paper's three systems, the §6 follow-up, and three extension
+baselines:
+
+* :class:`TraditionalPolicy` — fewest-connections, locality-oblivious;
+* :class:`LARDPolicy` — Pai et al.'s front-end LARD/R;
+* :class:`L2SPolicy` — the paper's fully distributed locality +
+  load-balancing server (the contribution);
+* :class:`DispatcherLARDPolicy` — the dispatcher-based "scalable LARD"
+  the paper's related-work section analyzes;
+* :class:`RoundRobinPolicy` — DNS round-robin floor baseline (extension);
+* :class:`ConsistentHashPolicy` — hash-partitioning locality without load
+  awareness (extension);
+* :class:`CachedDNSPolicy` — DNS round-robin as resolver caching actually
+  delivers it, reproducing §2's load-imbalance claim (extension).
+"""
+
+from .base import Decision, DistributionPolicy
+from .chash import ConsistentHashPolicy
+from .l2s import L2SPolicy
+from .dnscache import CachedDNSPolicy
+from .lard import LARDPolicy
+from .lard_ng import DispatcherLARDPolicy
+from .roundrobin import RoundRobinPolicy
+from .traditional import TraditionalPolicy
+
+__all__ = [
+    "Decision",
+    "DistributionPolicy",
+    "TraditionalPolicy",
+    "RoundRobinPolicy",
+    "LARDPolicy",
+    "DispatcherLARDPolicy",
+    "L2SPolicy",
+    "ConsistentHashPolicy",
+    "CachedDNSPolicy",
+]
+
+#: Registry used by the CLI and benchmark harness.
+POLICIES = {
+    "traditional": TraditionalPolicy,
+    "round-robin": RoundRobinPolicy,
+    "lard": LARDPolicy,
+    "lard-ng": DispatcherLARDPolicy,
+    "l2s": L2SPolicy,
+    "consistent-hash": ConsistentHashPolicy,
+    "dns-cached": CachedDNSPolicy,
+}
+
+
+def make_policy(name: str, **kwargs) -> DistributionPolicy:
+    """Instantiate a policy by registry name."""
+    try:
+        cls = POLICIES[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown policy {name!r}; available: {sorted(POLICIES)}"
+        ) from None
+    return cls(**kwargs)

@@ -1,0 +1,168 @@
+"""Request-distribution policy interface.
+
+A policy answers two questions the simulator asks for every request:
+
+1. :meth:`DistributionPolicy.initial_node` — which node does the client's
+   connection land on?  (Round-robin DNS for L2S, an idealized
+   fewest-connections switch for the traditional server, always the
+   front-end for LARD.)
+2. :meth:`DistributionPolicy.decide` — which node services the request?
+   If it differs from the initial node, the request is handed off and the
+   simulator charges the forwarding CPU work plus the message costs.
+
+Policies also get hooks for connection-count changes (L2S piggybacks its
+load broadcasts there) and request completions (LARD back-ends batch
+completion notices to the front-end there).  Policies emit their control
+traffic themselves through ``cluster.net`` so every message they need is
+charged to the simulated hardware.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..cluster import Cluster
+
+__all__ = [
+    "Decision",
+    "DistributionPolicy",
+    "ShuffledRoundRobin",
+    "ServiceUnavailable",
+]
+
+
+class ServiceUnavailable(Exception):
+    """The policy cannot service requests at all (e.g. LARD's front-end
+    died).  The simulation driver counts such requests as failed."""
+
+
+class ShuffledRoundRobin:
+    """Balanced but aperiodic arrival sequence (round-robin DNS model).
+
+    Plain ``index % N`` assignment is perfectly periodic: when a trace is
+    replayed, every node receives *exactly* the same request subsequence
+    each pass, which lets per-node caches memorize their slice — an
+    artifact real DNS round-robin does not have (client- and resolver-side
+    translation caching randomizes which node a given request reaches).
+    This helper deals each consecutive block of N requests to the N nodes
+    in a seeded, per-block-shuffled order: still exactly balanced, never
+    periodic.
+    """
+
+    def __init__(self, nodes: int, seed: int = 0x5EED):
+        if nodes < 1:
+            raise ValueError("nodes must be >= 1")
+        self.nodes = nodes
+        self.seed = seed
+        self._block = -1
+        self._perm: list = []
+
+    def node_for(self, index: int) -> int:
+        if self.nodes == 1:
+            return 0
+        block, pos = divmod(index, self.nodes)
+        if block != self._block:
+            rng = random.Random((self.seed << 24) ^ block)
+            self._perm = list(range(self.nodes))
+            rng.shuffle(self._perm)
+            self._block = block
+        return self._perm[pos]
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Outcome of a distribution decision for one request."""
+
+    #: Node that will service the request.
+    target: int
+    #: True when the request is handed off away from the initial node.
+    forwarded: bool
+    #: True when the decision replicated the file onto a new server
+    #: (metrics for the replication ablation).
+    replicated: bool = False
+
+
+class DistributionPolicy(ABC):
+    """Base class for request-distribution policies."""
+
+    #: Human-readable policy name (used in reports and benchmarks).
+    name: str = "base"
+
+    def __init__(self) -> None:
+        self.cluster: Optional[Cluster] = None
+        #: Nodes known dead; populated by :meth:`on_node_failed`.
+        self.failed_nodes: set = set()
+
+    # -- lifecycle wiring ----------------------------------------------------
+
+    def bind(self, cluster: Cluster) -> None:
+        """Attach to a cluster.  Called once by the simulation driver."""
+        self.cluster = cluster
+        self._setup()
+
+    def _setup(self) -> None:
+        """Policy-specific state initialization after binding."""
+
+    def _require_cluster(self) -> Cluster:
+        if self.cluster is None:
+            raise RuntimeError(f"policy {self.name!r} is not bound to a cluster")
+        return self.cluster
+
+    # -- required decisions ----------------------------------------------------
+
+    @abstractmethod
+    def initial_node(self, index: int, file_id: int) -> int:
+        """Node on which the ``index``-th client connection arrives."""
+
+    @abstractmethod
+    def decide(self, initial: int, file_id: int) -> Decision:
+        """Pick the service node for a request parsed at ``initial``."""
+
+    # -- optional hooks ---------------------------------------------------------
+
+    def on_connection_change(self, node_id: int) -> None:
+        """Called after a node's open-connection count changes."""
+
+    def on_complete(self, node_id: int, file_id: int) -> None:
+        """Called after a request finishes at its service node."""
+
+    def on_connection_end(self, node_id: int) -> None:
+        """Called when a client connection closes at ``node_id``.
+
+        Under HTTP/1.0 this fires once per request (connection ==
+        request); under persistent connections once per connection.
+        Policies whose dispatcher counts *connections* (the traditional
+        fewest-connections switch) hook their decrement here.
+        """
+
+    def on_node_failed(self, node_id: int) -> None:
+        """A node crashed: stop routing anything to it.
+
+        Subclasses extend this to repair their own structures (server
+        sets, load views, hash rings).  Availability semantics per
+        design: the distributed policies keep serving on the survivors;
+        LARD survives back-end deaths but not its front-end's.
+        """
+        self.failed_nodes.add(node_id)
+
+    def _next_alive(self, node_id: int) -> int:
+        """The given node, or the next alive one after it (wrap-around)."""
+        cluster = self._require_cluster()
+        n = cluster.num_nodes
+        if len(self.failed_nodes) >= n:
+            raise ServiceUnavailable("every node has failed")
+        for step in range(n):
+            candidate = (node_id + step) % n
+            if candidate not in self.failed_nodes:
+                return candidate
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def reset_stats(self) -> None:
+        """Discard warmup-phase statistics (policy state is kept)."""
+
+    def stats(self) -> Dict[str, Any]:
+        """Policy-specific statistics for reports."""
+        return {}

@@ -1,0 +1,82 @@
+"""Consistent-hashing request distribution (extension baseline).
+
+Not part of the paper, but the locality mechanism that later became
+standard in load balancers: each file maps to a node through a consistent
+hash ring, giving perfect cache partitioning with no load awareness and
+no coordination traffic.  Comparing it against L2S isolates the value of
+L2S's load-balancing half (server sets, thresholds, broadcasts).
+
+Connections still arrive round-robin (DNS), so a request lands on an
+arbitrary node and is handed off to the ring owner when different —
+the same forwarding path L2S uses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Any, Dict, List, Tuple
+
+from .base import Decision, DistributionPolicy, ShuffledRoundRobin
+
+__all__ = ["ConsistentHashPolicy"]
+
+
+def _hash64(key: str) -> int:
+    """Stable 64-bit hash (Python's builtin hash is salted per-process)."""
+    return int.from_bytes(hashlib.blake2b(key.encode(), digest_size=8).digest(), "big")
+
+
+class ConsistentHashPolicy(DistributionPolicy):
+    """Hash-ring file-to-node mapping with round-robin arrivals."""
+
+    name = "consistent-hash"
+
+    def __init__(self, virtual_nodes: int = 64):
+        super().__init__()
+        if virtual_nodes < 1:
+            raise ValueError("virtual_nodes must be >= 1")
+        self.virtual_nodes = virtual_nodes
+
+    def _setup(self) -> None:
+        n = self._require_cluster().num_nodes
+        self._rr = ShuffledRoundRobin(n)
+        self._build_ring()
+
+    def _build_ring(self) -> None:
+        n = self._require_cluster().num_nodes
+        points: List[Tuple[int, int]] = []
+        for node in range(n):
+            if node in self.failed_nodes:
+                continue
+            for replica in range(self.virtual_nodes):
+                points.append((_hash64(f"node:{node}:{replica}"), node))
+        points.sort()
+        self._ring_hashes = [h for h, _ in points]
+        self._ring_owners = [o for _, o in points]
+
+    def on_node_failed(self, node_id: int) -> None:
+        """Remove the node's ring points; its files remap to neighbours —
+        the classic consistent-hashing failover (only ~1/N moves)."""
+        super().on_node_failed(node_id)
+        self._build_ring()
+
+    def owner_of(self, file_id: int) -> int:
+        """The ring owner of a file."""
+        h = _hash64(f"file:{file_id}")
+        idx = bisect_right(self._ring_hashes, h) % len(self._ring_hashes)
+        return self._ring_owners[idx]
+
+    def initial_node(self, index: int, file_id: int) -> int:
+        return self._next_alive(self._rr.node_for(index))
+
+    def decide(self, initial: int, file_id: int) -> Decision:
+        target = self.owner_of(file_id)
+        return Decision(target=target, forwarded=target != initial)
+
+    def stats(self) -> Dict[str, Any]:
+        n = self._require_cluster().num_nodes
+        counts = [0] * n
+        for owner in self._ring_owners:
+            counts[owner] += 1
+        return {"virtual_nodes": self.virtual_nodes, "ring_points_per_node": counts}

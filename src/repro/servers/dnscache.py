@@ -1,0 +1,104 @@
+"""Round-robin DNS with translation caching (the §2 imbalance claim).
+
+Section 2: "Round-robin DNS is the simplest scheme ... The translation
+is then cached by intermediate name servers and possibly clients.  This
+caching of translations can cause significant load imbalance."  The
+ideal round-robin arrival used elsewhere hides that effect; this policy
+models it: requests come from a Zipf-skewed population of resolvers
+(big ISPs issue many more requests than small ones), and each resolver
+re-resolves the server's name only every ``ttl_requests`` of its own
+requests, pinning all its traffic to one node in between.
+
+Service is strictly local (a traditional-style server), so comparing
+this policy against :class:`~repro.servers.roundrobin.RoundRobinPolicy`
+isolates what translation caching alone costs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List
+
+from ..workload.zipf import ZipfDistribution
+from .base import Decision, DistributionPolicy
+
+__all__ = ["CachedDNSPolicy"]
+
+
+class CachedDNSPolicy(DistributionPolicy):
+    """DNS round-robin as clients actually experience it."""
+
+    name = "dns-cached"
+
+    def __init__(
+        self,
+        num_resolvers: int = 100,
+        resolver_alpha: float = 1.0,
+        ttl_requests: int = 200,
+        seed: int = 0xD15,
+    ):
+        super().__init__()
+        if num_resolvers < 1:
+            raise ValueError("num_resolvers must be >= 1")
+        if resolver_alpha < 0:
+            raise ValueError("resolver_alpha must be non-negative")
+        if ttl_requests < 1:
+            raise ValueError("ttl_requests must be >= 1")
+        #: Intermediate name servers / large clients issuing requests.
+        self.num_resolvers = num_resolvers
+        #: Skew of request volume across resolvers (1.0 ~ ISP-sized tail).
+        self.resolver_alpha = resolver_alpha
+        #: A resolver re-resolves after this many of its own requests
+        #: (a request-count proxy for the DNS TTL).
+        self.ttl_requests = ttl_requests
+        self.seed = seed
+        self.resolutions = 0
+
+    def _setup(self) -> None:
+        self._rng = random.Random(self.seed)
+        self._zipf = ZipfDistribution(self.num_resolvers, self.resolver_alpha)
+        self._cdf = self._zipf.cdf
+        #: resolver -> [cached_node, remaining_ttl]
+        self._cache: Dict[int, List[int]] = {}
+        self._rr_next = 0
+
+    def _draw_resolver(self) -> int:
+        import bisect
+
+        return bisect.bisect_right(self._cdf, self._rng.random())
+
+    def _resolve(self) -> int:
+        """The authoritative DNS answers round-robin over alive nodes."""
+        cluster = self._require_cluster()
+        n = cluster.num_nodes
+        for _ in range(n):
+            node = self._rr_next % n
+            self._rr_next += 1
+            if node not in self.failed_nodes:
+                self.resolutions += 1
+                return node
+        from .base import ServiceUnavailable
+
+        raise ServiceUnavailable("every node has failed")
+
+    def initial_node(self, index: int, file_id: int) -> int:
+        resolver = min(self._draw_resolver(), self.num_resolvers - 1)
+        entry = self._cache.get(resolver)
+        if (
+            entry is None
+            or entry[1] <= 0
+            or entry[0] in self.failed_nodes
+        ):
+            entry = [self._resolve(), self.ttl_requests]
+            self._cache[resolver] = entry
+        entry[1] -= 1
+        return entry[0]
+
+    def decide(self, initial: int, file_id: int) -> Decision:
+        return Decision(target=initial, forwarded=False)
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "resolutions": self.resolutions,
+            "resolvers_seen": len(self._cache),
+        }

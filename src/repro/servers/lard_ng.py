@@ -1,0 +1,101 @@
+"""Dispatcher-based "scalable LARD" (Aron et al. 2000; paper §6).
+
+The LARD authors' follow-up design, which this paper's related-work
+section analyzes: client connections are accepted by *all* serving
+nodes (a load-balancing switch or round-robin DNS), the accepting node
+queries a dedicated **dispatcher** that runs the LARD/R algorithm, and
+then hands the connection off to whichever node the dispatcher chose —
+possibly itself, saving the hand-off.
+
+Relative to front-end LARD this moves the per-request cost from
+"parse + hand-off at one node" to "a query/reply message pair + a small
+decision", so the saturation point is much higher; but, as the paper
+argues, (a) the dispatcher is still a single point of failure, (b) its
+cache space is still wasted, and (c) every request pays a two-way
+communication.  L2S has none of these.  This policy exists to check
+that analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from .base import Decision, ServiceUnavailable, ShuffledRoundRobin
+from .lard import LARDPolicy
+
+__all__ = ["DispatcherLARDPolicy"]
+
+
+class DispatcherLARDPolicy(LARDPolicy):
+    """LARD/R run at a dedicated dispatcher, queried per request."""
+
+    name = "lard-ng"
+    #: The simulator must obtain decisions through
+    #: :meth:`decide_process`, which charges the query round-trip.
+    async_decide = True
+
+    def __init__(self, decision_cpu_s: float = 20e-6, **kwargs):
+        super().__init__(**kwargs)
+        if decision_cpu_s < 0:
+            raise ValueError("decision_cpu_s must be non-negative")
+        #: Dispatcher CPU time per distribution decision (a table lookup
+        #: plus bookkeeping; Aron et al. measured tens of microseconds).
+        self.decision_cpu_s = decision_cpu_s
+        self.queries = 0
+
+    @property
+    def dispatcher(self) -> int:
+        return 0
+
+    def _setup(self) -> None:
+        super()._setup()
+        self._rr = ShuffledRoundRobin(max(1, self._require_cluster().num_nodes - 1))
+
+    def initial_node(self, index: int, file_id: int) -> int:
+        """Connections land directly on serving nodes (1..N-1)."""
+        if self._single_node:
+            return 0
+        # Round-robin over the serving nodes, skipping the dispatcher.
+        node = 1 + self._rr.node_for(index)
+        return self._next_alive_serving(node)
+
+    def _next_alive_serving(self, node: int) -> int:
+        cluster = self._require_cluster()
+        n = cluster.num_nodes
+        for step in range(n - 1):
+            candidate = 1 + (node - 1 + step) % (n - 1)
+            if candidate not in self.failed_nodes:
+                return candidate
+        raise ServiceUnavailable("every serving node has failed")
+
+    def decide_process(self, initial: int, file_id: int) -> Generator:
+        """Query round-trip to the dispatcher, then the LARD/R decision.
+
+        Charged: control message initial -> dispatcher, decision CPU at
+        the dispatcher, control message back.  Returns the
+        :class:`Decision` (``forwarded`` only when the dispatcher picked
+        a different node than the accepting one).
+        """
+        cluster = self._require_cluster()
+        if self._single_node:
+            return Decision(target=0, forwarded=False)
+        if self.dispatcher in self.failed_nodes:
+            raise ServiceUnavailable("the dispatcher has failed")
+        self.queries += 1
+        yield from cluster.net.send_control(initial, self.dispatcher, kind="lardng_query")
+        if self.decision_cpu_s > 0:
+            yield from cluster.node(self.dispatcher).use_cpu(self.decision_cpu_s)
+        decision = super().decide(initial, file_id)
+        yield from cluster.net.send_control(self.dispatcher, initial, kind="lardng_reply")
+        return decision
+
+    def decide(self, initial: int, file_id: int) -> Decision:
+        raise RuntimeError(
+            "lard-ng decisions require the messaging round-trip; drive it "
+            "through decide_process (async_decide=True)"
+        )
+
+    def stats(self):
+        s = super().stats()
+        s["queries"] = self.queries
+        return s

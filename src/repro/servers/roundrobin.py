@@ -1,0 +1,30 @@
+"""Round-robin locality-oblivious server (DNS-style baseline).
+
+The simplest external distribution scheme the paper discusses: round-
+robin DNS hands connections to nodes cyclically with no load or locality
+information.  Useful as a floor baseline and as the arrival mechanism
+other policies (L2S) reuse.
+"""
+
+from __future__ import annotations
+
+from .base import Decision, DistributionPolicy, ShuffledRoundRobin
+
+__all__ = ["RoundRobinPolicy"]
+
+
+class RoundRobinPolicy(DistributionPolicy):
+    """Cyclic (block-shuffled) assignment, strictly local service."""
+
+    name = "round-robin"
+
+    def _setup(self) -> None:
+        self._rr = ShuffledRoundRobin(self._require_cluster().num_nodes)
+
+    def initial_node(self, index: int, file_id: int) -> int:
+        # Failover LB semantics: a dead node's turn passes to the next
+        # alive node.
+        return self._next_alive(self._rr.node_for(index))
+
+    def decide(self, initial: int, file_id: int) -> Decision:
+        return Decision(target=initial, forwarded=False)

@@ -1,0 +1,52 @@
+"""The traditional, locality-oblivious server.
+
+Requests are assigned to the node with the fewest open connections (all
+nodes equally powerful) by an idealized dispatcher — e.g. a L4 switch —
+and every node services its own requests independently.  The memories
+behave as N independent caches of the same hot content, which is exactly
+the pathology the paper sets out to quantify.
+
+The dispatcher's view counts a connection from *assignment* (not from the
+moment the node starts parsing), mirroring a real connection-counting
+switch and avoiding herding at simulation start.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from .base import Decision, DistributionPolicy
+
+__all__ = ["TraditionalPolicy"]
+
+
+class TraditionalPolicy(DistributionPolicy):
+    """Fewest-connections dispatch, strictly local service."""
+
+    name = "traditional"
+
+    def _setup(self) -> None:
+        n = self._require_cluster().num_nodes
+        #: Connections as seen by the dispatcher: assigned minus completed.
+        self._assigned: List[int] = [0] * n
+
+    def initial_node(self, index: int, file_id: int) -> int:
+        from .base import ServiceUnavailable
+
+        self._require_cluster()
+        view = self._assigned
+        alive = [i for i in range(len(view)) if i not in self.failed_nodes]
+        if not alive:
+            raise ServiceUnavailable("every node has failed")
+        node = min(alive, key=lambda i: (view[i], i))
+        view[node] += 1
+        return node
+
+    def decide(self, initial: int, file_id: int) -> Decision:
+        return Decision(target=initial, forwarded=False)
+
+    def on_connection_end(self, node_id: int) -> None:
+        self._assigned[node_id] -= 1
+
+    def stats(self) -> Dict[str, Any]:
+        return {"dispatcher_view": list(self._assigned)}

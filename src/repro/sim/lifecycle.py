@@ -1,0 +1,123 @@
+"""The life of one client request through the simulated cluster.
+
+Mirrors Figure 2's path and Section 5.1's methodology:
+
+1. the request enters through the **router** and the initial node's
+   **NI-in** (request-sized transfers);
+2. the initial node's **CPU parses** it (1/mu_p);
+3. the policy picks the service node; a hand-off costs forwarding CPU
+   work (1/mu_f) plus a request-sized M-VIA message (CPU and NI charges
+   on both sides, switch latency in between);
+4. the service node opens the connection (its load metric), brings the
+   file into memory — free on a cache hit, a DFS/disk read on a miss —
+   and spends reply CPU time (1/mu_m);
+5. the reply leaves through the service node's **NI-out** (1/mu_o) and
+   the **router**, directly to the client (TCP hand-off: no detour
+   through the initial node).
+
+Connection accounting and the policy hooks around it drive L2S's load
+broadcasts and LARD's completion notices.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from ..cluster import Cluster
+from ..servers import DistributionPolicy
+from ..servers.base import ServiceUnavailable
+
+__all__ = ["client_request", "NodeFailedError"]
+
+
+class NodeFailedError(Exception):
+    """A node involved in the request crashed mid-flight."""
+
+    def __init__(self, node_id: int):
+        super().__init__(f"node {node_id} failed")
+        self.node_id = node_id
+
+
+def client_request(
+    cluster: Cluster,
+    policy: DistributionPolicy,
+    index: int,
+    file_id: int,
+    size_bytes: int,
+    on_done: Optional[Callable[[int, float, bool, bool], None]] = None,
+    on_failed: Optional[Callable[[int], None]] = None,
+) -> Generator:
+    """Process generator for one client request.
+
+    ``on_done(index, start_time, forwarded, was_miss)`` is invoked after
+    the reply has fully left the cluster.  If a node involved crashes
+    mid-flight (failure-injection runs), the request aborts and
+    ``on_failed(index)`` fires instead; without an ``on_failed`` handler
+    the abort propagates as :class:`NodeFailedError`.
+    """
+    env = cluster.env
+    hw = cluster.config.hardware
+    size_kb = size_bytes / 1024.0
+    start = env.now
+
+    try:
+        try:
+            initial = policy.initial_node(index, file_id)
+        except ServiceUnavailable:
+            raise NodeFailedError(-1) from None
+        initial_node = cluster.node(initial)
+
+        # Inbound: router moves the request into the cluster, the initial
+        # node's NI receives it, the CPU reads and parses it.
+        yield from cluster.net.route(hw.request_kb)
+        if initial_node.failed:
+            raise NodeFailedError(initial)
+        yield from initial_node.use_ni_in(hw.ni_message_time(hw.request_kb))
+        yield from initial_node.parse_request()
+
+        try:
+            if getattr(policy, "async_decide", False):
+                # Dispatcher-style policies decide through the messaging
+                # layer (e.g. lard-ng's query round-trip).
+                decision = yield from policy.decide_process(initial, file_id)
+            else:
+                decision = policy.decide(initial, file_id)
+        except ServiceUnavailable:
+            raise NodeFailedError(initial) from None
+        target = decision.target
+        if decision.forwarded:
+            initial_node.forwarded += 1
+            yield from initial_node.forward_work()
+            yield from cluster.net.send_message(
+                initial, target, hw.request_kb, kind="handoff"
+            )
+
+        service_node = cluster.node(target)
+        if service_node.failed:
+            raise NodeFailedError(target)
+        service_node.connection_opened()
+        policy.on_connection_change(target)
+
+        misses_before = service_node.cache.misses
+        try:
+            # Memory or disk, then the reply work and the outbound path.
+            yield from cluster.fetch_file(target, file_id, size_bytes)
+            if service_node.failed:
+                raise NodeFailedError(target)
+            yield from service_node.reply_work(size_kb)
+            yield from service_node.use_ni_out(hw.ni_reply_time(size_kb))
+            yield from cluster.net.route(size_kb)
+        finally:
+            service_node.connection_closed()
+            policy.on_connection_change(target)
+            policy.on_complete(target, file_id)
+            policy.on_connection_end(target)
+    except NodeFailedError:
+        if on_failed is None:
+            raise
+        on_failed(index)
+        return
+
+    if on_done is not None:
+        was_miss = service_node.cache.misses > misses_before
+        on_done(index, start, decision.forwarded, was_miss)

@@ -1,0 +1,272 @@
+"""Persistent-connection (HTTP/1.1) simulation.
+
+Extends the paper's HTTP/1.0 evaluation to keep-alive connections, the
+regime its Section 4 defers to Aron et al.:
+
+* **L2S / traditional / round-robin / consistent hashing** — the
+  connection lives on one node at a time; each request is decided at the
+  node currently holding it, and a differing target *migrates* the
+  connection (one hand-off message + forwarding CPU work).  Mean
+  connection length 1 reduces exactly to the HTTP/1.0 lifecycle.
+* **LARD** — the front-end decides where a connection lives when it
+  arrives (by its first request) and hands it off once; subsequent
+  requests still enter through the front-end, which relays them to the
+  owning back-end at L4 (NI + message cost, no distribution decision).
+  The back-end serves every relayed request locally, so locality decays
+  with connection length — the effect that motivated Aron et al.'s
+  PHTTP work.
+
+The load metric stays "open connections", so L2S's T/t thresholds and
+LARD's view keep their meaning; the closed-loop multiprogramming level
+now counts *connections* in flight.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..cluster import Cluster, ClusterConfig
+from ..des import Environment, Tally
+from ..servers import DistributionPolicy
+from ..workload import Trace
+from ..workload.sessions import SessionTrace, sessionize
+from .results import SimResult
+
+__all__ = ["PersistentSimulation", "run_persistent_simulation"]
+
+
+class PersistentSimulation:
+    """Closed-loop saturation run over persistent connections."""
+
+    def __init__(
+        self,
+        sessions: SessionTrace,
+        policy: DistributionPolicy,
+        config: ClusterConfig,
+        passes: int = 2,
+    ):
+        if passes < 1:
+            raise ValueError(f"passes must be >= 1, got {passes}")
+        self.sessions = sessions
+        self.trace = sessions.trace
+        self.policy = policy
+        self.config = config
+        self.passes = passes
+
+        self.env = Environment()
+        self.cluster = Cluster(self.env, config)
+        policy.bind(self.cluster)
+
+        self._conns_per_pass = sessions.num_connections
+        self._total_conns = self._conns_per_pass * passes
+        self._reqs_per_pass = len(self.trace)
+        self._total_reqs = self._reqs_per_pass * passes
+        self._warmup_reqs = self._reqs_per_pass * (passes - 1)
+        self._next_conn = 0
+        self._completed_reqs = 0
+        self._completed_conns = 0
+        self._measured = 0
+        self._measured_migrations = 0
+        self._measure_start: Optional[float] = None
+        self._last_completion = 0.0
+        self._response = Tally()
+        #: Per-node measured request completions (per-request, unlike the
+        #: nodes' own per-connection counters).
+        self._node_requests = [0] * config.nodes
+
+    # -- connection lifecycle -------------------------------------------------
+
+    def _connection(self, conn_index: int) -> Generator:
+        cluster = self.cluster
+        policy = self.policy
+        env = self.env
+        hw = self.config.hardware
+        k = conn_index % self._conns_per_pass
+        first, last = self.sessions.connection_span(k)
+        ids = self.trace.file_ids
+        sizes = self.trace.fileset.sizes
+
+        is_lard = policy.name == "lard" and cluster.num_nodes > 1
+        front_end = 0
+
+        current = policy.initial_node(conn_index, int(ids[first]))
+        entry = current  # where client packets enter (LARD: front-end)
+        owner: Optional[int] = None  # LARD: back-end holding the connection
+
+        cluster.node(current).connection_opened()
+        policy.on_connection_change(current)
+        try:
+            for r in range(first, last):
+                fid = int(ids[r])
+                size_kb = int(sizes[fid]) / 1024.0
+                start = env.now
+
+                # The request reaches the entry node.
+                yield from cluster.net.route(hw.request_kb)
+                yield from cluster.node(entry).use_ni_in(
+                    hw.ni_message_time(hw.request_kb)
+                )
+
+                migrated = False
+                if is_lard:
+                    if owner is None:
+                        # First request: the front-end parses and decides.
+                        yield from cluster.node(front_end).parse_request()
+                        decision = policy.decide(front_end, fid)
+                        owner = decision.target
+                        cluster.node(front_end).forwarded += 1
+                        yield from cluster.node(front_end).forward_work()
+                        yield from cluster.net.send_message(
+                            front_end, owner, hw.request_kb, kind="handoff"
+                        )
+                        self._move_connection(current, owner)
+                        current = owner
+                        migrated = True
+                    else:
+                        # Relay: L4 forward through the front-end, no
+                        # distribution decision.
+                        yield from cluster.node(front_end).use_cpu(
+                            self.config.cpu_msg_overhead_s
+                        )
+                        yield from cluster.net.send_message(
+                            front_end, owner, hw.request_kb, kind="relay"
+                        )
+                        yield from cluster.node(owner).parse_request()
+                        migrated = False
+                else:
+                    yield from cluster.node(current).parse_request()
+                    if getattr(policy, "async_decide", False):
+                        decision = yield from policy.decide_process(current, fid)
+                    else:
+                        decision = policy.decide(current, fid)
+                    if decision.target != current:
+                        cluster.node(current).forwarded += 1
+                        yield from cluster.node(current).forward_work()
+                        yield from cluster.net.send_message(
+                            current, decision.target, hw.request_kb, kind="handoff"
+                        )
+                        self._move_connection(current, decision.target)
+                        current = decision.target
+                        entry = current
+                        migrated = True
+
+                node = cluster.node(current)
+                yield from cluster.fetch_file(current, fid, int(sizes[fid]))
+                yield from node.reply_work(size_kb)
+                yield from node.use_ni_out(hw.ni_reply_time(size_kb))
+                yield from cluster.net.route(size_kb)
+                policy.on_complete(current, fid)
+                self._request_done(start, migrated, current)
+        finally:
+            cluster.node(current).connection_closed()
+            policy.on_connection_change(current)
+            policy.on_connection_end(current)
+            self._connection_done()
+
+    def _move_connection(self, src: int, dst: int) -> None:
+        cluster = self.cluster
+        cluster.node(src).connection_closed()
+        self.policy.on_connection_change(src)
+        # Moving away is not a completed request; undo the per-connection
+        # completion tick (per-request counts live in _node_requests).
+        cluster.node(src).completed -= 1
+        cluster.node(dst).connection_opened()
+        self.policy.on_connection_change(dst)
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    def _request_done(self, start: float, migrated: bool, node_id: int) -> None:
+        self._completed_reqs += 1
+        self._last_completion = self.env.now
+        if self._measure_start is not None:
+            self._measured += 1
+            self._measured_migrations += 1 if migrated else 0
+            self._node_requests[node_id] += 1
+            self._response.record(self.env.now - start)
+        if self._completed_reqs == self._warmup_reqs:
+            self._begin_measurement()
+
+    def _connection_done(self) -> None:
+        self._completed_conns += 1
+        self._spawn_next()
+
+    def _begin_measurement(self) -> None:
+        self._measure_start = self.env.now
+        self.cluster.reset_accounting()
+        self.policy.reset_stats()
+        self._response.reset()
+        self._node_requests = [0] * self.config.nodes
+
+    def _spawn_next(self) -> bool:
+        i = self._next_conn
+        if i >= self._total_conns:
+            return False
+        self._next_conn += 1
+        self.env.process(self._connection(i), name=f"conn{i}")
+        return True
+
+    # -- run ------------------------------------------------------------------------
+
+    def run(self) -> SimResult:
+        if self._warmup_reqs == 0:
+            self._begin_measurement()
+        mpl = self.config.multiprogramming_per_node * self.config.nodes
+        for _ in range(min(mpl, self._total_conns)):
+            self._spawn_next()
+        self.env.run()
+
+        if self._completed_reqs != self._total_reqs:
+            raise RuntimeError(
+                f"simulation ended early: {self._completed_reqs}/"
+                f"{self._total_reqs} requests"
+            )
+        assert self._measure_start is not None
+        elapsed = self._last_completion - self._measure_start
+        if elapsed <= 0:
+            raise RuntimeError("measurement window is empty")
+
+        cluster = self.cluster
+        return SimResult(
+            policy=self.policy.name,
+            trace=self.trace.name,
+            nodes=self.config.nodes,
+            cache_bytes=self.config.cache_bytes,
+            requests_measured=self._measured,
+            requests_warmup=self._warmup_reqs,
+            sim_seconds=elapsed,
+            throughput_rps=self._measured / elapsed,
+            miss_rate=cluster.overall_miss_rate(),
+            forwarded_fraction=(
+                self._measured_migrations / self._measured if self._measured else 0.0
+            ),
+            cpu_utilizations=[n.cpu_utilization(elapsed) for n in cluster.nodes],
+            mean_response_s=self._response.mean,
+            messages_per_request=(
+                cluster.net.messages_sent / self._measured if self._measured else 0.0
+            ),
+            node_completions=list(self._node_requests),
+            policy_stats=self.policy.stats(),
+        )
+
+
+def run_persistent_simulation(
+    trace: Trace,
+    policy: DistributionPolicy,
+    nodes: int = 16,
+    mean_requests_per_connection: float = 4.0,
+    cache_bytes: Optional[int] = None,
+    config: Optional[ClusterConfig] = None,
+    passes: int = 2,
+    seed: int = 0,
+) -> SimResult:
+    """One persistent-connection run (see :class:`PersistentSimulation`)."""
+    from .runner import DEFAULT_SIM_CACHE_BYTES
+
+    if config is None:
+        config = ClusterConfig(
+            nodes=nodes,
+            cache_bytes=cache_bytes if cache_bytes is not None else DEFAULT_SIM_CACHE_BYTES,
+        )
+    sessions = sessionize(trace, mean_requests_per_connection, seed=seed)
+    sim = PersistentSimulation(sessions, policy, config, passes=passes)
+    return sim.run()

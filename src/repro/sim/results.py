@@ -1,0 +1,85 @@
+"""Simulation outputs: the measurements the paper's figures report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["SimResult"]
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Measured behaviour of one simulated server configuration."""
+
+    #: Policy name ("l2s", "lard", "traditional", ...).
+    policy: str
+    #: Trace name the run was driven by.
+    trace: str
+    #: Cluster size.
+    nodes: int
+    #: Per-node memory, bytes.
+    cache_bytes: int
+    #: Requests completed inside the measurement window.
+    requests_measured: int
+    #: Requests completed during warmup (excluded from all metrics).
+    requests_warmup: int
+    #: Simulated seconds spanned by the measurement window.
+    sim_seconds: float
+    #: Completed requests per simulated second — the figures' y-axis.
+    throughput_rps: float
+    #: Cluster-wide cache miss rate inside the window.
+    miss_rate: float
+    #: Fraction of measured requests handed off to another node.
+    forwarded_fraction: float
+    #: Per-node CPU utilization inside the window.
+    cpu_utilizations: List[float]
+    #: Mean response time per request (simulated seconds).
+    mean_response_s: float
+    #: Intra-cluster messages per measured request (control + handoff).
+    messages_per_request: float
+    #: Per-node completed-request counts (load balance view).
+    node_completions: List[int]
+    #: Policy-specific counters (replications, broadcasts, ...).
+    policy_stats: Dict[str, Any] = field(default_factory=dict)
+    #: Requests aborted by node failures (failure-injection runs only).
+    requests_failed: int = 0
+    #: Response-time percentiles in seconds (p50/p90/p99/max), populated
+    #: only when the driver records latencies.
+    latency_percentiles: Dict[str, float] = field(default_factory=dict)
+    #: Measured utilization of every hardware station inside the window:
+    #: "router" plus per-node-averaged "cpu", "disk", "ni_in", "ni_out".
+    station_utilizations: Dict[str, float] = field(default_factory=dict)
+
+    def bottleneck_station(self) -> str:
+        """The most utilized station type (empty string if unknown)."""
+        if not self.station_utilizations:
+            return ""
+        return max(self.station_utilizations, key=self.station_utilizations.get)
+
+    @property
+    def mean_cpu_utilization(self) -> float:
+        if not self.cpu_utilizations:
+            return 0.0
+        return sum(self.cpu_utilizations) / len(self.cpu_utilizations)
+
+    @property
+    def mean_cpu_idle(self) -> float:
+        """Mean CPU idle fraction — the paper's load-balance metric."""
+        return 1.0 - self.mean_cpu_utilization
+
+    @property
+    def load_imbalance(self) -> float:
+        """Max/mean ratio of per-node completions (1.0 = perfectly even)."""
+        if not self.node_completions or sum(self.node_completions) == 0:
+            return 1.0
+        mean = sum(self.node_completions) / len(self.node_completions)
+        return max(self.node_completions) / mean if mean > 0 else 1.0
+
+    def summary_row(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.policy:>14s} {self.trace:>9s} N={self.nodes:<2d} "
+            f"{self.throughput_rps:9.1f} req/s  miss={self.miss_rate:6.2%}  "
+            f"fwd={self.forwarded_fraction:6.2%}  idle={self.mean_cpu_idle:6.2%}"
+        )

@@ -1,0 +1,66 @@
+"""``repro.workload`` — file populations, Zipf popularity, and traces.
+
+Reproduces the workload side of the paper: Zipf-like request popularity
+(Breslau et al.), heavy-tailed file-size populations whose stored and
+requested size moments can be matched independently, synthetic traces for
+the paper's four logs (Table 2), and a Common Log Format parser for
+replaying real logs.
+"""
+
+from .analysis import (
+    miss_rate_curve,
+    model_vs_lru_hit_rate,
+    stack_distances,
+    working_set_bytes,
+)
+from .filesets import FileSet, build_fileset, lognormal_sizes
+from .ingest import ingest_log, open_log
+from .sessions import SessionTrace, sessionize
+from .presets import (
+    DEFAULT_REQUESTS,
+    PRESETS,
+    TRACE_ORDER,
+    TracePreset,
+    preset,
+    synthesize,
+)
+from .tracegen import generate_trace, poisson_timestamps, synthesize_trace
+from .traces import (
+    Trace,
+    TraceStats,
+    fit_zipf_alpha,
+    parse_common_log,
+    trace_from_log_entries,
+)
+from .zipf import ZipfDistribution, harmonic, zipf_top_mass
+
+__all__ = [
+    "ZipfDistribution",
+    "harmonic",
+    "zipf_top_mass",
+    "FileSet",
+    "build_fileset",
+    "lognormal_sizes",
+    "Trace",
+    "TraceStats",
+    "parse_common_log",
+    "trace_from_log_entries",
+    "fit_zipf_alpha",
+    "generate_trace",
+    "synthesize_trace",
+    "poisson_timestamps",
+    "TracePreset",
+    "PRESETS",
+    "TRACE_ORDER",
+    "preset",
+    "synthesize",
+    "DEFAULT_REQUESTS",
+    "stack_distances",
+    "miss_rate_curve",
+    "working_set_bytes",
+    "model_vs_lru_hit_rate",
+    "SessionTrace",
+    "sessionize",
+    "ingest_log",
+    "open_log",
+]

@@ -1,0 +1,116 @@
+"""The paper's four trace workloads as synthesizable presets (Table 2).
+
+Each preset pins the published characteristics of one source log:
+
+============ ========= ============= ============== ============= =====
+Log          Num files Avg file size Num requests   Avg req size  alpha
+============ ========= ============= ============== ============= =====
+Calgary      8 397     42.9 KB       567 895        19.7 KB       1.08
+Clarknet     35 885    11.6 KB       3 053 525      11.9 KB       0.78
+NASA         5 500     53.7 KB       3 147 719      47.0 KB       0.91
+Rutgers      24 098    30.5 KB       535 021        26.2 KB       0.79
+============ ========= ============= ============== ============= =====
+
+Synthesizing the full request counts is supported but slow in a pure-
+Python DES; :func:`synthesize` therefore scales the request count down by
+default (the simulated quantity is a *rate*, which converges long before
+paper-scale counts).  Set ``REPRO_FULL_TRACES=1`` or pass
+``num_requests`` explicitly to override.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from .tracegen import synthesize_trace
+from .traces import Trace
+
+__all__ = ["TracePreset", "PRESETS", "preset", "synthesize", "DEFAULT_REQUESTS"]
+
+#: Default synthetic request count per trace (paper-scale counts are only
+#: needed for rate convergence, which happens far earlier).
+DEFAULT_REQUESTS = 60_000
+
+
+@dataclass(frozen=True)
+class TracePreset:
+    """Published characteristics of one of the paper's traces (Table 2)."""
+
+    name: str
+    num_files: int
+    avg_file_kb: float
+    num_requests: int
+    avg_request_kb: float
+    alpha: float
+
+    @property
+    def footprint_mb(self) -> float:
+        """Approximate working-set size implied by the characteristics."""
+        return self.num_files * self.avg_file_kb / 1024.0
+
+    def as_table_row(self) -> Tuple[str, int, float, int, float, float]:
+        return (
+            self.name,
+            self.num_files,
+            self.avg_file_kb,
+            self.num_requests,
+            self.avg_request_kb,
+            self.alpha,
+        )
+
+
+PRESETS: Dict[str, TracePreset] = {
+    "calgary": TracePreset("calgary", 8_397, 42.9, 567_895, 19.7, 1.08),
+    "clarknet": TracePreset("clarknet", 35_885, 11.6, 3_053_525, 11.9, 0.78),
+    "nasa": TracePreset("nasa", 5_500, 53.7, 3_147_719, 47.0, 0.91),
+    "rutgers": TracePreset("rutgers", 24_098, 30.5, 535_021, 26.2, 0.79),
+}
+
+#: Paper ordering for figures 7-10.
+TRACE_ORDER = ("calgary", "clarknet", "nasa", "rutgers")
+
+
+def preset(name: str) -> TracePreset:
+    """Look up a preset by (case-insensitive) name."""
+    try:
+        return PRESETS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown trace preset {name!r}; available: {sorted(PRESETS)}"
+        ) from None
+
+
+def _default_requests() -> Optional[int]:
+    if os.environ.get("REPRO_FULL_TRACES", "") not in ("", "0"):
+        return None  # use the paper's full counts
+    return DEFAULT_REQUESTS
+
+
+def synthesize(
+    name: str,
+    num_requests: Optional[int] = None,
+    seed: int = 0,
+    locality: float = 0.15,
+) -> Trace:
+    """Synthesize a trace matching one of the paper's presets.
+
+    ``num_requests=None`` uses :data:`DEFAULT_REQUESTS` unless
+    ``REPRO_FULL_TRACES`` is set, in which case the paper's full request
+    count is generated.  A mild default ``locality`` reflects the
+    short-term re-reference behaviour of real logs.
+    """
+    p = preset(name)
+    if num_requests is None:
+        num_requests = _default_requests() or p.num_requests
+    return synthesize_trace(
+        num_files=p.num_files,
+        mean_file_kb=p.avg_file_kb,
+        num_requests=num_requests,
+        mean_request_kb=p.avg_request_kb,
+        alpha=p.alpha,
+        seed=seed,
+        locality=locality,
+        name=p.name,
+    )

@@ -1,0 +1,240 @@
+"""Trace containers and access-log parsing.
+
+A :class:`Trace` is a sequence of requests against a :class:`FileSet`:
+for each request, the popularity rank of the requested file and its size.
+Traces can be synthesized (:mod:`repro.workload.tracegen`) or parsed from
+real Common Log Format access logs (:func:`parse_common_log`), which is
+the format the paper's four source logs (Calgary, Clarknet, NASA, Rutgers)
+were distributed in.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from .filesets import FileSet
+
+__all__ = [
+    "Trace",
+    "TraceStats",
+    "parse_common_log",
+    "trace_from_log_entries",
+    "fit_zipf_alpha",
+]
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Summary characteristics of a trace — the columns of Table 2."""
+
+    num_files: int
+    avg_file_kb: float
+    num_requests: int
+    avg_request_kb: float
+    alpha: float
+    total_footprint_mb: float
+
+    def as_row(self) -> Tuple[int, float, int, float, float]:
+        return (
+            self.num_files,
+            self.avg_file_kb,
+            self.num_requests,
+            self.avg_request_kb,
+            self.alpha,
+        )
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A request stream over a file population.
+
+    ``file_ids[k]`` is the popularity rank of the file requested by the
+    ``k``-th request; ``fileset.sizes[file_ids[k]]`` its size in bytes.
+    ``timestamps`` (seconds, optional) are ignored by saturation-mode
+    simulations, matching the paper's methodology.
+    """
+
+    name: str
+    fileset: FileSet
+    file_ids: np.ndarray
+    timestamps: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        ids = np.ascontiguousarray(self.file_ids, dtype=np.int64)
+        if ids.ndim != 1:
+            raise ValueError("file_ids must be 1-D")
+        if ids.size and (ids.min() < 0 or ids.max() >= self.fileset.num_files):
+            raise ValueError("file_ids reference files outside the fileset")
+        object.__setattr__(self, "file_ids", ids)
+        if self.timestamps is not None:
+            ts = np.ascontiguousarray(self.timestamps, dtype=np.float64)
+            if ts.shape != ids.shape:
+                raise ValueError("timestamps must align with file_ids")
+            if ids.size and (np.diff(ts) < 0).any():
+                raise ValueError("timestamps must be non-decreasing")
+            object.__setattr__(self, "timestamps", ts)
+
+    def __len__(self) -> int:
+        return int(self.file_ids.size)
+
+    @property
+    def num_requests(self) -> int:
+        return len(self)
+
+    def request_sizes(self) -> np.ndarray:
+        """Size in bytes of every requested file (vectorized gather)."""
+        return self.fileset.sizes[self.file_ids]
+
+    def mean_request_bytes(self) -> float:
+        if len(self) == 0:
+            return 0.0
+        return float(self.request_sizes().mean())
+
+    def unique_files_touched(self) -> int:
+        return int(np.unique(self.file_ids).size)
+
+    def stats(self) -> TraceStats:
+        """Empirical Table-2 style characteristics of this trace."""
+        return TraceStats(
+            num_files=self.fileset.num_files,
+            avg_file_kb=self.fileset.mean_file_bytes / 1024.0,
+            num_requests=len(self),
+            avg_request_kb=self.mean_request_bytes() / 1024.0,
+            alpha=self.fileset.alpha,
+            total_footprint_mb=self.fileset.total_bytes / (1024.0 * 1024.0),
+        )
+
+    def head(self, n: int) -> "Trace":
+        """A new trace containing only the first ``n`` requests."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        ts = self.timestamps[:n] if self.timestamps is not None else None
+        return Trace(self.name, self.fileset, self.file_ids[:n], ts)
+
+    # -- persistence -------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Serialize to a compressed ``.npz`` file."""
+        path = Path(path)
+        arrays = {
+            "file_ids": self.file_ids,
+            "sizes": self.fileset.sizes,
+            "alpha": np.float64(self.fileset.alpha),
+            "name": np.bytes_(self.name.encode()),
+        }
+        if self.timestamps is not None:
+            arrays["timestamps"] = self.timestamps
+        np.savez_compressed(path, **arrays)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Trace":
+        """Load a trace previously written by :meth:`save`."""
+        with np.load(Path(path)) as data:
+            fileset = FileSet(
+                sizes=data["sizes"],
+                alpha=float(data["alpha"]),
+                name=str(data["name"].tobytes().decode()),
+            )
+            return cls(
+                name=fileset.name,
+                fileset=fileset,
+                file_ids=data["file_ids"],
+                timestamps=data["timestamps"] if "timestamps" in data else None,
+            )
+
+
+# Common Log Format:
+#   host ident authuser [date] "METHOD /path PROTO" status bytes
+_CLF_RE = re.compile(
+    r'^(?P<host>\S+)\s+\S+\s+\S+\s+\[(?P<date>[^\]]+)\]\s+'
+    r'"(?P<method>\S+)\s+(?P<path>\S+)(?:\s+(?P<proto>[^"]*))?"\s+'
+    r"(?P<status>\d{3})\s+(?P<bytes>\d+|-)\s*$"
+)
+
+
+def parse_common_log(
+    lines: Iterable[str],
+    successful_only: bool = True,
+) -> List[Tuple[str, int]]:
+    """Parse Common Log Format lines into ``(path, bytes)`` entries.
+
+    Mirrors the paper's preprocessing: incomplete transfers (non-2xx
+    status or missing byte counts) are dropped when ``successful_only``.
+    Malformed lines are skipped silently (real logs contain garbage).
+    """
+    entries: List[Tuple[str, int]] = []
+    for line in lines:
+        m = _CLF_RE.match(line.strip())
+        if m is None:
+            continue
+        nbytes = m.group("bytes")
+        status = int(m.group("status"))
+        if nbytes == "-" or int(nbytes) <= 0:
+            if successful_only:
+                continue
+            nbytes = "0"
+        if successful_only and not (200 <= status < 300):
+            continue
+        if m.group("method").upper() not in ("GET", "HEAD", "POST"):
+            continue
+        entries.append((m.group("path"), int(nbytes)))
+    return entries
+
+
+def trace_from_log_entries(
+    entries: List[Tuple[str, int]],
+    name: str = "log",
+    alpha: Optional[float] = None,
+) -> Trace:
+    """Build a :class:`Trace` from parsed ``(path, bytes)`` log entries.
+
+    Files are identified by path; each file's size is the *largest* byte
+    count observed for it (smaller counts are partial transfers).  Files
+    are ranked by observed request count so rank order approximates
+    popularity order.  ``alpha`` defaults to a least-squares fit of the
+    observed rank-frequency curve.
+    """
+    if not entries:
+        raise ValueError("no log entries")
+    counts: Dict[str, int] = {}
+    sizes: Dict[str, int] = {}
+    for path, nbytes in entries:
+        counts[path] = counts.get(path, 0) + 1
+        if nbytes > sizes.get(path, 0):
+            sizes[path] = nbytes
+    # Popularity order: most requested first.
+    paths = sorted(counts, key=lambda p: (-counts[p], p))
+    rank_of = {p: r for r, p in enumerate(paths)}
+    size_arr = np.array([max(1, sizes[p]) for p in paths], dtype=np.int64)
+    ids = np.array([rank_of[p] for p, _ in entries], dtype=np.int64)
+
+    if alpha is None:
+        alpha = fit_zipf_alpha(np.array([counts[p] for p in paths], dtype=np.float64))
+    fileset = FileSet(sizes=size_arr, alpha=alpha, name=name)
+    return Trace(name=name, fileset=fileset, file_ids=ids)
+
+
+def fit_zipf_alpha(rank_counts: np.ndarray) -> float:
+    """Least-squares Zipf exponent from a rank-ordered frequency vector.
+
+    Fits ``log(count) = c - alpha * log(rank)`` over all ranks with at
+    least one request, which is how trace studies (e.g. Breslau et al.)
+    report their alphas.
+    """
+    rank_counts = np.asarray(rank_counts, dtype=np.float64)
+    if rank_counts.ndim != 1 or rank_counts.size == 0:
+        raise ValueError("rank_counts must be a non-empty 1-D array")
+    mask = rank_counts > 0
+    counts = rank_counts[mask]
+    if counts.size < 2:
+        return 1.0
+    ranks = np.arange(1, rank_counts.size + 1, dtype=np.float64)[mask]
+    x = np.log(ranks)
+    y = np.log(counts)
+    slope, _ = np.polyfit(x, y, 1)
+    return float(max(0.0, -slope))

@@ -1,0 +1,130 @@
+"""Zipf-like popularity distributions.
+
+The paper (following Breslau et al. [7]) models WWW file popularity as
+Zipf-like: the probability of a request for the *i*-th most popular of
+``F`` files is proportional to ``1 / i**alpha`` with ``alpha`` typically
+below 1 (Table 2 lists per-trace alphas between 0.78 and 1.08).
+
+:class:`ZipfDistribution` provides exact pmf/cdf computation on a finite
+population plus fast vectorized sampling (inverse-CDF via binary search on
+a precomputed cumulative array).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["ZipfDistribution", "harmonic", "zipf_top_mass"]
+
+
+def harmonic(n: int, alpha: float) -> float:
+    """Generalized harmonic number ``H_n(alpha) = sum_{i=1..n} i**-alpha``.
+
+    Exact vectorized sum; for the model's *continuous* large-``n`` variant
+    see :func:`repro.model.zipfmath.harmonic_continuous`.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if n == 0:
+        return 0.0
+    return float(np.sum(np.arange(1, n + 1, dtype=np.float64) ** -alpha))
+
+
+def zipf_top_mass(n: int, population: int, alpha: float) -> float:
+    """``z(n, F)``: probability mass of the ``n`` most popular of ``F`` files.
+
+    This is the paper's accumulated-probability function used to define
+    cache hit rates (Section 3.1).  ``n`` is clamped to ``population``.
+    """
+    if population <= 0:
+        raise ValueError(f"population must be positive, got {population}")
+    n = min(n, population)
+    if n <= 0:
+        return 0.0
+    return harmonic(n, alpha) / harmonic(population, alpha)
+
+
+class ZipfDistribution:
+    """Finite Zipf-like distribution over ranks ``0 .. population-1``.
+
+    Rank 0 is the most popular item.  ``alpha`` is the Zipf exponent.
+    """
+
+    def __init__(self, population: int, alpha: float):
+        if population <= 0:
+            raise ValueError(f"population must be positive, got {population}")
+        if alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {alpha}")
+        self.population = int(population)
+        self.alpha = float(alpha)
+        weights = np.arange(1, self.population + 1, dtype=np.float64) ** -self.alpha
+        self._pmf = weights / weights.sum()
+        self._cdf = np.cumsum(self._pmf)
+        # Guard against floating-point drift at the top end.
+        self._cdf[-1] = 1.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ZipfDistribution(population={self.population}, alpha={self.alpha})"
+
+    @property
+    def pmf(self) -> np.ndarray:
+        """Probability of each rank (most popular first); read-only view."""
+        v = self._pmf.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def cdf(self) -> np.ndarray:
+        """Cumulative probability by rank; read-only view."""
+        v = self._cdf.view()
+        v.flags.writeable = False
+        return v
+
+    def probability(self, rank: int) -> float:
+        """Probability of the item with popularity ``rank`` (0-based)."""
+        if not 0 <= rank < self.population:
+            raise IndexError(f"rank {rank} out of range [0, {self.population})")
+        return float(self._pmf[rank])
+
+    def top_mass(self, n: int) -> float:
+        """Accumulated probability of the ``n`` most popular items: z(n, F)."""
+        if n <= 0:
+            return 0.0
+        n = min(n, self.population)
+        return float(self._cdf[n - 1])
+
+    def ranks_for_mass(self, mass: float) -> int:
+        """Smallest ``n`` such that the top-``n`` items carry ≥ ``mass``."""
+        if not 0.0 <= mass <= 1.0:
+            raise ValueError(f"mass must be in [0, 1], got {mass}")
+        if mass == 0.0:
+            return 0
+        return int(np.searchsorted(self._cdf, mass, side="left")) + 1
+
+    def sample(
+        self,
+        size: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Draw ``size`` i.i.d. ranks (0-based, int64) via inverse CDF."""
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        if rng is None:
+            rng = np.random.default_rng()
+        u = rng.random(size)
+        return np.searchsorted(self._cdf, u, side="right").astype(np.int64)
+
+    def expected_mean_of(self, values: np.ndarray) -> float:
+        """Popularity-weighted mean of per-rank ``values``.
+
+        E.g. the expected *requested* file size when ``values`` holds the
+        per-rank file sizes.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (self.population,):
+            raise ValueError(
+                f"values must have shape ({self.population},), got {values.shape}"
+            )
+        return float(self._pmf @ values)

@@ -1,0 +1,144 @@
+"""Tests for the byte-bounded LRU file cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import LRUFileCache
+
+
+def test_insert_and_lookup():
+    c = LRUFileCache(1000)
+    assert not c.lookup(1)  # miss
+    c.insert(1, 400)
+    assert c.lookup(1)  # hit
+    assert c.hits == 1 and c.misses == 1
+    assert c.used_bytes == 400
+    assert c.free_bytes == 600
+    assert len(c) == 1
+    assert 1 in c
+
+
+def test_eviction_order_is_lru():
+    c = LRUFileCache(1000)
+    c.insert(1, 400)
+    c.insert(2, 400)
+    c.lookup(1)  # 1 is now most recently used
+    evicted = c.insert(3, 400)
+    assert evicted == [2]
+    assert 1 in c and 3 in c and 2 not in c
+
+
+def test_eviction_of_multiple_files():
+    c = LRUFileCache(1000)
+    c.insert(1, 300)
+    c.insert(2, 300)
+    c.insert(3, 300)
+    evicted = c.insert(4, 800)
+    assert evicted == [1, 2, 3]
+    assert c.used_bytes == 800
+
+
+def test_oversized_file_not_cached():
+    c = LRUFileCache(1000)
+    assert c.insert(1, 2000) == []
+    assert 1 not in c
+    assert c.used_bytes == 0
+
+
+def test_reinsert_refreshes_recency_without_double_count():
+    c = LRUFileCache(1000)
+    c.insert(1, 400)
+    c.insert(2, 400)
+    c.insert(1, 400)  # refresh, no size change
+    assert c.used_bytes == 800
+    evicted = c.insert(3, 400)
+    assert evicted == [2]
+
+
+def test_touch_refreshes_without_stats():
+    c = LRUFileCache(1000)
+    c.insert(1, 400)
+    c.insert(2, 400)
+    assert c.touch(1)
+    assert not c.touch(99)
+    assert c.hits == 0 and c.misses == 0
+    evicted = c.insert(3, 400)
+    assert evicted == [2]
+
+
+def test_peek_and_size_of():
+    c = LRUFileCache(1000)
+    c.insert(5, 123)
+    assert c.peek(5)
+    assert not c.peek(6)
+    assert c.size_of(5) == 123
+    assert c.size_of(6) is None
+    assert c.hits == 0 and c.misses == 0  # peek does not count
+
+
+def test_invalidate():
+    c = LRUFileCache(1000)
+    c.insert(1, 500)
+    assert c.invalidate(1)
+    assert not c.invalidate(1)
+    assert c.used_bytes == 0
+    assert 1 not in c
+
+
+def test_clear():
+    c = LRUFileCache(1000)
+    c.insert(1, 100)
+    c.insert(2, 100)
+    c.clear()
+    assert len(c) == 0
+    assert c.used_bytes == 0
+
+
+def test_miss_rate_and_reset_stats():
+    c = LRUFileCache(1000)
+    c.lookup(1)
+    c.insert(1, 100)
+    c.lookup(1)
+    c.lookup(1)
+    assert c.miss_rate == pytest.approx(1 / 3)
+    c.reset_stats()
+    assert c.miss_rate == 0.0
+    assert 1 in c  # contents survive a stats reset
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        LRUFileCache(0)
+    c = LRUFileCache(100)
+    with pytest.raises(ValueError):
+        c.insert(1, 0)
+
+
+def test_iteration_order_lru_to_mru():
+    c = LRUFileCache(1000)
+    c.insert(1, 100)
+    c.insert(2, 100)
+    c.insert(3, 100)
+    c.lookup(1)
+    assert list(c) == [2, 3, 1]
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=30), st.integers(min_value=1, max_value=400)),
+        min_size=1,
+        max_size=200,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_property_capacity_never_exceeded(ops):
+    """Invariant: used_bytes <= capacity and equals the sum of entries."""
+    c = LRUFileCache(1000)
+    sizes = {}
+    for file_id, size in ops:
+        size = sizes.setdefault(file_id, size)  # sizes immutable per id
+        if not c.lookup(file_id):
+            c.insert(file_id, size)
+        assert c.used_bytes <= c.capacity
+        assert c.used_bytes == sum(sizes[f] for f in c)

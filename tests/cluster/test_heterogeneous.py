@@ -1,0 +1,61 @@
+"""Tests for heterogeneous node speeds (extension)."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.des import Environment
+from repro.model import MB
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ClusterConfig(nodes=2, node_speeds=(1.0,))
+    with pytest.raises(ValueError):
+        ClusterConfig(nodes=2, node_speeds=(1.0, 0.0))
+    cfg = ClusterConfig(nodes=2, node_speeds=(1.0, 0.5))
+    assert cfg.speed_of(0) == 1.0
+    assert cfg.speed_of(1) == 0.5
+
+
+def test_homogeneous_default():
+    cfg = ClusterConfig(nodes=3)
+    assert all(cfg.speed_of(i) == 1.0 for i in range(3))
+
+
+def test_slow_node_takes_longer_on_cpu():
+    env = Environment()
+    cfg = ClusterConfig(nodes=2, cache_bytes=1 * MB, node_speeds=(1.0, 0.5))
+    cluster = Cluster(env, cfg)
+
+    done = []
+
+    def work(node):
+        yield from node.use_cpu(0.01)
+        done.append((node.id, env.now))
+
+    env.process(work(cluster.node(0)))
+    env.process(work(cluster.node(1)))
+    env.run()
+    times = dict(done)
+    assert times[0] == pytest.approx(0.01)
+    assert times[1] == pytest.approx(0.02)  # half speed: double time
+
+
+def test_speed_scales_parse_and_reply():
+    env = Environment()
+    cfg = ClusterConfig(nodes=1, cache_bytes=1 * MB, node_speeds=(2.0,))
+    cluster = Cluster(env, cfg)
+    node = cluster.node(0)
+    p = env.process(node.parse_request())
+    env.run(until=p)
+    assert env.now == pytest.approx((1 / 6300) / 2.0)
+
+
+def test_disk_and_ni_unaffected_by_cpu_speed():
+    env = Environment()
+    cfg = ClusterConfig(nodes=1, cache_bytes=1 * MB, node_speeds=(2.0,))
+    cluster = Cluster(env, cfg)
+    node = cluster.node(0)
+    p = env.process(node.read_from_disk(10.0))
+    env.run(until=p)
+    assert env.now == pytest.approx(0.028 + 10 / 10000)

@@ -1,0 +1,232 @@
+"""Tests for Node hardware, the interconnect, and the DFS read path."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.des import Environment
+from repro.model import MB
+
+
+def make_cluster(nodes=4, **cfg):
+    env = Environment()
+    config = ClusterConfig(nodes=nodes, cache_bytes=cfg.pop("cache_bytes", 1 * MB), **cfg)
+    return env, Cluster(env, config)
+
+
+def run(env, gen):
+    p = env.process(gen)
+    env.run(until=p)
+    return env.now
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ClusterConfig(nodes=0)
+    with pytest.raises(ValueError):
+        ClusterConfig(cache_bytes=0)
+    with pytest.raises(ValueError):
+        ClusterConfig(multiprogramming_per_node=0)
+    with pytest.raises(ValueError):
+        ClusterConfig(cpu_msg_overhead_s=-1)
+    with pytest.raises(ValueError):
+        ClusterConfig(control_kb=0)
+
+
+def test_config_one_way_latency_is_19us():
+    """M-VIA: a 4-byte message takes ~19 us end to end."""
+    cfg = ClusterConfig()
+    assert cfg.one_way_message_latency() == pytest.approx(19e-6, rel=0.05)
+
+
+def test_config_model_parameters_inherit_hardware():
+    cfg = ClusterConfig(nodes=8, cache_bytes=32 * MB)
+    p = cfg.model_parameters(replication=0.15, alpha=0.9)
+    assert p.nodes == 8
+    assert p.cache_bytes == 32 * MB
+    assert p.replication == 0.15
+    assert p.alpha == 0.9
+
+
+def test_node_cpu_occupancy_is_serialized():
+    env, cluster = make_cluster(1)
+    node = cluster.node(0)
+    done = []
+
+    def work(name):
+        yield from node.use_cpu(1.0)
+        done.append((name, env.now))
+
+    env.process(work("a"))
+    env.process(work("b"))
+    env.run()
+    assert done == [("a", 1.0), ("b", 2.0)]
+
+
+def test_node_parse_reply_disk_times_match_table1():
+    env, cluster = make_cluster(1)
+    node = cluster.node(0)
+
+    assert run(env, node.parse_request()) == pytest.approx(1 / 6300)
+    t0 = env.now
+    run(env, node.reply_work(12.0))
+    assert env.now - t0 == pytest.approx(0.0001 + 12 / 12000)
+    t0 = env.now
+    run(env, node.read_from_disk(100.0))
+    assert env.now - t0 == pytest.approx(0.028 + 100 / 10000)
+    t0 = env.now
+    run(env, node.forward_work())
+    assert env.now - t0 == pytest.approx(1 / 10000)
+
+
+def test_connection_accounting():
+    env, cluster = make_cluster(2)
+    node = cluster.node(0)
+    node.connection_opened()
+    node.connection_opened()
+    assert node.open_connections == 2
+    node.connection_closed()
+    assert node.open_connections == 1
+    assert node.completed == 1
+    node.connection_closed()
+    with pytest.raises(RuntimeError):
+        node.connection_closed()
+
+
+def test_serve_file_hit_is_instant_miss_reads_disk():
+    env, cluster = make_cluster(1)
+    node = cluster.node(0)
+    run(env, node.serve_file(7, 10 * 1024))
+    miss_time = env.now
+    assert miss_time == pytest.approx(0.028 + 10 / 10000)
+    t0 = env.now
+    run(env, node.serve_file(7, 10 * 1024))
+    assert env.now == t0  # hit: no time passes
+    assert node.cache.hits == 1 and node.cache.misses == 1
+
+
+def test_router_serializes_transfers():
+    env, cluster = make_cluster(2)
+    times = []
+
+    def xfer():
+        yield from cluster.net.route(500.0)  # 1 ms each at 500000 KB/s
+        times.append(env.now)
+
+    env.process(xfer())
+    env.process(xfer())
+    env.run()
+    assert times == [pytest.approx(0.001), pytest.approx(0.002)]
+
+
+def test_send_message_end_to_end_cost():
+    env, cluster = make_cluster(2)
+    run(env, cluster.net.send_control(0, 1))
+    assert env.now == pytest.approx(cluster.config.one_way_message_latency(), rel=1e-6)
+    assert cluster.net.messages_sent == 1
+
+
+def test_send_message_same_node_is_free():
+    env, cluster = make_cluster(2)
+    run(env, cluster.net.send_message(0, 0, 1.0))
+    assert env.now == 0.0
+    assert cluster.net.messages_sent == 0
+
+
+def test_send_message_validation():
+    env, cluster = make_cluster(2)
+    with pytest.raises(ValueError):
+        run(env, cluster.net.send_message(0, 5, 1.0))
+    with pytest.raises(ValueError):
+        run(env, cluster.net.send_message(0, 1, 0.0))
+
+
+def test_broadcast_control_reaches_all_other_nodes():
+    env, cluster = make_cluster(4)
+    cluster.net.broadcast_control(1, kind="load")
+    env.run()
+    assert cluster.net.message_counts["load"] == 3
+
+
+def test_broadcast_control_exclude():
+    env, cluster = make_cluster(4)
+    cluster.net.broadcast_control(0, kind="load", exclude=2)
+    env.run()
+    assert cluster.net.message_counts["load"] == 2
+
+
+def test_message_occupies_both_nis_and_cpus():
+    env, cluster = make_cluster(2)
+    run(env, cluster.net.send_message(0, 1, 64.0))
+    n0, n1 = cluster.nodes
+    assert n0.ni_out.busy_time() > 0
+    assert n1.ni_in.busy_time() > 0
+    assert n0.cpu.busy_time() == pytest.approx(3e-6)
+    assert n1.cpu.busy_time() == pytest.approx(3e-6)
+
+
+def test_fetch_file_caches_after_miss():
+    env, cluster = make_cluster(2)
+    run(env, cluster.fetch_file(0, 42, 100 * 1024))
+    assert 42 in cluster.node(0).cache
+    t0 = env.now
+    run(env, cluster.fetch_file(0, 42, 100 * 1024))
+    assert env.now == t0
+    assert cluster.overall_miss_rate() == pytest.approx(0.5)
+
+
+def test_dfs_replicated_reads_local():
+    env, cluster = make_cluster(4)
+    run(env, cluster.dfs.read(2, 7, 10 * 1024))
+    assert cluster.dfs.local_reads == 1
+    assert cluster.dfs.remote_reads == 0
+    assert cluster.node(2).disk.busy_time() > 0
+
+
+def test_dfs_partitioned_remote_read_costs_more():
+    env1, c1 = make_cluster(4, replicated_disks=True)
+    run(env1, c1.dfs.read(0, 3, 50 * 1024))
+    local_time = env1.now
+
+    env2, c2 = make_cluster(4, replicated_disks=False)
+    # file 3 homes at node 3 (3 % 4), so node 0's read is remote.
+    run(env2, c2.dfs.read(0, 3, 50 * 1024))
+    remote_time = env2.now
+    assert c2.dfs.remote_reads == 1
+    assert remote_time > local_time
+    # The remote disk did the work.
+    assert c2.node(3).disk.busy_time() > 0
+    assert c2.node(0).disk.busy_time() == 0
+
+
+def test_dfs_partitioned_local_home():
+    env, cluster = make_cluster(4, replicated_disks=False)
+    run(env, cluster.dfs.read(0, 4, 10 * 1024))  # 4 % 4 == 0: local
+    assert cluster.dfs.local_reads == 1
+
+
+def test_least_loaded_node_with_ties():
+    env, cluster = make_cluster(3)
+    assert cluster.least_loaded_node() == 0
+    cluster.node(0).connection_opened()
+    assert cluster.least_loaded_node() == 1
+    cluster.node(1).connection_opened()
+    cluster.node(1).connection_opened()
+    cluster.node(2).connection_opened()
+    assert cluster.least_loaded_node() == 0
+
+
+def test_reset_accounting_preserves_cache_contents():
+    env, cluster = make_cluster(2)
+    run(env, cluster.fetch_file(0, 1, 1024))
+    cluster.reset_accounting()
+    assert 1 in cluster.node(0).cache
+    assert cluster.total_cache_misses() == 0
+    assert cluster.net.messages_sent == 0
+    assert cluster.node(0).disk.busy_time() == 0.0
+
+
+def test_cluster_len_and_counts():
+    env, cluster = make_cluster(5)
+    assert len(cluster) == 5
+    assert cluster.num_nodes == 5
+    assert cluster.connection_counts() == [0] * 5

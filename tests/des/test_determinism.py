@@ -1,0 +1,60 @@
+"""Property test: the DES kernel is fully deterministic.
+
+Random process graphs (timeouts, resources, stores, interrupts) must
+produce byte-identical event traces across repeated runs — the
+foundation of the simulator's reproducibility guarantees.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.des import Environment, Resource, Store
+
+
+def build_and_run(seed: int):
+    """A randomized mini-simulation; returns its event log."""
+    rng = random.Random(seed)
+    env = Environment()
+    log = []
+    res = Resource(env, capacity=rng.randint(1, 3))
+    store = Store(env, capacity=rng.randint(1, 5))
+
+    def worker(env, name):
+        for step in range(rng_local.randint(1, 4)):
+            choice = rng_local.random()
+            if choice < 0.4:
+                with res.request() as req:
+                    yield req
+                    log.append(("res", name, env.now))
+                    yield env.timeout(rng_local.uniform(0, 2))
+            elif choice < 0.7:
+                yield store.put((name, step))
+                log.append(("put", name, env.now))
+            else:
+                yield env.timeout(rng_local.uniform(0, 1))
+                log.append(("tick", name, env.now))
+
+    def consumer(env):
+        while True:
+            item = yield store.get()
+            log.append(("got", item[0], env.now))
+
+    # A dedicated RNG whose draws happen deterministically at process
+    # creation order (generator bodies draw lazily, so give each its
+    # own pre-seeded stream).
+    global rng_local
+    rng_local = random.Random(seed + 1)
+
+    env.process(consumer(env))
+    for i in range(rng.randint(2, 6)):
+        env.process(worker(env, f"w{i}"))
+    env.run(until=50)
+    return log
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=30, deadline=None)
+def test_property_identical_runs(seed):
+    assert build_and_run(seed) == build_and_run(seed)

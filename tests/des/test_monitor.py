@@ -1,0 +1,144 @@
+"""Tests for simulation measurement helpers."""
+
+import pytest
+
+from repro.des import Environment, RateMeter, Tally, TimeWeightedValue
+
+
+def test_time_weighted_mean_piecewise():
+    env = Environment()
+    tw = TimeWeightedValue(env, initial=0)
+
+    def proc(env):
+        yield env.timeout(2)
+        tw.set(10)  # value 0 for [0,2)
+        yield env.timeout(3)
+        tw.set(4)  # value 10 for [2,5)
+        yield env.timeout(5)  # value 4 for [5,10)
+
+    env.process(proc(env))
+    env.run()
+    # area = 0*2 + 10*3 + 4*5 = 50 over 10
+    assert tw.mean() == pytest.approx(5.0)
+    assert tw.value == 4
+    assert tw.maximum == 10
+
+
+def test_time_weighted_add():
+    env = Environment()
+    tw = TimeWeightedValue(env, initial=1)
+    tw.add(2)
+    assert tw.value == 3
+    tw.add(-1)
+    assert tw.value == 2
+
+
+def test_time_weighted_mean_at_t0():
+    env = Environment()
+    tw = TimeWeightedValue(env, initial=7)
+    assert tw.mean() == 7
+
+
+def test_time_weighted_reset():
+    env = Environment()
+    tw = TimeWeightedValue(env, initial=0)
+
+    def proc(env):
+        yield env.timeout(5)
+        tw.set(100)
+        yield env.timeout(5)
+        tw.reset()
+        yield env.timeout(10)
+
+    env.process(proc(env))
+    env.run()
+    # After reset at t=10 with value 100, mean over [10,20) is 100.
+    assert tw.mean() == pytest.approx(100.0)
+    assert tw.maximum == 100
+
+
+def test_tally_statistics():
+    t = Tally()
+    for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]:
+        t.record(x)
+    assert t.count == 8
+    assert t.mean == pytest.approx(5.0)
+    assert t.total == pytest.approx(40.0)
+    assert t.minimum == 2.0
+    assert t.maximum == 9.0
+    # Sample variance of this classic dataset is 32/7.
+    assert t.variance == pytest.approx(32.0 / 7.0)
+    assert t.stdev == pytest.approx((32.0 / 7.0) ** 0.5)
+
+
+def test_tally_empty():
+    t = Tally()
+    assert t.count == 0
+    assert t.mean == 0.0
+    assert t.variance == 0.0
+    assert t.minimum == 0.0
+    assert t.maximum == 0.0
+
+
+def test_tally_reset():
+    t = Tally()
+    t.record(5)
+    t.reset()
+    assert t.count == 0
+    assert t.mean == 0.0
+
+
+def test_rate_meter():
+    env = Environment()
+    meter = RateMeter(env)
+
+    def proc(env):
+        for _ in range(10):
+            yield env.timeout(2)
+            meter.tick()
+
+    env.process(proc(env))
+    env.run()
+    assert meter.count == 10
+    assert meter.rate() == pytest.approx(0.5)
+
+
+def test_rate_meter_reset_discards_warmup():
+    env = Environment()
+    meter = RateMeter(env)
+
+    def proc(env):
+        for _ in range(4):
+            yield env.timeout(1)
+            meter.tick()
+        meter.reset()
+        for _ in range(10):
+            yield env.timeout(2)
+            meter.tick()
+
+    env.process(proc(env))
+    env.run()
+    assert meter.count == 10
+    assert meter.rate() == pytest.approx(0.5)
+
+
+def test_rate_meter_keep_times():
+    env = Environment()
+    meter = RateMeter(env, keep_times=True)
+
+    def proc(env):
+        yield env.timeout(1)
+        meter.tick()
+        yield env.timeout(1)
+        meter.tick(2)
+
+    env.process(proc(env))
+    env.run()
+    assert meter.times == [1, 2]
+
+
+def test_rate_meter_zero_elapsed():
+    env = Environment()
+    meter = RateMeter(env)
+    meter.tick()
+    assert meter.rate() == 0.0

@@ -1,0 +1,109 @@
+"""Property tests: Resource semantics against a reference model.
+
+Random workloads of request/hold/release cycles are checked against an
+oracle: at no instant do more than ``capacity`` holders exist, grants
+are FIFO among waiting requests, and total busy time matches the union
+of holding intervals.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.des import Environment, Resource
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=4),
+    jobs=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=20.0),  # arrival
+            st.floats(min_value=0.01, max_value=5.0),  # hold
+        ),
+        min_size=1,
+        max_size=25,
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_capacity_never_exceeded(capacity, jobs):
+    env = Environment()
+    res = Resource(env, capacity=capacity)
+    holding = [0]
+    max_holding = [0]
+    grants = []
+
+    def job(env, jid, arrival, hold):
+        yield env.timeout(arrival)
+        with res.request() as req:
+            yield req
+            grants.append((env.now, jid))
+            holding[0] += 1
+            max_holding[0] = max(max_holding[0], holding[0])
+            yield env.timeout(hold)
+            holding[0] -= 1
+
+    for jid, (arrival, hold) in enumerate(jobs):
+        env.process(job(env, jid, arrival, hold))
+    env.run()
+
+    assert max_holding[0] <= capacity
+    assert len(grants) == len(jobs)
+    assert holding[0] == 0
+    assert res.count == 0 and res.queue_length == 0
+    # Grant times never decrease (the log is in processing order).
+    times = [t for t, _ in grants]
+    assert all(b >= a for a, b in zip(times, times[1:]))
+
+
+@given(
+    holds=st.lists(
+        st.floats(min_value=0.01, max_value=3.0), min_size=2, max_size=12
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_property_fifo_grant_order_same_arrival(holds):
+    """Requests created in order at the same instant are granted in order."""
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def job(env, jid, hold):
+        with res.request() as req:
+            yield req
+            order.append(jid)
+            yield env.timeout(hold)
+
+    for jid, hold in enumerate(holds):
+        env.process(job(env, jid, hold))
+    env.run()
+    assert order == list(range(len(holds)))
+
+
+@given(
+    jobs=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=10.0),
+            st.floats(min_value=0.05, max_value=2.0),
+        ),
+        min_size=1,
+        max_size=15,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_property_busy_time_matches_interval_union(jobs):
+    """For capacity 1, busy time equals the sum of actual holds."""
+    env = Environment()
+    res = Resource(env, capacity=1)
+    total_hold = [0.0]
+
+    def job(env, arrival, hold):
+        yield env.timeout(arrival)
+        with res.request() as req:
+            yield req
+            start = env.now
+            yield env.timeout(hold)
+            total_hold[0] += env.now - start
+
+    for arrival, hold in jobs:
+        env.process(job(env, arrival, hold))
+    env.run()
+    assert abs(res.busy_time() - total_hold[0]) < 1e-9

@@ -1,0 +1,297 @@
+"""Tests for Resource / PriorityResource / Container."""
+
+import pytest
+
+from repro.des import Container, Environment, PriorityResource, Resource
+
+
+def test_resource_grants_up_to_capacity():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    granted = []
+
+    def user(env, res, name, hold):
+        with res.request() as req:
+            yield req
+            granted.append((name, env.now))
+            yield env.timeout(hold)
+
+    env.process(user(env, res, "a", 10))
+    env.process(user(env, res, "b", 10))
+    env.process(user(env, res, "c", 10))
+    env.run()
+    assert granted == [("a", 0), ("b", 0), ("c", 10)]
+
+
+def test_resource_fifo_order():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def user(env, res, name):
+        with res.request() as req:
+            yield req
+            order.append(name)
+            yield env.timeout(1)
+
+    for name in "abcd":
+        env.process(user(env, res, name))
+    env.run()
+    assert order == list("abcd")
+
+
+def test_resource_counts_and_queue_length():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    snapshots = []
+
+    def user(env, res):
+        with res.request() as req:
+            yield req
+            yield env.timeout(5)
+
+    def observer(env, res):
+        yield env.timeout(1)
+        snapshots.append((res.count, res.queue_length))
+
+    env.process(user(env, res))
+    env.process(user(env, res))
+    env.process(user(env, res))
+    env.process(observer(env, res))
+    env.run()
+    assert snapshots == [(1, 2)]
+    assert res.count == 0
+    assert res.total_served == 3
+
+
+def test_resource_invalid_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_resource_release_without_hold_raises():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def bad(env, res):
+        req = res.request()
+        yield req
+        req.release()
+        with pytest.raises(RuntimeError):
+            req.release()
+
+    env.process(bad(env, res))
+    env.run()
+
+
+def test_cancel_queued_request():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def holder(env, res):
+        with res.request() as req:
+            yield req
+            yield env.timeout(10)
+
+    def impatient(env, res):
+        req = res.request()
+        result = yield req | env.timeout(2)
+        if req not in result:
+            req.cancel()
+            order.append(("gave up", env.now))
+
+    def patient(env, res):
+        with res.request() as req:
+            yield req
+            order.append(("patient", env.now))
+
+    env.process(holder(env, res))
+    env.process(impatient(env, res))
+    env.process(patient(env, res))
+    env.run()
+    assert ("gave up", 2) in order
+    assert ("patient", 10) in order
+
+
+def test_resource_busy_time_accounting():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def user(env, res, start, hold):
+        yield env.timeout(start)
+        with res.request() as req:
+            yield req
+            yield env.timeout(hold)
+
+    env.process(user(env, res, 0, 3))
+    env.process(user(env, res, 5, 2))
+    env.run()
+    assert res.busy_time() == pytest.approx(5.0)
+    assert res.utilization(env.now) == pytest.approx(5.0 / 7.0)
+
+
+def test_resource_reset_accounting():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def user(env, res, hold):
+        with res.request() as req:
+            yield req
+            yield env.timeout(hold)
+
+    env.process(user(env, res, 4))
+    env.run()
+    res.reset_accounting()
+    assert res.busy_time() == 0.0
+    assert res.total_served == 0
+
+    def user2(env, res):
+        with res.request() as req:
+            yield req
+            yield env.timeout(1)
+
+    env.process(user2(env, res))
+    env.run()
+    assert res.busy_time() == pytest.approx(1.0)
+
+
+def test_reset_accounting_while_busy():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def user(env, res):
+        with res.request() as req:
+            yield req
+            yield env.timeout(10)
+
+    def resetter(env, res):
+        yield env.timeout(4)
+        res.reset_accounting()
+
+    env.process(user(env, res))
+    env.process(resetter(env, res))
+    env.run()
+    # Busy from t=4 (reset) to t=10.
+    assert res.busy_time() == pytest.approx(6.0)
+
+
+def test_priority_resource_orders_by_priority():
+    env = Environment()
+    res = PriorityResource(env, capacity=1)
+    order = []
+
+    def holder(env, res):
+        with res.request(priority=0) as req:
+            yield req
+            yield env.timeout(5)
+
+    def user(env, res, name, prio, delay):
+        yield env.timeout(delay)
+        with res.request(priority=prio) as req:
+            yield req
+            order.append(name)
+            yield env.timeout(1)
+
+    env.process(holder(env, res))
+    env.process(user(env, res, "low", 5, 1))
+    env.process(user(env, res, "high", 1, 2))
+    env.process(user(env, res, "mid", 3, 3))
+    env.run()
+    assert order == ["high", "mid", "low"]
+
+
+def test_priority_resource_fifo_within_priority():
+    env = Environment()
+    res = PriorityResource(env, capacity=1)
+    order = []
+
+    def holder(env, res):
+        with res.request(priority=0) as req:
+            yield req
+            yield env.timeout(5)
+
+    def user(env, res, name, delay):
+        yield env.timeout(delay)
+        with res.request(priority=2) as req:
+            yield req
+            order.append(name)
+            yield env.timeout(1)
+
+    env.process(holder(env, res))
+    env.process(user(env, res, "first", 1))
+    env.process(user(env, res, "second", 2))
+    env.run()
+    assert order == ["first", "second"]
+
+
+def test_container_put_get():
+    env = Environment()
+    tank = Container(env, capacity=100, init=50)
+    levels = []
+
+    def producer(env, tank):
+        yield tank.put(30)
+        levels.append(("after put", tank.level))
+
+    def consumer(env, tank):
+        yield env.timeout(1)
+        yield tank.get(70)
+        levels.append(("after get", tank.level))
+
+    env.process(producer(env, tank))
+    env.process(consumer(env, tank))
+    env.run()
+    assert levels == [("after put", 80), ("after get", 10)]
+
+
+def test_container_get_blocks_until_available():
+    env = Environment()
+    tank = Container(env, capacity=10, init=0)
+    times = []
+
+    def consumer(env, tank):
+        yield tank.get(5)
+        times.append(env.now)
+
+    def producer(env, tank):
+        yield env.timeout(3)
+        yield tank.put(5)
+
+    env.process(consumer(env, tank))
+    env.process(producer(env, tank))
+    env.run()
+    assert times == [3]
+
+
+def test_container_put_blocks_when_full():
+    env = Environment()
+    tank = Container(env, capacity=10, init=10)
+    times = []
+
+    def producer(env, tank):
+        yield tank.put(4)
+        times.append(env.now)
+
+    def consumer(env, tank):
+        yield env.timeout(2)
+        yield tank.get(6)
+
+    env.process(producer(env, tank))
+    env.process(consumer(env, tank))
+    env.run()
+    assert times == [2]
+
+
+def test_container_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Container(env, capacity=0)
+    with pytest.raises(ValueError):
+        Container(env, capacity=5, init=6)
+    tank = Container(env, capacity=5)
+    with pytest.raises(ValueError):
+        tank.put(0)
+    with pytest.raises(ValueError):
+        tank.get(-1)

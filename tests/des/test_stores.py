@@ -1,0 +1,168 @@
+"""Tests for Store / FilterStore."""
+
+import pytest
+
+from repro.des import Environment, FilterStore, Store
+
+
+def test_store_fifo():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer(env, store):
+        for i in range(3):
+            yield store.put(i)
+            yield env.timeout(1)
+
+    def consumer(env, store):
+        for _ in range(3):
+            item = yield store.get()
+            got.append((item, env.now))
+
+    env.process(producer(env, store))
+    env.process(consumer(env, store))
+    env.run()
+    assert [i for i, _ in got] == [0, 1, 2]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer(env, store):
+        item = yield store.get()
+        got.append((item, env.now))
+
+    def producer(env, store):
+        yield env.timeout(5)
+        yield store.put("msg")
+
+    env.process(consumer(env, store))
+    env.process(producer(env, store))
+    env.run()
+    assert got == [("msg", 5)]
+
+
+def test_store_capacity_blocks_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    times = []
+
+    def producer(env, store):
+        yield store.put("a")
+        times.append(("a", env.now))
+        yield store.put("b")
+        times.append(("b", env.now))
+
+    def consumer(env, store):
+        yield env.timeout(4)
+        yield store.get()
+
+    env.process(producer(env, store))
+    env.process(consumer(env, store))
+    env.run()
+    assert times == [("a", 0), ("b", 4)]
+
+
+def test_store_len_and_items():
+    env = Environment()
+    store = Store(env)
+
+    def producer(env, store):
+        yield store.put(1)
+        yield store.put(2)
+
+    env.process(producer(env, store))
+    env.run()
+    assert len(store) == 2
+    assert store.items == [1, 2]
+
+
+def test_store_invalid_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Store(env, capacity=0)
+
+
+def test_filter_store_matches_predicate():
+    env = Environment()
+    store = FilterStore(env)
+    got = []
+
+    def producer(env, store):
+        yield store.put({"kind": "x", "n": 1})
+        yield store.put({"kind": "y", "n": 2})
+
+    def consumer(env, store):
+        item = yield store.get(lambda m: m["kind"] == "y")
+        got.append(item["n"])
+
+    env.process(producer(env, store))
+    env.process(consumer(env, store))
+    env.run()
+    assert got == [2]
+    assert store.items == [{"kind": "x", "n": 1}]
+
+
+def test_filter_store_blocked_head_does_not_starve_others():
+    env = Environment()
+    store = FilterStore(env)
+    got = []
+
+    def want(env, store, kind):
+        item = yield store.get(lambda m: m == kind)
+        got.append((kind, env.now))
+
+    def producer(env, store):
+        yield env.timeout(1)
+        yield store.put("b")  # matches the *second* waiter only
+        yield env.timeout(1)
+        yield store.put("a")
+
+    env.process(want(env, store, "a"))
+    env.process(want(env, store, "b"))
+    env.process(producer(env, store))
+    env.run()
+    assert got == [("b", 1), ("a", 2)]
+
+
+def test_filter_store_default_filter_accepts_all():
+    env = Environment()
+    store = FilterStore(env)
+    got = []
+
+    def consumer(env, store):
+        got.append((yield store.get()))
+
+    def producer(env, store):
+        yield store.put(42)
+
+    env.process(consumer(env, store))
+    env.process(producer(env, store))
+    env.run()
+    assert got == [42]
+
+
+def test_store_many_producers_consumers():
+    env = Environment()
+    store = Store(env, capacity=4)
+    consumed = []
+
+    def producer(env, store, base):
+        for i in range(10):
+            yield store.put(base + i)
+            yield env.timeout(0.5)
+
+    def consumer(env, store):
+        while True:
+            item = yield store.get()
+            consumed.append(item)
+            yield env.timeout(0.25)
+
+    env.process(producer(env, store, 0))
+    env.process(producer(env, store, 100))
+    env.process(consumer(env, store))
+    env.run(until=100)
+    assert sorted(consumed) == sorted(list(range(10)) + list(range(100, 110)))

@@ -1,0 +1,54 @@
+"""Tests for the CSV exporters (plot-ready long-format data)."""
+
+import csv
+import io
+
+import pytest
+
+from repro.experiments import scaling_experiment
+from repro.model import ModelParameters, SurfaceGrid, compute_surfaces
+
+
+@pytest.fixture(scope="module")
+def surfaces():
+    grid = SurfaceGrid(hit_rates=(0.0, 0.5, 1.0), sizes_kb=(4.0, 64.0))
+    return compute_surfaces(ModelParameters(), grid)
+
+
+@pytest.fixture(scope="module")
+def scaling():
+    return scaling_experiment(
+        "calgary", systems=("l2s",), node_counts=(2,), num_requests=1500
+    )
+
+
+def test_surfaces_csv_shape(surfaces):
+    rows = list(csv.DictReader(io.StringIO(surfaces.to_csv())))
+    assert len(rows) == 3 * 2
+    assert set(rows[0]) == {
+        "hit_rate",
+        "size_kb",
+        "oblivious_rps",
+        "conscious_rps",
+        "increase",
+    }
+
+
+def test_surfaces_csv_values_consistent(surfaces):
+    rows = list(csv.DictReader(io.StringIO(surfaces.to_csv())))
+    for row in rows:
+        obl = float(row["oblivious_rps"])
+        con = float(row["conscious_rps"])
+        inc = float(row["increase"])
+        assert inc == pytest.approx(con / obl, rel=1e-4)
+
+
+def test_scaling_csv(scaling):
+    rows = list(csv.DictReader(io.StringIO(scaling.to_csv())))
+    systems = {r["system"] for r in rows}
+    assert systems == {"model", "l2s"}
+    model_rows = [r for r in rows if r["system"] == "model"]
+    assert model_rows[0]["miss_rate"] == ""  # model rows carry no sim metrics
+    sim_rows = [r for r in rows if r["system"] == "l2s"]
+    assert float(sim_rows[0]["throughput_rps"]) > 0
+    assert 0.0 <= float(sim_rows[0]["miss_rate"]) <= 1.0

@@ -1,0 +1,117 @@
+"""Tests for the figure/table/ablation experiment drivers (small scale)."""
+
+import pytest
+
+from repro.experiments import (
+    ScalingExperiment,
+    model_figures,
+    model_memory_sensitivity,
+    model_replication_sweep,
+    render_figure3,
+    render_figure4,
+    render_figure5,
+    render_figure6,
+    render_table1,
+    render_table2,
+    scaling_experiment,
+    table1_rows,
+    table2_rows,
+)
+from repro.model import SurfaceGrid
+
+TINY_GRID = SurfaceGrid(hit_rates=(0.0, 0.5, 0.8, 1.0), sizes_kb=(4.0, 64.0))
+
+
+@pytest.fixture(scope="module")
+def tiny_scaling():
+    return scaling_experiment(
+        "calgary",
+        systems=("l2s", "traditional"),
+        node_counts=(2, 4),
+        num_requests=3000,
+    )
+
+
+def test_model_figures_render(capsys):
+    s = model_figures(grid=TINY_GRID)
+    for render in (render_figure3, render_figure4, render_figure5, render_figure6):
+        text = render(s)
+        assert isinstance(text, str) and len(text) > 0
+
+
+def test_table1_contains_all_parameters():
+    rows = table1_rows()
+    names = [r[0] for r in rows]
+    assert names == [
+        "N", "R", "alpha", "mu_r", "mu_i", "mu_p", "mu_f", "mu_m", "mu_d", "mu_o", "C",
+    ]
+    text = render_table1()
+    assert "140,000 ops/s" in text
+    assert "6,300 ops/s" in text
+    assert "128 MBytes" in text
+
+
+def test_table2_paper_and_synthetic_rows_match():
+    rows = table2_rows(num_requests=5000, traces=("nasa",))
+    assert len(rows) == 2
+    paper, synth = rows
+    assert paper[0] == "paper" and synth[0] == "synthetic"
+    assert paper[2] == synth[2] == 5500  # num files
+    # Synthetic requested-size mean within 10% of the published value.
+    assert synth[5] == pytest.approx(paper[5], rel=0.10)
+    assert "nasa" in render_table2(num_requests=5000)
+
+
+def test_scaling_experiment_structure(tiny_scaling):
+    e = tiny_scaling
+    assert isinstance(e, ScalingExperiment)
+    assert e.trace == "calgary"
+    assert set(e.results) == {"l2s", "traditional"}
+    assert set(e.model) == {2, 4}
+    series = e.throughput_series()
+    assert set(series) == {"model", "l2s", "traditional"}
+    assert len(series["l2s"]) == 2
+    assert all(v > 0 for v in series["model"])
+
+
+def test_scaling_experiment_model_is_upper_bound(tiny_scaling):
+    series = tiny_scaling.throughput_series()
+    for system in ("l2s", "traditional"):
+        for sim, bound in zip(series[system], series["model"]):
+            assert sim <= bound * 1.1  # small tolerance for estimation noise
+
+
+def test_scaling_experiment_metric_series(tiny_scaling):
+    miss = tiny_scaling.metric_series("miss_rate")
+    assert set(miss) == {"l2s", "traditional"}
+    assert all(0 <= m <= 1 for m in miss["l2s"])
+
+
+def test_scaling_experiment_render(tiny_scaling):
+    text = tiny_scaling.render()
+    assert "nodes" in text and "model" in text
+
+
+def test_model_memory_sensitivity_decreasing():
+    peaks = model_memory_sensitivity(memories_mb=(128, 512))
+    assert peaks[512] <= peaks[128]
+    assert 4.0 < peaks[512] < 9.0
+
+
+def test_model_replication_sweep_tradeoff():
+    rows = model_replication_sweep(replications=(0.0, 0.15, 1.0))
+    by_r = {r: (thr, hlc, q) for r, thr, hlc, q in rows}
+    # Q falls with replication (at R=1 only misses on the fully
+    # replicated cache are forwarded, per Table 1's formula); Hlc falls
+    # with replication (the aggregate cache shrinks to C at R=1).
+    assert by_r[0.0][2] > by_r[0.15][2] > by_r[1.0][2]
+    assert by_r[0.0][1] >= by_r[0.15][1] >= by_r[1.0][1]
+
+
+def test_bench_requests_env_override(monkeypatch):
+    from repro.experiments import bench_requests
+
+    monkeypatch.delenv("REPRO_BENCH_REQUESTS", raising=False)
+    assert bench_requests(123) == 123
+    monkeypatch.setenv("REPRO_BENCH_REQUESTS", "777")
+    assert bench_requests(123) == 777

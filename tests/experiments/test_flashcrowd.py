@@ -1,0 +1,67 @@
+"""Tests for the flash-crowd trace rewrite and experiment plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.flashcrowd import (
+    FlashCrowdResult,
+    flash_crowd_experiment,
+    flash_crowd_trace,
+    pick_hot_rank,
+)
+from repro.workload import build_fileset, generate_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    fs = build_fileset(400, 16 * 1024, 13 * 1024, 0.9, seed=17, name="fc")
+    return generate_trace(fs, 4000, seed=18, name="fc")
+
+
+def test_pick_hot_rank_representative(trace):
+    rank = pick_hot_rank(trace)
+    assert 20 <= rank < 400
+    size = trace.fileset.size_of(rank)
+    assert abs(size - trace.mean_request_bytes()) < 0.5 * trace.mean_request_bytes()
+
+
+def test_flash_crowd_trace_rewrites_window(trace):
+    hot = pick_hot_rank(trace)
+    flash = flash_crowd_trace(trace, spike_start=0.4, spike_length=0.3, hot_share=0.6, hot_rank=hot)
+    n = len(trace)
+    lo, hi = int(n * 0.4), int(n * 0.7)
+    window = flash.file_ids[lo:hi]
+    outside = np.concatenate([flash.file_ids[:lo], flash.file_ids[hi:]])
+    hot_frac_in = (window == hot).mean()
+    hot_frac_out = (outside == hot).mean()
+    assert hot_frac_in == pytest.approx(0.6, abs=0.08)
+    assert hot_frac_out < 0.05
+    # Outside the window nothing changed.
+    assert (flash.file_ids[:lo] == trace.file_ids[:lo]).all()
+    assert (flash.file_ids[hi:] == trace.file_ids[hi:]).all()
+
+
+def test_flash_crowd_trace_validation(trace):
+    with pytest.raises(ValueError):
+        flash_crowd_trace(trace, spike_start=1.0)
+    with pytest.raises(ValueError):
+        flash_crowd_trace(trace, spike_start=0.9, spike_length=0.5)
+    with pytest.raises(ValueError):
+        flash_crowd_trace(trace, hot_share=0.0)
+    with pytest.raises(IndexError):
+        flash_crowd_trace(trace, hot_rank=400)
+
+
+def test_flash_crowd_trace_deterministic(trace):
+    a = flash_crowd_trace(trace, seed=3)
+    b = flash_crowd_trace(trace, seed=3)
+    assert (a.file_ids == b.file_ids).all()
+
+
+def test_flash_crowd_experiment_smoke(trace):
+    r = flash_crowd_experiment("l2s", trace=trace, nodes=2)
+    assert isinstance(r, FlashCrowdResult)
+    assert r.baseline_rps > 0
+    assert r.spike_rps > 0
+    assert r.hot_server_count >= 1
+    assert 0.0 < r.spike_retention < 5.0

@@ -1,0 +1,35 @@
+"""Tests for parallel experiment fan-out (process-pool execution)."""
+
+import pytest
+
+from repro.experiments import scaling_experiment
+from repro.experiments.figures import bench_workers
+
+
+def test_bench_workers_env(monkeypatch):
+    monkeypatch.delenv("REPRO_BENCH_WORKERS", raising=False)
+    assert bench_workers() == 1
+    assert bench_workers(3) == 3
+    monkeypatch.setenv("REPRO_BENCH_WORKERS", "4")
+    assert bench_workers() == 4
+    monkeypatch.setenv("REPRO_BENCH_WORKERS", "0")
+    assert bench_workers() == 1  # clamped
+
+
+def test_parallel_matches_serial():
+    """Every cell is deterministic, so fan-out must be bit-identical."""
+    kwargs = dict(
+        systems=("l2s", "traditional"),
+        node_counts=(2, 4),
+        num_requests=1500,
+    )
+    serial = scaling_experiment("calgary", workers=1, **kwargs)
+    parallel = scaling_experiment("calgary", workers=4, **kwargs)
+    assert serial.model == parallel.model
+    for system in kwargs["systems"]:
+        for n in kwargs["node_counts"]:
+            a = serial.results[system][n]
+            b = parallel.results[system][n]
+            assert a.throughput_rps == b.throughput_rps
+            assert a.miss_rate == b.miss_rate
+            assert a.node_completions == b.node_completions

@@ -1,0 +1,57 @@
+"""Tests for the multi-seed replication statistics."""
+
+import pytest
+
+from repro.experiments.replication_stats import ReplicatedMetric, replicate
+
+
+def test_replicate_calls_per_seed():
+    calls = []
+    m = replicate(lambda s: (calls.append(s), float(s * 10))[1], seeds=(1, 2, 3))
+    assert calls == [1, 2, 3]
+    assert m.values == (10.0, 20.0, 30.0)
+    assert m.n == 3
+    assert m.mean == pytest.approx(20.0)
+
+
+def test_known_stdev_and_interval():
+    m = ReplicatedMetric("x", (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0), 0.95)
+    assert m.stdev == pytest.approx((32 / 7) ** 0.5)
+    lo, hi = m.interval
+    assert lo < m.mean < hi
+    # t(7, 0.975) ~ 2.365; half width = 2.365 * s / sqrt(8).
+    assert m.half_width == pytest.approx(2.365 * m.stdev / 8**0.5, rel=1e-3)
+
+
+def test_single_seed_degenerate():
+    m = replicate(lambda s: 5.0, seeds=(0,))
+    assert m.stdev == 0.0
+    assert m.half_width == 0.0
+    assert m.interval == (5.0, 5.0)
+
+
+def test_relative_half_width():
+    m = ReplicatedMetric("x", (10.0, 10.0, 10.0), 0.95)
+    assert m.relative_half_width == 0.0
+    z = ReplicatedMetric("zero", (0.0, 0.0), 0.95)
+    assert z.relative_half_width == 0.0
+
+
+def test_higher_confidence_wider_interval():
+    vals = (1.0, 2.0, 3.0, 4.0)
+    narrow = ReplicatedMetric("x", vals, 0.80)
+    wide = ReplicatedMetric("x", vals, 0.99)
+    assert wide.half_width > narrow.half_width
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        replicate(lambda s: 1.0, seeds=())
+    with pytest.raises(ValueError):
+        replicate(lambda s: 1.0, seeds=(1,), confidence=1.5)
+
+
+def test_str_rendering():
+    m = ReplicatedMetric("demo", (100.0, 110.0, 90.0), 0.95)
+    text = str(m)
+    assert "demo" in text and "±" in text and "n=3" in text

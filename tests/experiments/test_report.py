@@ -1,0 +1,61 @@
+"""Tests for the text renderers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import render_series, render_surface, render_table
+
+
+def test_render_table_alignment():
+    out = render_table(["a", "bb"], [[1, "x"], [22, "yy"]])
+    lines = out.split("\n")
+    assert len(lines) == 4
+    assert lines[0].split() == ["a", "bb"]
+    # All lines equal width.
+    assert len({len(l) for l in lines}) == 1
+
+
+def test_render_table_number_formatting():
+    out = render_table(["n"], [[1234567], [3.14159]])
+    assert "1,234,567" in out
+    assert "3.14" in out
+
+
+def test_render_table_width_mismatch():
+    with pytest.raises(ValueError):
+        render_table(["a", "b"], [[1]])
+
+
+def test_render_table_empty_rows():
+    out = render_table(["a"], [])
+    assert "a" in out
+
+
+def test_render_series():
+    out = render_series("x", [1, 2], {"up": [10, 20], "down": [20, 10]})
+    lines = out.split("\n")
+    assert "up" in lines[0] and "down" in lines[0]
+    assert len(lines) == 4
+
+
+def test_render_surface_shades():
+    vals = np.array([[0.0, 5.0], [5.0, 10.0]])
+    out = render_surface(["r0", "r1"], ["c0", "c1"], vals, title="T")
+    assert out.startswith("T")
+    assert " " in out  # min shade
+    assert "@" in out  # max shade
+
+
+def test_render_surface_constant_values():
+    vals = np.ones((2, 2))
+    out = render_surface(["a", "b"], ["c", "d"], vals)
+    # Constant surface: the data rows map to the lowest shade (space),
+    # i.e. no high-intensity glyphs outside the legend line.
+    data_rows = out.split("\n")[2:4]
+    assert all(set(r.split("  ")[-1]) <= {" "} for r in data_rows)
+    assert "min=1.0" in out
+
+
+def test_render_surface_shape_mismatch():
+    with pytest.raises(ValueError):
+        render_surface(["a"], ["b", "c"], np.ones((2, 2)))

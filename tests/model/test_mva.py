@@ -1,0 +1,117 @@
+"""Tests for exact Mean Value Analysis, against textbook results."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import StationDemand
+from repro.model.mva import mva, mva_from_stations
+
+
+def test_single_station_saturates_immediately():
+    """One queue, no think time: X(m) = 1/d for every m >= 1."""
+    for m in (1, 2, 5, 50):
+        r = mva([("q", 0.01)], m)
+        assert r.throughput == pytest.approx(100.0)
+        assert r.queue_lengths["q"] == pytest.approx(m)
+
+
+def test_balanced_network_closed_form():
+    """K identical stations of demand d: X(m) = m / (d * (K + m - 1))."""
+    d, k = 0.02, 4
+    demands = [(f"s{i}", d) for i in range(k)]
+    for m in (1, 2, 3, 10, 40):
+        r = mva(demands, m)
+        assert r.throughput == pytest.approx(m / (d * (k + m - 1)), rel=1e-12)
+
+
+def test_think_time_interactive_law():
+    """With think time Z: X(1) = 1 / (Z + sum d)."""
+    r = mva([("a", 0.01), ("b", 0.02)], 1, think_time=0.5)
+    assert r.throughput == pytest.approx(1 / 0.53)
+    assert r.response_time == pytest.approx(0.03)
+
+
+def test_asymptotic_bounds():
+    """X(m) <= min(m / (Z + D), 1 / d_max) — the classic bounds."""
+    demands = [("a", 0.004), ("b", 0.01), ("c", 0.002)]
+    total = sum(d for _, d in demands)
+    for m in (1, 3, 8, 100):
+        x = mva(demands, m).throughput
+        assert x <= m / total + 1e-12
+        assert x <= 1 / 0.01 + 1e-12
+    # Large populations approach the bottleneck rate.
+    assert mva(demands, 200).throughput == pytest.approx(100.0, rel=1e-3)
+
+
+def test_queue_lengths_sum_to_population():
+    demands = [("a", 0.004), ("b", 0.01)]
+    r = mva(demands, 12)
+    assert sum(r.queue_lengths.values()) == pytest.approx(12.0)
+
+
+def test_utilization_helper():
+    demands = [("a", 0.004), ("b", 0.01)]
+    r = mva(demands, 50)
+    u = r.utilization(dict(demands))
+    assert u["b"] == pytest.approx(1.0, rel=1e-3)  # bottleneck saturated
+    assert u["a"] == pytest.approx(0.4, rel=1e-2)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        mva([("a", 0.01)], 0)
+    with pytest.raises(ValueError):
+        mva([("a", 0.01)], 5, think_time=-1)
+    with pytest.raises(ValueError):
+        mva([("a", 0.01), ("a", 0.02)], 5)
+    with pytest.raises(ValueError):
+        mva([("a", -0.01)], 5)
+    with pytest.raises(ValueError):
+        mva([("a", 0.0)], 5)
+
+
+def test_station_expansion_matches_manual():
+    stations = [
+        StationDemand("router", 0.001, servers=1),
+        StationDemand("cpu", 0.008, servers=4),
+    ]
+    r = mva_from_stations(stations, 10)
+    manual = mva(
+        [("router", 0.001)] + [(f"cpu[{i}]", 0.002) for i in range(4)], 10
+    )
+    assert r.throughput == pytest.approx(manual.throughput)
+    assert set(r.queue_lengths) == {"router", "cpu[0]", "cpu[1]", "cpu[2]", "cpu[3]"}
+
+
+def test_mva_approaches_open_bound():
+    """At large populations the closed throughput approaches the open
+    network's saturation bound min_k(servers/d)."""
+    stations = [
+        StationDemand("router", 0.0001, servers=1),
+        StationDemand("cpu", 0.004, servers=8),  # bottleneck: 2000/s
+        StationDemand("disk", 0.002, servers=8),
+    ]
+    r = mva_from_stations(stations, 400)
+    assert r.throughput == pytest.approx(2000.0, rel=0.02)
+    assert r.throughput < 2000.0  # from below
+    # Convergence from below: more customers, closer to the bound.
+    assert mva_from_stations(stations, 1200).throughput > r.throughput
+
+
+@given(
+    n_stations=st.integers(min_value=1, max_value=6),
+    customers=st.integers(min_value=1, max_value=60),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_mva_monotone_and_bounded(n_stations, customers, seed):
+    import random
+
+    rng = random.Random(seed)
+    demands = [(f"s{i}", rng.uniform(1e-4, 1e-2)) for i in range(n_stations)]
+    x1 = mva(demands, customers).throughput
+    x2 = mva(demands, customers + 1).throughput
+    d_max = max(d for _, d in demands)
+    assert 0 < x1 <= x2 + 1e-12  # throughput non-decreasing in population
+    assert x2 <= 1 / d_max + 1e-9  # never beats the bottleneck

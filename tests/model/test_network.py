@@ -1,0 +1,97 @@
+"""Tests for the open M/M/1 network solver."""
+
+import math
+
+import pytest
+
+from repro.model import QueuingNetwork, StationDemand
+
+
+def net(*stations):
+    return QueuingNetwork(list(stations))
+
+
+def test_station_capacity():
+    s = StationDemand("cpu", 0.001, servers=4)
+    assert s.capacity == pytest.approx(4000.0)
+
+
+def test_station_zero_demand_infinite_capacity():
+    assert StationDemand("idle", 0.0).capacity == math.inf
+
+
+def test_station_validation():
+    with pytest.raises(ValueError):
+        StationDemand("x", -1.0)
+    with pytest.raises(ValueError):
+        StationDemand("x", 1.0, servers=0)
+
+
+def test_network_requires_stations():
+    with pytest.raises(ValueError):
+        QueuingNetwork([])
+
+
+def test_network_rejects_duplicate_names():
+    with pytest.raises(ValueError):
+        net(StationDemand("a", 1.0), StationDemand("a", 2.0))
+
+
+def test_saturation_is_min_capacity():
+    n = net(
+        StationDemand("router", 0.0001, servers=1),  # 10 000/s
+        StationDemand("cpu", 0.002, servers=16),  # 8 000/s
+        StationDemand("disk", 0.01, servers=16),  # 1 600/s
+    )
+    assert n.saturation_throughput() == pytest.approx(1600.0)
+    assert n.bottleneck().name == "disk"
+
+
+def test_utilizations_linear_in_rate():
+    n = net(StationDemand("cpu", 0.002, servers=4))
+    u = n.utilizations(1000.0)
+    assert u["cpu"] == pytest.approx(0.5)
+    assert n.utilizations(2000.0)["cpu"] == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        n.utilizations(-1)
+
+
+def test_response_time_single_mm1():
+    # Classic M/M/1: W = 1/(mu - lambda); with d=1/mu: d/(1-rho).
+    n = net(StationDemand("q", 0.01, servers=1))  # mu = 100
+    lam = 50.0
+    assert n.response_time(lam) == pytest.approx(1 / (100 - 50))
+
+
+def test_response_time_diverges_at_saturation():
+    n = net(StationDemand("q", 0.01, servers=1))
+    assert n.response_time(100.0) == math.inf
+    assert n.response_time(150.0) == math.inf
+
+
+def test_response_time_sums_stations():
+    n = net(
+        StationDemand("a", 0.01, servers=1),
+        StationDemand("b", 0.005, servers=1),
+    )
+    lam = 20.0
+    expected = 0.01 / (1 - 0.2) + 0.005 / (1 - 0.1)
+    assert n.response_time(lam) == pytest.approx(expected)
+
+
+def test_response_time_monotone_in_load():
+    n = net(StationDemand("a", 0.001, servers=2))
+    r = [n.response_time(lam) for lam in (0.0, 500.0, 1000.0, 1500.0)]
+    assert r[0] < r[1] < r[2] < r[3]
+    assert r[0] == pytest.approx(0.001)  # no queueing at zero load
+
+
+def test_response_time_negative_rate_rejected():
+    n = net(StationDemand("a", 0.001))
+    with pytest.raises(ValueError):
+        n.response_time(-1.0)
+
+
+def test_as_dict():
+    n = net(StationDemand("a", 0.5, servers=2))
+    assert n.as_dict() == {"a": (0.5, 2)}

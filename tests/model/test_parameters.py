@@ -1,0 +1,81 @@
+"""Tests that ModelParameters encodes Table 1 exactly."""
+
+import pytest
+
+from repro.model import DEFAULT_PARAMETERS, MB, ModelParameters
+
+
+def test_table1_default_values():
+    p = DEFAULT_PARAMETERS
+    assert p.nodes == 16
+    assert p.replication == 0.0
+    assert p.alpha == 1.0
+    assert p.cache_bytes == 128 * MB
+
+
+def test_table1_service_rates():
+    """The reciprocal service times must equal the table's ops/s."""
+    p = DEFAULT_PARAMETERS
+    assert 1 / p.ni_request_time() == pytest.approx(140_000)
+    assert 1 / p.parse_time() == pytest.approx(6_300)
+    assert 1 / p.forward_time() == pytest.approx(10_000)
+    # mu_m = (0.0001 + S/12000)^-1 at S = 12 KB.
+    assert 1 / p.reply_time(12.0) == pytest.approx(1 / (0.0001 + 12 / 12000))
+    # mu_d = (0.028 + S/10000)^-1 at S = 100 KB.
+    assert 1 / p.disk_time(100.0) == pytest.approx(1 / (0.028 + 0.01))
+    # mu_o = (0.000003 + S/128000)^-1 at S = 64 KB.
+    assert 1 / p.ni_reply_time(64.0) == pytest.approx(1 / (0.000003 + 64 / 128000))
+    # mu_r = 500000/size ops/s at size = 50 KB.
+    assert 1 / p.route_time(50.0) == pytest.approx(10_000)
+
+
+def test_small_message_ni_time_consistent_with_mu_i():
+    """A request-sized message through the NI costs about 1/mu_i."""
+    p = DEFAULT_PARAMETERS
+    assert p.ni_message_time(p.request_kb) == pytest.approx(
+        p.ni_request_time(), rel=0.05
+    )
+
+
+def test_cache_space_formulas():
+    # Clo = C; Clc = N*(1-R)*C + R*C.
+    p = ModelParameters(nodes=16, replication=0.15, cache_bytes=128 * MB)
+    c = 128 * 1024.0  # KB
+    assert p.oblivious_cache_kb() == pytest.approx(c)
+    assert p.conscious_cache_kb() == pytest.approx(16 * 0.85 * c + 0.15 * c)
+    assert p.replicated_cache_kb() == pytest.approx(0.15 * c)
+
+
+def test_replication_one_degenerates_to_oblivious_cache():
+    """Paper: 'a locality-oblivious server is a locality-conscious server
+    with R = 1'."""
+    p = ModelParameters(replication=1.0)
+    assert p.conscious_cache_kb() == pytest.approx(p.oblivious_cache_kb())
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ModelParameters(nodes=0)
+    with pytest.raises(ValueError):
+        ModelParameters(replication=1.5)
+    with pytest.raises(ValueError):
+        ModelParameters(alpha=-1)
+    with pytest.raises(ValueError):
+        ModelParameters(cache_bytes=0)
+    with pytest.raises(ValueError):
+        ModelParameters(parse_rate=0)
+
+
+def test_with_replaces_fields():
+    p = DEFAULT_PARAMETERS.with_(nodes=8, cache_bytes=32 * MB)
+    assert p.nodes == 8
+    assert p.cache_bytes == 32 * MB
+    assert DEFAULT_PARAMETERS.nodes == 16  # original untouched
+
+
+def test_service_times_scale_with_size():
+    p = DEFAULT_PARAMETERS
+    assert p.reply_time(100) > p.reply_time(10)
+    assert p.disk_time(100) > p.disk_time(10)
+    assert p.ni_reply_time(100) > p.ni_reply_time(10)
+    assert p.route_time(100) == pytest.approx(10 * p.route_time(10))

@@ -1,0 +1,210 @@
+"""Tests for the analytic server bounds — including the paper's headline
+modeling claims (Section 3.2)."""
+
+import pytest
+
+from repro.model import (
+    MB,
+    ModelParameters,
+    bound_for_population,
+    conscious_hit_rates,
+    conscious_result,
+    oblivious_result,
+    throughput_increase,
+)
+from repro.workload import preset
+
+
+def test_oblivious_peak_matches_figure3():
+    """Fig 3: oblivious peak ~2.2-2.7e4 req/s at small files, hit rate 1."""
+    p = ModelParameters()
+    t = oblivious_result(p, 4.0, 1.0).throughput
+    assert 2.2e4 < t < 2.9e4
+
+
+def test_conscious_peak_matches_figure4():
+    """Fig 4: conscious peak also ~2.2-2.5e4 (CPU bound, forwarding tax)."""
+    p = ModelParameters()
+    t = conscious_result(p, 4.0, 1.0).throughput
+    assert 2.0e4 < t < 2.6e4
+
+
+def test_oblivious_throughput_monotone_in_hit_rate():
+    p = ModelParameters()
+    ts = [oblivious_result(p, 16.0, h).throughput for h in (0.0, 0.4, 0.8, 1.0)]
+    assert ts[0] <= ts[1] <= ts[2] <= ts[3]
+
+
+def test_oblivious_throughput_decreasing_in_size():
+    p = ModelParameters()
+    ts = [oblivious_result(p, s, 0.9).throughput for s in (4, 16, 64, 128)]
+    assert ts[0] > ts[1] > ts[2] > ts[3]
+
+
+def test_oblivious_bottlenecks():
+    """Low hit rates are disk-bound; hit rate 1 with small files is CPU-bound."""
+    p = ModelParameters()
+    assert oblivious_result(p, 4.0, 0.3).bottleneck == "disk"
+    assert oblivious_result(p, 4.0, 1.0).bottleneck == "cpu"
+
+
+def test_conscious_forward_fraction_without_replication():
+    """With R=0 no file is replicated, so Q = (N-1)/N."""
+    p = ModelParameters(nodes=16, replication=0.0)
+    _, h, q = conscious_hit_rates(p, 16.0, 0.7)
+    assert h == 0.0
+    assert q == pytest.approx(15 / 16)
+
+
+def test_conscious_replication_reduces_forwarding():
+    p0 = ModelParameters(nodes=16, replication=0.0)
+    p15 = ModelParameters(nodes=16, replication=0.15)
+    _, _, q0 = conscious_hit_rates(p0, 16.0, 0.7)
+    _, h15, q15 = conscious_hit_rates(p15, 16.0, 0.7)
+    assert h15 > 0.0
+    assert q15 < q0
+
+
+def test_conscious_hit_rate_exceeds_oblivious():
+    """The big cache (Clc = N*C) must dominate the per-node cache."""
+    p = ModelParameters(nodes=16)
+    for hlo in (0.3, 0.5, 0.8):
+        hlc, _, _ = conscious_hit_rates(p, 16.0, hlo)
+        assert hlc > hlo
+
+
+def test_conscious_hit_rate_zero_oblivious():
+    """Hlo = 0 means an unbounded working set: Hlc = 0 too (alpha <= 1)."""
+    p = ModelParameters(nodes=16)
+    hlc, h, q = conscious_hit_rates(p, 16.0, 0.0)
+    assert hlc == 0.0
+    assert q == pytest.approx(15 / 16)
+
+
+def test_conscious_hit_rate_one():
+    p = ModelParameters(nodes=16)
+    hlc, _, _ = conscious_hit_rates(p, 16.0, 1.0)
+    assert hlc == pytest.approx(1.0)
+
+
+def test_headline_sevenfold_increase():
+    """Section 3.2: locality-conscious distribution can raise throughput
+    'up to 7-fold' on 16 nodes.  Our grid peaks in the 6-9x band at small
+    files around the 80% oblivious hit rate."""
+    p = ModelParameters()
+    ratio = throughput_increase(p, 4.0, 0.8)
+    assert 6.0 < ratio < 9.0
+
+
+def test_increase_declines_after_80_percent():
+    """'The improvements come down quickly after the hit rate reaches 80%.'"""
+    p = ModelParameters()
+    r80 = throughput_increase(p, 4.0, 0.8)
+    r95 = throughput_increase(p, 4.0, 0.95)
+    r99 = throughput_increase(p, 4.0, 0.99)
+    assert r80 > r95 > r99
+
+
+def test_increase_below_one_at_very_high_hit_rate():
+    """'...the throughput improvement for small files becomes slightly
+    smaller than 1, due to the extra cost of forwarding requests.'"""
+    p = ModelParameters()
+    ratio = throughput_increase(p, 4.0, 1.0)
+    assert 0.75 < ratio < 1.0
+
+
+def test_increase_near_one_at_zero_hit_rate():
+    """Both servers are disk-bound with the same miss stream at Hlo=0."""
+    p = ModelParameters()
+    ratio = throughput_increase(p, 16.0, 0.0)
+    assert ratio == pytest.approx(1.0, abs=0.1)
+
+
+def test_memory_sensitivity_512mb():
+    """Section 3.2: with 512 MB memories the peak gain drops to ~6.5x."""
+    p128 = ModelParameters(cache_bytes=128 * MB)
+    p512 = ModelParameters(cache_bytes=512 * MB)
+    r128 = max(throughput_increase(p128, 4.0, h) for h in (0.7, 0.75, 0.8, 0.85))
+    r512 = max(throughput_increase(p512, 4.0, h) for h in (0.7, 0.75, 0.8, 0.85))
+    assert r512 <= r128
+    assert 5.0 < r512 < 8.5
+
+
+def test_bound_for_population_matches_paper_fig7():
+    """The 'model' curve of figure 7 tops out around 8000 req/s at 16
+    nodes for Calgary (S=19.7 KB, 32 MB memories, 15% replication)."""
+    pr = preset("calgary")
+    p = ModelParameters(
+        nodes=16, replication=0.15, alpha=pr.alpha, cache_bytes=32 * MB
+    )
+    r = bound_for_population("conscious", p, pr.avg_request_kb, pr.num_files)
+    assert 7_000 < r.throughput < 9_500
+
+
+def test_bound_for_population_matches_paper_fig8_fig9_fig10():
+    expectations = {
+        "clarknet": (11_000, 15_000),  # fig 8 model ~13 000
+        "nasa": (3_200, 4_500),  # fig 9 model ~4 000
+        "rutgers": (5_500, 8_000),  # fig 10 model ~6 500
+    }
+    for name, (lo, hi) in expectations.items():
+        pr = preset(name)
+        p = ModelParameters(
+            nodes=16, replication=0.15, alpha=pr.alpha, cache_bytes=32 * MB
+        )
+        r = bound_for_population("conscious", p, pr.avg_request_kb, pr.num_files)
+        assert lo < r.throughput < hi, f"{name}: {r.throughput:.0f}"
+
+
+def test_bound_scales_with_nodes():
+    pr = preset("calgary")
+    ts = []
+    for n in (1, 4, 8, 16):
+        p = ModelParameters(
+            nodes=n, replication=0.15, alpha=pr.alpha, cache_bytes=32 * MB
+        )
+        ts.append(
+            bound_for_population(
+                "conscious", p, pr.avg_request_kb, pr.num_files
+            ).throughput
+        )
+    assert ts[0] < ts[1] < ts[2] < ts[3]
+
+
+def test_bound_for_population_oblivious_below_conscious_at_16():
+    pr = preset("rutgers")
+    p = ModelParameters(nodes=16, replication=0.15, alpha=pr.alpha, cache_bytes=32 * MB)
+    lo = bound_for_population("oblivious", p, pr.avg_request_kb, pr.num_files)
+    lc = bound_for_population("conscious", p, pr.avg_request_kb, pr.num_files)
+    assert lc.throughput > lo.throughput
+
+
+def test_bound_for_population_validation():
+    p = ModelParameters()
+    with pytest.raises(ValueError):
+        bound_for_population("conscious", p, -1.0, 100)
+    with pytest.raises(ValueError):
+        bound_for_population("conscious", p, 10.0, 0)
+    with pytest.raises(ValueError):
+        bound_for_population("weird", p, 10.0, 100)  # type: ignore[arg-type]
+
+
+def test_result_exposes_network_queries():
+    p = ModelParameters()
+    r = oblivious_result(p, 16.0, 0.9)
+    u = r.utilizations(100.0)
+    assert set(u) == {"router", "ni_in", "cpu", "disk", "ni_out"}
+    assert r.response_time(0.0) > 0
+    assert r.response_time(r.throughput * 2) == float("inf")
+
+
+def test_input_validation():
+    p = ModelParameters()
+    with pytest.raises(ValueError):
+        oblivious_result(p, 0.0, 0.5)
+    with pytest.raises(ValueError):
+        oblivious_result(p, 16.0, 1.5)
+    with pytest.raises(ValueError):
+        conscious_hit_rates(p, -2.0, 0.5)
+    with pytest.raises(ValueError):
+        conscious_hit_rates(p, 16.0, -0.1)

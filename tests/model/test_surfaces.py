@@ -1,0 +1,109 @@
+"""Tests for the figure 3-6 model surfaces."""
+
+import numpy as np
+import pytest
+
+from repro.model import (
+    ModelParameters,
+    ModelSurfaces,
+    SurfaceGrid,
+    compute_surfaces,
+    peak_increase,
+    side_view,
+)
+
+SMALL_GRID = SurfaceGrid(
+    hit_rates=(0.0, 0.25, 0.5, 0.75, 0.8, 0.9, 0.95, 1.0),
+    sizes_kb=(4.0, 16.0, 48.0, 96.0, 128.0),
+)
+
+
+@pytest.fixture(scope="module")
+def surfaces():
+    return compute_surfaces(ModelParameters(), SMALL_GRID)
+
+
+def test_surface_shapes(surfaces):
+    assert surfaces.oblivious.shape == SMALL_GRID.shape
+    assert surfaces.conscious.shape == SMALL_GRID.shape
+    assert surfaces.increase.shape == SMALL_GRID.shape
+
+
+def test_surfaces_positive(surfaces):
+    assert (surfaces.oblivious > 0).all()
+    assert (surfaces.conscious > 0).all()
+
+
+def test_fig3_shape_rises_with_hit_rate_and_small_files(surfaces):
+    obl = surfaces.oblivious
+    # Throughput non-decreasing in hit rate (rows) for every size.
+    assert (np.diff(obl, axis=0) >= -1e-9).all()
+    # Throughput decreasing in file size (columns) for every hit rate.
+    assert (np.diff(obl, axis=1) <= 1e-9).all()
+
+
+def test_fig4_conscious_flatter_than_oblivious(surfaces):
+    """Fig 4: the conscious server sustains its peak over a much larger
+    region.  At hit rate 0.8 and small files, conscious is at its peak
+    while oblivious is far below its own."""
+    grid = surfaces.grid
+    i80 = grid.hit_rates.index(0.8)
+    j4 = grid.sizes_kb.index(4.0)
+    con_frac = surfaces.conscious[i80, j4] / surfaces.conscious.max()
+    obl_frac = surfaces.oblivious[i80, j4] / surfaces.oblivious.max()
+    assert con_frac > 0.9
+    assert obl_frac < 0.25
+
+
+def test_fig5_peak_increase_band(surfaces):
+    """Paper: 'up to 7-fold' increase; our grid peaks in the 6-9x band."""
+    assert 6.0 < surfaces.peak_increase() < 9.0
+
+
+def test_fig5_peak_location(surfaces):
+    """The peak lies at small files around the 80% hit-rate knee."""
+    h, s = surfaces.peak_location()
+    assert 0.6 <= h <= 0.9
+    assert s <= 16.0
+
+
+def test_fig6_side_view_envelope(surfaces):
+    env = side_view(surfaces)
+    assert env.shape == (len(SMALL_GRID.hit_rates), 2)
+    # min <= max everywhere.
+    assert (env[:, 0] <= env[:, 1] + 1e-12).all()
+    # The envelope's global max is the peak increase.
+    assert env[:, 1].max() == pytest.approx(surfaces.peak_increase())
+
+
+def test_fig6_profile_rises_then_falls(surfaces):
+    """Figure 6: the max-ratio profile climbs to the ~80% knee and falls
+    towards (slightly below) 1 at hit rate 1."""
+    env_max = side_view(surfaces)[:, 1]
+    hit_rates = surfaces.grid.hit_rates
+    knee = int(np.argmax(env_max))
+    assert 0.6 <= hit_rates[knee] <= 0.9
+    assert env_max[-1] < 1.6  # collapsed by hit rate 1.0
+    assert env_max[0] < 2.0  # near 1 at hit rate 0
+
+
+def test_peak_increase_helper_consistent(surfaces):
+    assert peak_increase(ModelParameters(), SMALL_GRID) == pytest.approx(
+        surfaces.peak_increase()
+    )
+
+
+def test_default_grid_construction():
+    g = SurfaceGrid()
+    assert g.shape[0] >= 10 and g.shape[1] >= 10
+    assert min(g.sizes_kb) >= 4.0
+    assert max(g.sizes_kb) <= 128.0
+
+
+def test_grid_validation():
+    with pytest.raises(ValueError):
+        SurfaceGrid(hit_rates=(), sizes_kb=(4.0,))
+    with pytest.raises(ValueError):
+        SurfaceGrid(hit_rates=(1.2,), sizes_kb=(4.0,))
+    with pytest.raises(ValueError):
+        SurfaceGrid(hit_rates=(0.5,), sizes_kb=(0.0,))

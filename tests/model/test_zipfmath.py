@@ -1,0 +1,159 @@
+"""Tests for the continuous Zipf accumulation math."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import fit_population, harmonic_continuous, zipf_mass
+from repro.workload import harmonic
+
+
+def test_harmonic_continuous_matches_exact_small():
+    for n in (1, 2, 5, 100, 1000):
+        for alpha in (0.5, 0.78, 1.0, 1.08, 2.0):
+            assert harmonic_continuous(n, alpha) == pytest.approx(
+                harmonic(n, alpha), rel=1e-12
+            )
+
+
+def test_harmonic_continuous_fractional_interpolates():
+    a = harmonic_continuous(10, 1.0)
+    b = harmonic_continuous(11, 1.0)
+    mid = harmonic_continuous(10.5, 1.0)
+    assert a < mid < b
+    assert mid == pytest.approx(a + 0.5 * (b - a), rel=1e-9)
+
+
+def test_harmonic_continuous_below_one():
+    assert harmonic_continuous(0.25, 1.0) == pytest.approx(0.25)
+    assert harmonic_continuous(0, 1.0) == 0.0
+
+
+def test_harmonic_continuous_large_alpha1():
+    # H_n ~ ln(n) + gamma for alpha = 1.
+    gamma = 0.5772156649015329
+    n = 1e12
+    assert harmonic_continuous(n, 1.0) == pytest.approx(
+        math.log(n) + gamma, rel=1e-9
+    )
+
+
+def test_harmonic_continuous_large_alpha_below_one():
+    # H_n(a) ~ n^(1-a)/(1-a) + zeta(a) for 0 < a < 1; dominant term check.
+    n = 1e10
+    alpha = 0.78
+    dominant = n ** (1 - alpha) / (1 - alpha)
+    val = harmonic_continuous(n, alpha)
+    assert val == pytest.approx(dominant, rel=0.01)
+
+
+def test_harmonic_continuous_continuity_at_anchor():
+    """No jump where the exact sum hands over to Euler-Maclaurin."""
+    limit = 1 << 20
+    for alpha in (0.78, 1.0, 1.08):
+        below = harmonic_continuous(limit - 0.5, alpha)
+        above = harmonic_continuous(limit + 0.5, alpha)
+        at = harmonic_continuous(limit, alpha)
+        assert below < at < above
+        assert above - below < 2.5 * limit**-alpha
+
+
+def test_harmonic_continuous_validation():
+    with pytest.raises(ValueError):
+        harmonic_continuous(-1, 1.0)
+    with pytest.raises(ValueError):
+        harmonic_continuous(1, -0.1)
+
+
+def test_zipf_mass_matches_discrete():
+    from repro.workload import zipf_top_mass
+
+    assert zipf_mass(10, 100, 1.0) == pytest.approx(
+        zipf_top_mass(10, 100, 1.0), rel=1e-12
+    )
+
+
+def test_zipf_mass_bounds_and_clamping():
+    assert zipf_mass(0, 100, 1.0) == 0.0
+    assert zipf_mass(100, 100, 1.0) == pytest.approx(1.0)
+    assert zipf_mass(1e6, 100, 1.0) == pytest.approx(1.0)
+
+
+def test_zipf_mass_infinite_population():
+    assert zipf_mass(1000, math.inf, 1.0) == 0.0
+    assert zipf_mass(1000, math.inf, 0.8) == 0.0
+    # alpha > 1: converges; top-1 of infinitely many has mass 1/zeta(alpha).
+    m = zipf_mass(1, math.inf, 2.0)
+    assert m == pytest.approx(6 / math.pi**2, rel=1e-6)
+
+
+def test_zipf_mass_invalid_population():
+    with pytest.raises(ValueError):
+        zipf_mass(1, 0, 1.0)
+
+
+def test_fit_population_roundtrip():
+    for alpha in (0.78, 1.0, 1.08):
+        for hit in (0.2, 0.5, 0.9, 0.99):
+            f = fit_population(hit, 1000, alpha)
+            if math.isinf(f):
+                # Reachable only above the infinite-population asymptote
+                # (possible when alpha > 1, e.g. alpha=1.08 at hit=0.2).
+                assert alpha > 1.0
+                assert zipf_mass(1000, math.inf, alpha) > hit
+            else:
+                assert zipf_mass(1000, f, alpha) == pytest.approx(hit, rel=1e-6)
+
+
+def test_fit_population_hit_one():
+    assert fit_population(1.0, 5000, 1.0) == 5000
+
+
+def test_fit_population_monotone_in_hit_rate():
+    f_low = fit_population(0.3, 1000, 1.0)
+    f_high = fit_population(0.8, 1000, 1.0)
+    assert f_low > f_high >= 1000
+
+
+def test_fit_population_unreachable_returns_inf():
+    # alpha = 2: even an infinite population gives the top-1000 files
+    # almost all the mass, so very low hit rates are unreachable.
+    floor = zipf_mass(1000, math.inf, 2.0)
+    assert floor > 0.99
+    assert fit_population(0.5, 1000, 2.0) == math.inf
+
+
+def test_fit_population_validation():
+    with pytest.raises(ValueError):
+        fit_population(0.0, 100, 1.0)
+    with pytest.raises(ValueError):
+        fit_population(1.1, 100, 1.0)
+    with pytest.raises(ValueError):
+        fit_population(0.5, 0, 1.0)
+
+
+@given(
+    x=st.floats(min_value=0.1, max_value=1e15),
+    alpha=st.floats(min_value=0.0, max_value=2.5),
+)
+@settings(max_examples=80, deadline=None)
+def test_property_harmonic_positive_and_monotone(x, alpha):
+    v = harmonic_continuous(x, alpha)
+    v2 = harmonic_continuous(x * 1.5, alpha)
+    assert v > 0
+    assert v2 >= v
+
+
+@given(
+    hit=st.floats(min_value=0.01, max_value=1.0),
+    cached=st.floats(min_value=1.0, max_value=1e6),
+    alpha=st.floats(min_value=0.3, max_value=1.2),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_fit_population_inverts_zipf_mass(hit, cached, alpha):
+    f = fit_population(hit, cached, alpha)
+    assert f >= cached * (1 - 1e-9)
+    if math.isfinite(f):
+        assert zipf_mass(cached, f, alpha) == pytest.approx(hit, rel=1e-4)

@@ -1,0 +1,131 @@
+"""Unit tests for the policy interface and the simple policies."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.des import Environment
+from repro.model import MB
+from repro.servers import (
+    ConsistentHashPolicy,
+    RoundRobinPolicy,
+    TraditionalPolicy,
+    make_policy,
+)
+from repro.servers.base import ShuffledRoundRobin
+
+
+def bound(policy, nodes=4):
+    env = Environment()
+    cluster = Cluster(env, ClusterConfig(nodes=nodes, cache_bytes=1 * MB))
+    policy.bind(cluster)
+    return cluster
+
+
+def test_policy_requires_binding():
+    p = TraditionalPolicy()
+    with pytest.raises(RuntimeError):
+        p.initial_node(0, 0)
+
+
+def test_make_policy_registry():
+    assert make_policy("traditional").name == "traditional"
+    assert make_policy("L2S").name == "l2s"
+    assert make_policy("lard", t_low=10, t_high=30).t_low == 10
+    with pytest.raises(KeyError):
+        make_policy("nope")
+
+
+def test_shuffled_rr_balanced_within_every_block():
+    rr = ShuffledRoundRobin(8)
+    for block in range(10):
+        nodes = [rr.node_for(block * 8 + k) for k in range(8)]
+        assert sorted(nodes) == list(range(8))
+
+
+def test_shuffled_rr_not_periodic():
+    rr = ShuffledRoundRobin(8)
+    first = [rr.node_for(k) for k in range(8)]
+    later = [rr.node_for(800 + k) for k in range(8)]
+    assert first != later  # astronomically unlikely to collide
+
+
+def test_shuffled_rr_single_node():
+    rr = ShuffledRoundRobin(1)
+    assert [rr.node_for(k) for k in range(5)] == [0] * 5
+
+
+def test_shuffled_rr_validation():
+    with pytest.raises(ValueError):
+        ShuffledRoundRobin(0)
+
+
+def test_traditional_picks_fewest_connections():
+    p = TraditionalPolicy()
+    bound(p, nodes=3)
+    a = p.initial_node(0, 5)
+    b = p.initial_node(1, 6)
+    c = p.initial_node(2, 7)
+    assert {a, b, c} == {0, 1, 2}  # spreads across all nodes
+    # Node `a`'s connection ends; it becomes least loaded again.
+    p.on_connection_end(a)
+    assert p.initial_node(3, 8) == a
+
+
+def test_traditional_never_forwards():
+    p = TraditionalPolicy()
+    bound(p)
+    d = p.decide(2, 10)
+    assert d.target == 2
+    assert not d.forwarded
+
+
+def test_round_robin_is_balanced():
+    p = RoundRobinPolicy()
+    bound(p, nodes=4)
+    nodes = [p.initial_node(k, 0) for k in range(8)]
+    assert sorted(nodes[:4]) == [0, 1, 2, 3]
+    assert sorted(nodes[4:]) == [0, 1, 2, 3]
+    d = p.decide(1, 99)
+    assert d.target == 1 and not d.forwarded
+
+
+def test_consistent_hash_stable_ownership():
+    p = ConsistentHashPolicy()
+    bound(p, nodes=4)
+    owner = p.owner_of(12345)
+    assert owner == p.owner_of(12345)
+    d = p.decide((owner + 1) % 4, 12345)
+    assert d.target == owner
+    assert d.forwarded
+    d2 = p.decide(owner, 12345)
+    assert not d2.forwarded
+
+
+def test_consistent_hash_spreads_files():
+    p = ConsistentHashPolicy()
+    bound(p, nodes=4)
+    owners = {p.owner_of(f) for f in range(200)}
+    assert owners == {0, 1, 2, 3}
+
+
+def test_consistent_hash_ring_mostly_stable_under_growth():
+    """Adding a node moves only ~1/N of the files (the chash property)."""
+    p4 = ConsistentHashPolicy()
+    bound(p4, nodes=4)
+    p5 = ConsistentHashPolicy()
+    bound(p5, nodes=5)
+    files = range(2000)
+    moved = sum(1 for f in files if p4.owner_of(f) != p5.owner_of(f))
+    assert moved / 2000 < 0.35  # ideal is 1/5; allow slack
+
+
+def test_consistent_hash_validation():
+    with pytest.raises(ValueError):
+        ConsistentHashPolicy(virtual_nodes=0)
+
+
+def test_stats_are_dicts():
+    for name in ("traditional", "round-robin", "consistent-hash"):
+        p = make_policy(name)
+        bound(p)
+        assert isinstance(p.stats(), dict)

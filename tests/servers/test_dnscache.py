@@ -1,0 +1,95 @@
+"""Tests for the DNS-translation-caching arrival model (§2)."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.des import Environment
+from repro.model import MB
+from repro.servers import CachedDNSPolicy, make_policy
+
+
+def make(nodes=4, **kwargs):
+    env = Environment()
+    cluster = Cluster(env, ClusterConfig(nodes=nodes, cache_bytes=1 * MB))
+    policy = CachedDNSPolicy(**kwargs)
+    policy.bind(cluster)
+    return env, cluster, policy
+
+
+def test_registry():
+    assert make_policy("dns-cached").name == "dns-cached"
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        CachedDNSPolicy(num_resolvers=0)
+    with pytest.raises(ValueError):
+        CachedDNSPolicy(resolver_alpha=-1)
+    with pytest.raises(ValueError):
+        CachedDNSPolicy(ttl_requests=0)
+
+
+def test_service_is_local():
+    env, cluster, p = make()
+    d = p.decide(2, 7)
+    assert d.target == 2 and not d.forwarded
+
+
+def test_translation_pinning():
+    """A single resolver sends all its requests to one node until TTL."""
+    env, cluster, p = make(num_resolvers=1, ttl_requests=10)
+    nodes = [p.initial_node(k, 0) for k in range(10)]
+    assert len(set(nodes)) == 1
+    # The 11th resolves anew, moving round-robin to the next node.
+    nxt = p.initial_node(10, 0)
+    assert nxt == (nodes[0] + 1) % 4
+    assert p.resolutions == 2
+
+
+def test_caching_causes_imbalance_vs_ideal_rr():
+    """Skewed resolvers + cached translations concentrate arrivals."""
+    env, cluster, p = make(
+        nodes=4, num_resolvers=50, resolver_alpha=1.2, ttl_requests=500
+    )
+    counts = [0, 0, 0, 0]
+    for k in range(4000):
+        counts[p.initial_node(k, 0)] += 1
+    mean = sum(counts) / 4
+    imbalance = max(counts) / mean
+    assert imbalance > 1.2  # visibly uneven
+    # Ideal (block-shuffled) round-robin is perfectly even.
+    rr = make_policy("round-robin")
+    rr.bind(cluster)
+    rr_counts = [0, 0, 0, 0]
+    for k in range(4000):
+        rr_counts[rr.initial_node(k, 0)] += 1
+    assert max(rr_counts) / (sum(rr_counts) / 4) < 1.01
+
+
+def test_shorter_ttl_rebalances():
+    def imbalance(ttl):
+        env, cluster, p = make(
+            nodes=4, num_resolvers=30, resolver_alpha=1.2, ttl_requests=ttl
+        )
+        counts = [0, 0, 0, 0]
+        for k in range(4000):
+            counts[p.initial_node(k, 0)] += 1
+        return max(counts) / (sum(counts) / 4)
+
+    assert imbalance(5) < imbalance(2000)
+
+
+def test_failed_node_forces_reresolution():
+    env, cluster, p = make(num_resolvers=1, ttl_requests=1000)
+    node = p.initial_node(0, 0)
+    p.on_node_failed(node)
+    replacement = p.initial_node(1, 0)
+    assert replacement != node
+
+
+def test_stats():
+    env, cluster, p = make()
+    p.initial_node(0, 0)
+    s = p.stats()
+    assert s["resolutions"] >= 1
+    assert s["resolvers_seen"] >= 1

@@ -1,0 +1,222 @@
+"""Unit tests for the L2S distribution algorithm."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.des import Environment
+from repro.model import MB
+from repro.servers import L2SPolicy
+
+
+def make(nodes=4, **kwargs):
+    env = Environment()
+    cluster = Cluster(env, ClusterConfig(nodes=nodes, cache_bytes=1 * MB))
+    policy = L2SPolicy(**kwargs)
+    policy.bind(cluster)
+    return env, cluster, policy
+
+
+def load(cluster, node_id, count):
+    """Set a node's open-connection count."""
+    node = cluster.node(node_id)
+    while node.open_connections < count:
+        node.connection_opened()
+    while node.open_connections > count:
+        node.connection_closed()
+
+
+def sync_views(policy):
+    """Give every node a perfectly fresh load view (test convenience)."""
+    cluster = policy.cluster
+    for i in range(cluster.num_nodes):
+        for j in range(cluster.num_nodes):
+            policy._views[i][j] = cluster.node(j).open_connections
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        L2SPolicy(overload_threshold=0)
+    with pytest.raises(ValueError):
+        L2SPolicy(underload_threshold=30, overload_threshold=20)
+    with pytest.raises(ValueError):
+        L2SPolicy(broadcast_delta=0)
+    with pytest.raises(ValueError):
+        L2SPolicy(set_age_s=-1)
+
+
+def test_defaults_match_paper():
+    """Section 5.1: T = 20 connections, t = 10 connections, delta = 4."""
+    p = L2SPolicy()
+    assert p.overload_threshold == 20
+    assert p.underload_threshold == 10
+    assert p.broadcast_delta == 4
+
+
+def test_first_request_served_locally():
+    env, cluster, p = make()
+    d = p.decide(2, 100)
+    assert d.target == 2
+    assert not d.forwarded
+    assert p.server_set(100) == [2]
+
+
+def test_first_request_on_overloaded_node_goes_to_least_loaded():
+    env, cluster, p = make()
+    load(cluster, 2, 25)  # over T=20
+    sync_views(p)
+    d = p.decide(2, 100)
+    assert d.target != 2
+    assert d.forwarded
+    assert p.server_set(100) == [d.target]
+
+
+def test_cached_file_served_locally_when_not_overloaded():
+    env, cluster, p = make()
+    p.decide(1, 50)  # node 1 becomes the server for file 50
+    d = p.decide(1, 50)
+    assert d.target == 1 and not d.forwarded
+
+
+def test_request_forwarded_to_server_set_member():
+    env, cluster, p = make()
+    p.decide(1, 50)
+    d = p.decide(3, 50)  # node 3 does not serve file 50
+    assert d.target == 1
+    assert d.forwarded
+    assert p.server_set(50) == [1]  # no replication while 1 is not overloaded
+
+
+def test_replication_when_set_overloaded_eager_local():
+    """Eager variant: an un-overloaded initial node joins an overloaded set."""
+    env, cluster, p = make()
+    p.decide(1, 50)
+    load(cluster, 1, 25)
+    sync_views(p)
+    d = p.decide(3, 50)
+    assert d.target == 3
+    assert not d.forwarded
+    assert d.replicated
+    assert set(p.server_set(50)) == {1, 3}
+    assert p.replications == 1
+
+
+def test_replication_strict_variant_requires_both_overloaded():
+    env, cluster, p = make(eager_local_replication=False)
+    p.decide(1, 50)
+    load(cluster, 1, 25)  # set member overloaded
+    sync_views(p)
+    # Initial node 3 is NOT overloaded: strict rule keeps the request on
+    # the overloaded set member.
+    d = p.decide(3, 50)
+    assert d.target == 1
+    assert not d.replicated
+    # Overload the initial node too -> replicate to global least loaded.
+    load(cluster, 3, 25)
+    load(cluster, 0, 22)
+    load(cluster, 2, 5)
+    sync_views(p)
+    d = p.decide(3, 50)
+    assert d.target == 2
+    assert d.replicated
+
+
+def test_set_shrinks_when_underloaded_and_old():
+    env, cluster, p = make(set_age_s=0.0)
+    p.decide(1, 50)
+    load(cluster, 1, 25)
+    sync_views(p)
+    p.decide(3, 50)  # replicates onto 3
+    assert len(p.server_set(50)) == 2
+    # Everyone idle again; age 0 so the set may shrink immediately.
+    load(cluster, 1, 0)
+    load(cluster, 3, 0)
+    sync_views(p)
+    d = p.decide(3, 50)
+    assert d.target == 3
+    assert p.server_set(50) == [3]  # the other (most loaded view) removed
+    assert p.shrinks == 1
+
+
+def test_set_does_not_shrink_before_aging():
+    env, cluster, p = make(set_age_s=1000.0)
+    p.decide(1, 50)
+    load(cluster, 1, 25)
+    sync_views(p)
+    p.decide(3, 50)
+    load(cluster, 1, 0)
+    sync_views(p)
+    p.decide(3, 50)
+    assert len(p.server_set(50)) == 2
+    assert p.shrinks == 0
+
+
+def test_load_broadcast_on_delta_crossing():
+    env, cluster, p = make()
+    node = cluster.node(1)
+    for _ in range(3):
+        node.connection_opened()
+        p.on_connection_change(1)
+    assert p.load_broadcasts == 0  # |3 - 0| < 4
+    node.connection_opened()
+    p.on_connection_change(1)
+    assert p.load_broadcasts == 1  # crossed the delta
+    env.run()  # deliver the messages
+    # All other nodes' views of node 1 updated to 4.
+    for other in (0, 2, 3):
+        assert p._views[other][1] == 4
+    assert cluster.net.message_counts.get("l2s_load") == 3
+
+
+def test_load_views_are_stale_until_delivery():
+    env, cluster, p = make()
+    node = cluster.node(1)
+    for _ in range(4):
+        node.connection_opened()
+    p.on_connection_change(1)
+    # Messages scheduled but not yet delivered.
+    assert p._views[0][1] == 0
+    env.run()
+    assert p._views[0][1] == 4
+
+
+def test_server_set_change_broadcasts():
+    env, cluster, p = make()
+    p.decide(1, 50)  # creates a set -> broadcast
+    env.run()
+    assert p.set_broadcasts == 1
+    assert cluster.net.message_counts.get("l2s_set") == 3
+
+
+def test_optimistic_view_update_after_decision():
+    """The initial node bumps its own view of the chosen target, so
+    repeated decisions at one node don't all herd to the same target."""
+    env, cluster, p = make()
+    p.decide(1, 50)
+    sync_views(p)
+    before = p._views[3][1]
+    d = p.decide(3, 50)
+    assert d.target == 1
+    assert p._views[3][1] == before + 1
+
+
+def test_round_robin_initial_nodes_balanced():
+    env, cluster, p = make(nodes=4)
+    nodes = [p.initial_node(k, 0) for k in range(4)]
+    assert sorted(nodes) == [0, 1, 2, 3]
+
+
+def test_stats_and_reset():
+    env, cluster, p = make()
+    p.decide(0, 1)
+    s = p.stats()
+    assert s["files_with_server_sets"] == 1
+    assert s["mean_server_set_size"] == 1.0
+    p.reset_stats()
+    assert p.stats()["replications"] == 0
+    # Server sets survive a stats reset.
+    assert p.server_set(1) == [0]
+
+
+def test_mean_server_set_size_empty():
+    env, cluster, p = make()
+    assert p.mean_server_set_size() == 0.0

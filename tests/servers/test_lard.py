@@ -1,0 +1,148 @@
+"""Unit tests for the LARD/R front-end policy."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.des import Environment
+from repro.model import MB
+from repro.servers import LARDPolicy
+
+
+def make(nodes=5, **kwargs):
+    env = Environment()
+    cluster = Cluster(env, ClusterConfig(nodes=nodes, cache_bytes=1 * MB))
+    policy = LARDPolicy(**kwargs)
+    policy.bind(cluster)
+    return env, cluster, policy
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        LARDPolicy(t_low=0)
+    with pytest.raises(ValueError):
+        LARDPolicy(t_low=70, t_high=65)
+    with pytest.raises(ValueError):
+        LARDPolicy(completion_batch=0)
+    with pytest.raises(ValueError):
+        LARDPolicy(set_age_s=-1)
+
+
+def test_defaults_match_pai_et_al():
+    p = LARDPolicy()
+    assert p.t_low == 25
+    assert p.t_high == 65
+    assert p.completion_batch == 4
+
+
+def test_all_requests_arrive_at_front_end():
+    env, cluster, p = make()
+    assert all(p.initial_node(k, k) == 0 for k in range(10))
+
+
+def test_front_end_never_services():
+    env, cluster, p = make()
+    for f in range(50):
+        d = p.decide(0, f)
+        assert d.target != 0
+        assert d.forwarded
+
+
+def test_unknown_target_to_least_loaded_back_end():
+    env, cluster, p = make()
+    d1 = p.decide(0, 100)
+    # View of d1.target bumped; a different file goes elsewhere.
+    d2 = p.decide(0, 200)
+    assert d2.target != d1.target
+    assert p.server_set(100) == [d1.target]
+
+
+def test_known_target_sticks_to_server():
+    env, cluster, p = make()
+    d1 = p.decide(0, 100)
+    for _ in range(5):
+        assert p.decide(0, 100).target == d1.target
+    assert p.server_set(100) == [d1.target]
+
+
+def test_replication_when_server_hot_and_cold_node_exists():
+    env, cluster, p = make(t_low=3, t_high=6)
+    d1 = p.decide(0, 100)
+    # Drive the target's view above t_high with more requests to it; the
+    # algorithm must at some point spill onto a cold back-end.
+    decisions = [p.decide(0, 100) for _ in range(9)]
+    assert p.replications >= 1
+    assert any(d.replicated for d in decisions)
+    assert len(p.server_set(100)) >= 2
+    assert d1.target in p.server_set(100)
+
+
+def test_no_replication_when_disabled():
+    env, cluster, p = make(t_low=3, t_high=6, replication=False)
+    d1 = p.decide(0, 100)
+    for _ in range(12):
+        d = p.decide(0, 100)
+        assert d.target == d1.target
+    assert p.server_set(100) == [d1.target]
+    assert p.replications == 0
+
+
+def test_set_shrinks_after_aging():
+    env, cluster, p = make(t_low=3, t_high=6, set_age_s=0.0)
+    p.decide(0, 100)
+    for _ in range(9):
+        p.decide(0, 100)  # triggers replication at some point
+    assert p.replications >= 1
+    # Next decision sees an aged multi-member set and trims it.
+    p.decide(0, 100)
+    p.decide(0, 100)
+    assert p.shrinks >= 1
+
+
+def test_completion_notices_batched_every_4():
+    env, cluster, p = make()
+    d = p.decide(0, 100)
+    back = d.target
+    view_before = p._view[back]
+    for k in range(3):
+        p.on_connection_end(back)
+    env.run()
+    assert p.completion_notices == 0  # batch not full
+    p.on_connection_end(back)
+    env.run()
+    assert p.completion_notices == 1
+    assert p._view[back] == view_before - 4
+    assert cluster.net.message_counts.get("lard_done") == 1
+
+
+def test_view_updates_only_on_delivery():
+    env, cluster, p = make()
+    d = p.decide(0, 100)
+    back = d.target
+    before = p._view[back]
+    for _ in range(4):
+        p.on_connection_end(back)
+    # Notice in flight, not yet delivered.
+    assert p._view[back] == before
+    env.run()
+    assert p._view[back] == before - 4
+
+
+def test_single_node_degenerates_to_sequential():
+    env, cluster, p = make(nodes=1)
+    assert p.initial_node(0, 1) == 0
+    d = p.decide(0, 1)
+    assert d.target == 0
+    assert not d.forwarded
+    p.on_connection_end(0)  # must not send messages
+    env.run()
+    assert cluster.net.messages_sent == 0
+
+
+def test_stats_and_reset():
+    env, cluster, p = make()
+    p.decide(0, 1)
+    s = p.stats()
+    assert s["files_with_server_sets"] == 1
+    assert len(s["front_end_view"]) == 5
+    p.reset_stats()
+    assert p.stats()["replications"] == 0

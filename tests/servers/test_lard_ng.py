@@ -1,0 +1,107 @@
+"""Unit tests for the dispatcher-based scalable LARD (lard-ng)."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.des import Environment
+from repro.model import MB
+from repro.servers import DispatcherLARDPolicy, make_policy
+from repro.servers.base import ServiceUnavailable
+
+
+def make(nodes=5, **kwargs):
+    env = Environment()
+    cluster = Cluster(env, ClusterConfig(nodes=nodes, cache_bytes=1 * MB))
+    policy = DispatcherLARDPolicy(**kwargs)
+    policy.bind(cluster)
+    return env, cluster, policy
+
+
+def drive(env, gen):
+    p = env.process(gen)
+    env.run(until=p)
+    return p.value
+
+
+def test_registry_and_flags():
+    p = make_policy("lard-ng")
+    assert p.name == "lard-ng"
+    assert p.async_decide is True
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        DispatcherLARDPolicy(decision_cpu_s=-1)
+
+
+def test_connections_land_on_serving_nodes_only():
+    env, cluster, p = make()
+    nodes = {p.initial_node(k, 0) for k in range(40)}
+    assert 0 not in nodes
+    assert nodes == {1, 2, 3, 4}
+
+
+def test_sync_decide_is_rejected():
+    env, cluster, p = make()
+    with pytest.raises(RuntimeError, match="decide_process"):
+        p.decide(1, 10)
+
+
+def test_decide_process_charges_round_trip():
+    env, cluster, p = make()
+    decision = drive(env, p.decide_process(1, 10))
+    assert decision.target in (1, 2, 3, 4)
+    # Query + reply control messages were sent.
+    assert cluster.net.message_counts.get("lardng_query") == 1
+    assert cluster.net.message_counts.get("lardng_reply") == 1
+    # The dispatcher's CPU did the decision work.
+    assert cluster.node(0).cpu.busy_time() >= p.decision_cpu_s
+    assert p.queries == 1
+
+
+def test_local_target_avoids_handoff():
+    env, cluster, p = make()
+    d1 = drive(env, p.decide_process(1, 10))
+    # Subsequent request for the same file arriving AT the server node:
+    d2 = drive(env, p.decide_process(d1.target, 10))
+    assert d2.target == d1.target
+    assert not d2.forwarded
+
+
+def test_remote_target_is_forwarded():
+    env, cluster, p = make()
+    d1 = drive(env, p.decide_process(1, 10))
+    other = next(n for n in (1, 2, 3, 4) if n != d1.target)
+    d2 = drive(env, p.decide_process(other, 10))
+    assert d2.target == d1.target
+    assert d2.forwarded
+
+
+def test_dispatcher_failure_is_fatal():
+    env, cluster, p = make()
+    p.on_node_failed(0)
+    with pytest.raises(ServiceUnavailable):
+        drive(env, p.decide_process(1, 10))
+
+
+def test_serving_node_failure_is_survivable():
+    env, cluster, p = make()
+    d1 = drive(env, p.decide_process(1, 10))
+    p.on_node_failed(d1.target)
+    d2 = drive(env, p.decide_process(1, 10))
+    assert d2.target != d1.target
+    assert 0 not in {p.initial_node(k, 0) for k in range(20)}
+    assert d1.target not in {p.initial_node(k, 0) for k in range(20)}
+
+
+def test_single_node_degenerates():
+    env, cluster, p = make(nodes=1)
+    assert p.initial_node(0, 1) == 0
+    d = drive(env, p.decide_process(0, 1))
+    assert d.target == 0 and not d.forwarded
+
+
+def test_stats_include_queries():
+    env, cluster, p = make()
+    drive(env, p.decide_process(1, 10))
+    assert p.stats()["queries"] == 1

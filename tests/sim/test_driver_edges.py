@@ -1,0 +1,96 @@
+"""Edge-case tests for the simulation driver."""
+
+import pytest
+
+from repro.cluster import ClusterConfig
+from repro.model import MB
+from repro.servers import make_policy
+from repro.sim import Simulation
+from repro.workload import FileSet, Trace, build_fileset, generate_trace
+
+import numpy as np
+
+
+def tiny_trace(n=5):
+    fs = FileSet(sizes=np.full(10, 8 * 1024), alpha=1.0, name="tiny")
+    return Trace("tiny", fs, np.arange(n) % 10)
+
+
+def cfg(nodes=2, mpl=8):
+    return ClusterConfig(
+        nodes=nodes, cache_bytes=1 * MB, multiprogramming_per_node=mpl
+    )
+
+
+def test_single_request_trace():
+    trace = tiny_trace(1)
+    r = Simulation(trace, make_policy("round-robin"), cfg(), warmup_fraction=0.0).run()
+    assert r.requests_measured == 1
+    assert r.throughput_rps > 0
+
+
+def test_trace_shorter_than_mpl():
+    trace = tiny_trace(3)  # MPL is 16
+    r = Simulation(trace, make_policy("l2s"), cfg(), warmup_fraction=0.0).run()
+    assert r.requests_measured == 3
+
+
+def test_zero_warmup_measures_everything():
+    trace = tiny_trace(50)
+    r = Simulation(trace, make_policy("l2s"), cfg(), warmup_fraction=0.0).run()
+    assert r.requests_warmup == 0
+    assert r.requests_measured == 50
+
+
+def test_many_passes():
+    trace = tiny_trace(30)
+    sim = Simulation(trace, make_policy("l2s"), cfg(), passes=3)
+    r = sim.run()
+    assert r.requests_warmup == 60
+    assert r.requests_measured == 30
+
+
+def test_failure_trigger_beyond_total_never_fires():
+    trace = tiny_trace(20)
+    sim = Simulation(
+        trace,
+        make_policy("l2s"),
+        cfg(),
+        warmup_fraction=0.0,
+        failures=[(1, 10_000)],
+    )
+    r = sim.run()
+    assert not sim.cluster.node(1).failed
+    assert r.requests_failed == 0
+
+
+def test_fail_node_idempotent():
+    trace = tiny_trace(20)
+    sim = Simulation(trace, make_policy("l2s"), cfg(), warmup_fraction=0.0)
+    sim.fail_node(1)
+    sim.fail_node(1)  # second call is a no-op
+    r = sim.run()
+    assert sim.cluster.node(1).failed
+    assert r.requests_measured + r.requests_failed == 20
+
+
+def test_mismatched_policy_reuse_rejected_cleanly():
+    """A policy instance is bound to one cluster; reusing it reflects the
+    new cluster after rebinding (documented single-use semantics)."""
+    trace = tiny_trace(10)
+    policy = make_policy("l2s")
+    Simulation(trace, policy, cfg(nodes=2), warmup_fraction=0.0).run()
+    # Rebinding to a new simulation resets the policy state.
+    r = Simulation(trace, policy, cfg(nodes=2), warmup_fraction=0.0).run()
+    assert r.requests_measured == 10
+
+
+def test_big_file_never_cached_still_served():
+    """A file larger than the whole cache streams from disk every time."""
+    fs = FileSet(sizes=np.array([4 * MB, 8 * 1024]), alpha=1.0, name="big")
+    trace = Trace("big", fs, np.array([0, 0, 1, 0]))
+    sim = Simulation(trace, make_policy("round-robin"), cfg(nodes=1), warmup_fraction=0.0)
+    r = sim.run()
+    assert r.requests_measured == 4
+    # Three requests for the uncacheable file -> three misses.
+    assert sim.cluster.node(0).cache.misses >= 3

@@ -1,0 +1,146 @@
+"""Unit tests for the request lifecycle against hand-built clusters."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.des import Environment
+from repro.model import MB
+from repro.servers import RoundRobinPolicy, make_policy
+from repro.sim.lifecycle import client_request
+
+
+def setup(nodes=2, policy_name="round-robin", cache_mb=1):
+    env = Environment()
+    cluster = Cluster(env, ClusterConfig(nodes=nodes, cache_bytes=cache_mb * MB))
+    policy = make_policy(policy_name)
+    policy.bind(cluster)
+    return env, cluster, policy
+
+
+def run_one(env, cluster, policy, index=0, file_id=0, size=10 * 1024):
+    done = []
+    env.process(
+        client_request(
+            cluster,
+            policy,
+            index,
+            file_id,
+            size,
+            lambda i, t, fwd, miss: done.append((i, t, fwd, miss)),
+        )
+    )
+    env.run()
+    return done
+
+
+def test_single_request_completes_and_reports():
+    env, cluster, policy = setup()
+    done = run_one(env, cluster, policy)
+    assert len(done) == 1
+    index, start, forwarded, miss = done[0]
+    assert index == 0
+    assert start == 0.0
+    assert not forwarded
+    assert miss  # cold cache
+
+
+def test_request_time_breakdown_local_miss():
+    """End-to-end time of an uncontended local-miss request is the sum of
+    its stage times (Table 1)."""
+    env, cluster, policy = setup()
+    size = 10 * 1024
+    run_one(env, cluster, policy, size=size)
+    hw = cluster.config.hardware
+    kb = 10.0
+    expected = (
+        hw.route_time(hw.request_kb)
+        + hw.ni_message_time(hw.request_kb)
+        + hw.parse_time()
+        + hw.disk_time(kb)
+        + hw.reply_time(kb)
+        + hw.ni_reply_time(kb)
+        + hw.route_time(kb)
+    )
+    assert env.now == pytest.approx(expected, rel=1e-9)
+
+
+def test_second_request_hits_cache():
+    env, cluster, policy = setup(nodes=1)
+    run_one(env, cluster, policy, index=0, file_id=7)
+    t1 = env.now
+    done = run_one(env, cluster, policy, index=1, file_id=7)
+    assert not done[0][3]  # no miss
+    # Hit path is faster than the miss path by the disk time.
+    assert env.now - t1 < t1
+
+
+def test_forwarded_request_charges_handoff():
+    env, cluster, policy = setup(nodes=4, policy_name="consistent-hash")
+    # Find a file whose owner differs from the arrival node of index 0.
+    owner0 = policy.owner_of(0)
+    arrival = policy.initial_node(0, 0)
+    fid = 0
+    while policy.owner_of(fid) == arrival:
+        fid += 1
+    done = run_one(env, cluster, policy, index=0, file_id=fid)
+    assert done[0][2]  # forwarded
+    target = policy.owner_of(fid)
+    assert cluster.node(target).completed == 1
+    assert cluster.node(arrival).forwarded == 1
+    assert cluster.net.message_counts.get("handoff") == 1
+    # Forward CPU work happened at the arrival node.
+    assert cluster.node(arrival).cpu.busy_time() > 0
+
+
+def test_connection_opens_and_closes_at_service_node():
+    env, cluster, policy = setup(nodes=1)
+    states = []
+
+    def watcher(env, node):
+        while True:
+            yield env.timeout(0.001)
+            states.append(node.open_connections)
+
+    node = cluster.node(0)
+    env.process(watcher(env, node))
+    env.process(
+        client_request(cluster, policy, 0, 0, 100 * 1024)
+    )
+    env.run(until=0.05)
+    assert max(states) == 1
+    assert node.open_connections == 0
+    assert node.completed == 1
+
+
+def test_connection_closed_even_on_failure():
+    """The finally block must close the connection if a stage fails."""
+    env, cluster, policy = setup(nodes=1)
+
+    # Sabotage the disk so fetch_file raises.
+    def broken(node_id, file_id, size_bytes):
+        raise RuntimeError("disk on fire")
+        yield  # pragma: no cover
+
+    cluster.fetch_file = broken
+    env.process(client_request(cluster, policy, 0, 0, 1024))
+    with pytest.raises(RuntimeError, match="disk on fire"):
+        env.run()
+    assert cluster.node(0).open_connections == 0
+
+
+def test_router_contention_serializes_big_replies():
+    env, cluster, policy = setup(nodes=2, cache_mb=64)
+    big = 5000 * 1024  # 5 MB replies: 10 ms each through the router
+    done = []
+    for i in range(2):
+        env.process(
+            client_request(
+                cluster, policy, i, i, big, lambda i, t, f, m: done.append(env.now)
+            )
+        )
+    env.run()
+    # The second reply's router transfer must wait for the first.
+    assert done[1] - done[0] == pytest.approx(
+        cluster.config.hardware.route_time(5000.0), rel=0.2
+    )

@@ -1,0 +1,100 @@
+"""Tests for open-loop (Poisson) arrivals and latency recording."""
+
+import pytest
+
+from repro.cluster import ClusterConfig
+from repro.model import MB
+from repro.servers import make_policy
+from repro.sim import Simulation
+from repro.workload import build_fileset, generate_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    fs = build_fileset(200, 15 * 1024, 12 * 1024, 0.9, seed=21, name="otrace")
+    return generate_trace(fs, 3000, seed=22, name="otrace")
+
+
+def cfg(nodes=4):
+    return ClusterConfig(nodes=nodes, cache_bytes=4 * MB, multiprogramming_per_node=8)
+
+
+def run_open(trace, rate, policy="round-robin", passes=2, **kw):
+    sim = Simulation(
+        trace,
+        make_policy(policy),
+        cfg(),
+        passes=passes,
+        arrival_rate=rate,
+        record_latencies=True,
+        **kw,
+    )
+    return sim, sim.run()
+
+
+def test_arrival_rate_validation(trace):
+    with pytest.raises(ValueError):
+        Simulation(trace, make_policy("l2s"), cfg(), arrival_rate=0.0)
+
+
+def test_throughput_tracks_arrival_rate_below_saturation(trace):
+    _, r = run_open(trace, rate=400.0)
+    # Far below capacity: measured throughput ~ offered rate.
+    assert r.throughput_rps == pytest.approx(400.0, rel=0.15)
+
+
+def test_all_requests_complete_open_loop(trace):
+    sim, r = run_open(trace, rate=500.0)
+    assert r.requests_measured + r.requests_warmup == 2 * len(trace)
+
+
+def test_latency_grows_with_load(trace):
+    _, lo = run_open(trace, rate=300.0)
+    _, hi = run_open(trace, rate=1200.0)
+    assert hi.mean_response_s > lo.mean_response_s
+
+
+def test_percentiles_recorded_and_ordered(trace):
+    _, r = run_open(trace, rate=600.0)
+    p = r.latency_percentiles
+    assert set(p) == {"p50", "p90", "p99", "max"}
+    assert p["p50"] <= p["p90"] <= p["p99"] <= p["max"]
+    assert p["p50"] > 0
+
+
+def test_percentiles_absent_without_recording(trace):
+    sim = Simulation(trace, make_policy("round-robin"), cfg(), passes=2)
+    r = sim.run()
+    assert r.latency_percentiles == {}
+
+
+def test_open_loop_latency_near_service_time_at_low_load(trace):
+    """At trivial load there is no queueing: the mean response is close
+    to the bare service-time sum (parse + reply + NI + router)."""
+    _, r = run_open(trace, rate=50.0)
+    hw = cfg().hardware
+    size_kb = trace.mean_request_bytes() / 1024.0
+    floor = (
+        hw.route_time(hw.request_kb)
+        + hw.ni_message_time(hw.request_kb)
+        + hw.parse_time()
+        + hw.reply_time(size_kb)
+        + hw.ni_reply_time(size_kb)
+        + hw.route_time(size_kb)
+    )
+    assert r.mean_response_s >= floor * 0.8
+    assert r.mean_response_s < floor * 4.0
+
+
+def test_open_loop_deterministic(trace):
+    _, a = run_open(trace, rate=600.0, seed=5)
+    _, b = run_open(trace, rate=600.0, seed=5)
+    assert a.mean_response_s == b.mean_response_s
+    _, c = run_open(trace, rate=600.0, seed=6)
+    assert c.mean_response_s != a.mean_response_s
+
+
+def test_open_loop_no_warmup(trace):
+    sim, r = run_open(trace, rate=500.0, passes=1, warmup_fraction=0.0)
+    assert r.requests_warmup == 0
+    assert r.requests_measured == len(trace)

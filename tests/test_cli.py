@@ -1,0 +1,114 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURE_TRACES, build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["frobnicate"])
+
+
+def test_figure_trace_mapping():
+    assert FIGURE_TRACES == {7: "calgary", 8: "clarknet", 9: "nasa", 10: "rutgers"}
+
+
+def test_tables_command(capsys):
+    assert main(["tables"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out and "Table 2" in out
+    assert "mu_p" in out and "calgary" in out
+
+
+def test_bound_command(capsys):
+    assert main(["bound", "nasa", "--nodes", "8", "--memory", "32"]) == 0
+    out = capsys.readouterr().out
+    assert "nasa x 8 nodes" in out
+    assert "req/s" in out
+
+
+def test_simulate_command(capsys):
+    assert (
+        main(
+            [
+                "simulate",
+                "calgary",
+                "round-robin",
+                "--nodes",
+                "2",
+                "--requests",
+                "1500",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "round-robin" in out
+    assert "model bound" in out
+
+
+def test_simulate_rejects_bad_trace():
+    with pytest.raises(KeyError):
+        main(["simulate", "unknown-trace", "l2s", "--requests", "100"])
+
+
+def test_figure_command_validates_number():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["figure", "5"])  # 7-10 only
+
+
+def test_analyze_command_preset(capsys):
+    assert main(["analyze", "nasa", "--requests", "4000", "--memories", "8,32"]) == 0
+    out = capsys.readouterr().out
+    assert "nasa" in out
+    assert "LRU capacity-miss rates" in out
+    assert "8 MB" in out and "32 MB" in out
+
+
+def test_reproduce_command_model_only(tmp_path, capsys):
+    out = tmp_path / "report.md"
+    assert main(["reproduce", "--out", str(out), "--model-only"]) == 0
+    text = out.read_text()
+    assert "Table 1" in text and "Table 2" in text
+    assert "Peak locality gain" in text
+    assert "Figure 7" not in text  # simulations skipped
+
+
+def test_reproduce_command_with_tiny_sims(tmp_path):
+    out = tmp_path / "report.md"
+    assert (
+        main(
+            [
+                "reproduce",
+                "--out",
+                str(out),
+                "--requests",
+                "1500",
+                "--traces",
+                "calgary",
+                "--nodes",
+                "2",
+            ]
+        )
+        == 0
+    )
+    text = out.read_text()
+    assert "Figure 7" in text
+    assert "calgary" in text
+
+
+def test_analyze_command_npz(tmp_path, capsys):
+    from repro.workload import synthesize
+
+    trace = synthesize("calgary", num_requests=2000)
+    path = tmp_path / "t.npz"
+    trace.save(path)
+    assert main(["analyze", str(path), "--memories", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "calgary" in out

@@ -1,0 +1,165 @@
+"""Cross-module integration tests: conservation laws and consistency
+between the workload, the policies, the hardware, and the metrics."""
+
+import pytest
+
+from repro.cluster import ClusterConfig
+from repro.model import MB
+from repro.servers import make_policy
+from repro.sim import Simulation, model_bound_for_trace
+from repro.workload import build_fileset, generate_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    fs = build_fileset(300, 18 * 1024, 14 * 1024, 0.9, seed=3, name="itrace")
+    return generate_trace(fs, 4000, seed=4, name="itrace")
+
+
+def run(trace, policy_name, nodes=4, cache_mb=2, **sim_kwargs):
+    cfg = ClusterConfig(
+        nodes=nodes, cache_bytes=cache_mb * MB, multiprogramming_per_node=8
+    )
+    policy = make_policy(policy_name)
+    sim = Simulation(trace, policy, cfg, passes=2, **sim_kwargs)
+    return sim, sim.run()
+
+
+ALL_POLICIES = (
+    "l2s",
+    "lard",
+    "lard-ng",
+    "traditional",
+    "round-robin",
+    "consistent-hash",
+    "dns-cached",
+)
+
+
+def test_request_conservation(trace):
+    for name in ALL_POLICIES:
+        sim, result = run(trace, name)
+        assert result.requests_measured + result.requests_warmup == 2 * len(trace)
+        assert sum(result.node_completions) == result.requests_measured
+
+
+def test_throughput_definition_consistent(trace):
+    sim, result = run(trace, "l2s")
+    assert result.throughput_rps == pytest.approx(
+        result.requests_measured / result.sim_seconds
+    )
+
+
+def test_no_handoffs_for_local_policies(trace):
+    for name in ("traditional", "round-robin"):
+        sim, result = run(trace, name)
+        assert result.forwarded_fraction == 0.0
+        assert "handoff" not in sim.cluster.net.message_counts
+        assert all(n.forwarded == 0 for n in sim.cluster.nodes)
+
+
+def test_lard_hands_off_every_request(trace):
+    sim, result = run(trace, "lard")
+    # Every measured request was handed off by the front-end.  Message
+    # counters reset at the warmup boundary while up to one MPL of
+    # requests straddles it, hence the tolerance.
+    mpl = sim.config.multiprogramming_per_node * sim.config.nodes
+    handoffs = sim.cluster.net.message_counts["handoff"]
+    assert abs(handoffs - result.requests_measured) <= mpl
+    assert result.forwarded_fraction == 1.0
+    # Front-end serviced nothing; its cache never saw a file.
+    assert len(sim.cluster.node(0).cache) == 0
+
+
+def test_l2s_handoffs_match_forwarded_fraction(trace):
+    sim, result = run(trace, "l2s")
+    handoffs = sim.cluster.net.message_counts.get("handoff", 0)
+    expected = result.forwarded_fraction * result.requests_measured
+    mpl = sim.config.multiprogramming_per_node * sim.config.nodes
+    assert handoffs == pytest.approx(expected, abs=mpl)
+
+
+def test_l2s_server_sets_are_valid(trace):
+    sim, result = run(trace, "l2s")
+    policy = sim.policy
+    nodes = sim.cluster.num_nodes
+    sets = policy._server_sets
+    assert len(sets) > 0
+    for file_id, sset in sets.items():
+        assert len(sset) >= 1
+        assert len(set(sset)) == len(sset)  # no duplicates
+        assert all(0 <= m < nodes for m in sset)
+
+
+def test_all_connections_closed_at_end(trace):
+    for name in ALL_POLICIES:
+        sim, result = run(trace, name)
+        assert sim.cluster.connection_counts() == [0] * sim.cluster.num_nodes
+
+
+def test_lard_ng_dispatcher_serves_nothing(trace):
+    sim, result = run(trace, "lard-ng")
+    assert result.node_completions[0] == 0
+    # Every request pays the query round-trip (counters reset at the
+    # warmup boundary, so an in-flight round-trip can split across it).
+    counts = sim.cluster.net.message_counts
+    assert abs(counts["lardng_query"] - counts["lardng_reply"]) <= 2
+    assert counts["lardng_query"] >= result.requests_measured - 100
+
+
+def test_station_utilizations_reported(trace):
+    sim, result = run(trace, "l2s")
+    u = result.station_utilizations
+    assert set(u) == {"router", "cpu", "disk", "ni_in", "ni_out"}
+    assert all(0.0 <= v <= 1.0 for v in u.values())
+    assert result.bottleneck_station() in u
+
+
+def test_cache_capacity_respected_everywhere(trace):
+    sim, result = run(trace, "l2s", cache_mb=1)
+    for node in sim.cluster.nodes:
+        assert node.cache.used_bytes <= node.cache.capacity
+
+
+def test_simulation_below_model_bound(trace):
+    bound = model_bound_for_trace(trace, nodes=4, cache_bytes=2 * MB).throughput
+    for name in ("l2s", "lard", "traditional"):
+        sim, result = run(trace, name)
+        assert result.throughput_rps <= bound * 1.08, name
+
+
+def test_locality_policies_beat_oblivious_on_big_working_set():
+    """The paper's core claim at miniature scale: when the working set
+    dwarfs one cache but fits the cluster's combined memory, L2S wins."""
+    fs = build_fileset(600, 18 * 1024, 15 * 1024, 0.8, seed=9, name="big")
+    trace = generate_trace(fs, 6000, seed=10, name="big")
+    # Working set ~10.5 MB; per-node cache 2 MB; combined 16 MB.
+    sim_l2s, r_l2s = run(trace, "l2s", nodes=8, cache_mb=2)
+    sim_trad, r_trad = run(trace, "traditional", nodes=8, cache_mb=2)
+    assert r_l2s.miss_rate < r_trad.miss_rate
+    assert r_l2s.throughput_rps > 1.3 * r_trad.throughput_rps
+
+
+def test_different_seeds_give_different_traces_same_shape():
+    fs1 = build_fileset(300, 18 * 1024, 14 * 1024, 0.9, seed=11)
+    fs2 = build_fileset(300, 18 * 1024, 14 * 1024, 0.9, seed=12)
+    t1 = generate_trace(fs1, 3000, seed=11)
+    t2 = generate_trace(fs2, 3000, seed=12)
+    _, r1 = run(t1, "l2s")
+    _, r2 = run(t2, "l2s")
+    assert r1.throughput_rps != r2.throughput_rps
+    # Same workload law: results within a broad band of each other.
+    assert 0.5 < r1.throughput_rps / r2.throughput_rps < 2.0
+
+
+def test_more_nodes_more_throughput(trace):
+    _, r4 = run(trace, "l2s", nodes=4)
+    _, r8 = run(trace, "l2s", nodes=8)
+    assert r8.throughput_rps > r4.throughput_rps
+
+
+def test_message_accounting_nonnegative_and_bounded(trace):
+    sim, result = run(trace, "l2s")
+    counts = sim.cluster.net.message_counts
+    assert all(v >= 0 for v in counts.values())
+    assert sim.cluster.net.messages_sent == sum(counts.values())

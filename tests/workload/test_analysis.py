@@ -1,0 +1,146 @@
+"""Tests for LRU stack-distance analysis, including a reference-model
+property check against the real LRU cache implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import LRUFileCache
+from repro.workload import FileSet, Trace, build_fileset, generate_trace
+from repro.workload.analysis import (
+    miss_rate_curve,
+    model_vs_lru_hit_rate,
+    stack_distances,
+    working_set_bytes,
+)
+
+
+def make_trace(ids, sizes):
+    fs = FileSet(sizes=np.asarray(sizes, dtype=np.int64), alpha=1.0, name="t")
+    return Trace("t", fs, np.asarray(ids, dtype=np.int64))
+
+
+def test_stack_distances_cold_misses():
+    t = make_trace([0, 1, 2], [100, 100, 100])
+    assert list(stack_distances(t)) == [-1, -1, -1]
+
+
+def test_stack_distances_immediate_rereference():
+    t = make_trace([0, 0, 0], [100, 999])
+    # Re-references with nothing in between: distance = own size.
+    assert list(stack_distances(t)) == [-1, 100, 100]
+
+
+def test_stack_distances_classic_pattern():
+    # a b c a : distance of the second 'a' = |{a,b,c}| bytes.
+    t = make_trace([0, 1, 2, 0], [10, 20, 30])
+    assert list(stack_distances(t)) == [-1, -1, -1, 60]
+
+
+def test_stack_distances_only_counts_distinct_files():
+    # a b b b a : 'b' repeated must count once.
+    t = make_trace([0, 1, 1, 1, 0], [10, 20])
+    d = list(stack_distances(t))
+    assert d == [-1, -1, 20, 20, 30]
+
+
+def test_miss_rate_curve_monotone_in_cache_size():
+    fs = build_fileset(200, 10 * 1024, 8 * 1024, 0.9, seed=0)
+    t = generate_trace(fs, 5000, seed=1)
+    curve = miss_rate_curve(t, [2**14, 2**17, 2**20, 2**24])
+    rates = [m for _, m in curve]
+    assert all(a >= b - 1e-12 for a, b in zip(rates, rates[1:]))
+    # A cache as big as the working set only leaves cold misses.
+    big = curve[-1][1]
+    cold_only = t.unique_files_touched() / len(t)
+    assert big == pytest.approx(cold_only, abs=1e-9)
+
+
+def test_miss_rate_curve_exclude_cold():
+    t = make_trace([0, 1, 0, 1], [100, 100])
+    # With a big cache there are no capacity misses at all.
+    assert miss_rate_curve(t, [10_000], include_cold=False)[0][1] == 0.0
+    assert miss_rate_curve(t, [10_000], include_cold=True)[0][1] == 0.5
+
+
+def test_miss_rate_curve_validation():
+    t = make_trace([0], [100])
+    with pytest.raises(ValueError):
+        miss_rate_curve(t, [0])
+    with pytest.raises(ValueError):
+        miss_rate_curve(t.head(0), [100])
+
+
+def test_working_set_bytes():
+    t = make_trace([0, 0, 2], [100, 999, 300])
+    assert working_set_bytes(t) == 400
+
+
+@given(
+    n_files=st.integers(min_value=2, max_value=30),
+    n_reqs=st.integers(min_value=1, max_value=150),
+    file_size=st.integers(min_value=10, max_value=100),
+    slots=st.integers(min_value=1, max_value=20),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_distances_agree_with_real_lru_uniform(
+    n_files, n_reqs, file_size, slots, seed
+):
+    """Mattson's inclusion property, exact for uniform file sizes: a
+    request misses an LRU cache of capacity C iff its stack distance is
+    -1 or > C.  Checked against the simulator's actual LRUFileCache.
+    (With variable sizes byte-LRU is not a stack algorithm; see the
+    tolerance test below.)"""
+    rng = np.random.default_rng(seed)
+    sizes = np.full(n_files, file_size)
+    ids = rng.integers(0, n_files, size=n_reqs)
+    capacity = slots * file_size
+    t = make_trace(ids, sizes)
+    dist = stack_distances(t)
+
+    cache = LRUFileCache(capacity)
+    for k, fid in enumerate(ids):
+        fid = int(fid)
+        predicted_miss = dist[k] < 0 or dist[k] > capacity
+        actual_miss = not cache.lookup(fid)
+        assert actual_miss == predicted_miss, (k, dist[k], capacity)
+        if actual_miss:
+            cache.insert(fid, int(sizes[fid]))
+
+
+def test_distances_close_to_real_lru_variable_sizes():
+    """With variable sizes the stack approximation stays within a small
+    margin of the real byte-LRU cache's measured miss rate."""
+    fs = build_fileset(300, 12 * 1024, 10 * 1024, 0.9, seed=5)
+    t = generate_trace(fs, 8000, seed=6)
+    capacity = 1 * 1024 * 1024
+    predicted = dict(miss_rate_curve(t, [capacity]))[capacity]
+
+    cache = LRUFileCache(capacity)
+    misses = 0
+    for fid in t.file_ids:
+        fid = int(fid)
+        if not cache.lookup(fid):
+            misses += 1
+            cache.insert(fid, int(t.fileset.sizes[fid]))
+    actual = misses / len(t)
+    assert predicted == pytest.approx(actual, abs=0.02)
+
+
+def test_model_vs_lru_hit_rate_reasonable_agreement():
+    fs = build_fileset(2000, 12 * 1024, 10 * 1024, 1.0, seed=2)
+    t = generate_trace(fs, 40_000, seed=3)
+    predicted, actual = model_vs_lru_hit_rate(t, 4 * 1024 * 1024)
+    assert 0.0 < predicted < 1.0
+    assert 0.0 < actual < 1.0
+    # The model's perfect-frequency caching is an upper-ish bound; LRU
+    # lands within a moderate band of it on an i.i.d. Zipf stream.
+    assert abs(predicted - actual) < 0.15
+
+
+def test_model_vs_lru_validation():
+    t = make_trace([0], [100])
+    with pytest.raises(ValueError):
+        model_vs_lru_hit_rate(t, 0)

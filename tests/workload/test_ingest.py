@@ -1,0 +1,93 @@
+"""Tests for access-log ingestion (plain and gzip)."""
+
+import gzip
+
+import pytest
+
+from repro.workload import ingest_log, open_log
+
+LOG_LINES = [
+    'h1 - - [01/Mar/2000:00:00:01 -0500] "GET /a.html HTTP/1.0" 200 1000',
+    'h2 - - [01/Mar/2000:00:00:02 -0500] "GET /b.gif HTTP/1.0" 200 2000',
+    'h1 - - [01/Mar/2000:00:00:03 -0500] "GET /a.html HTTP/1.0" 200 1000',
+    'h3 - - [01/Mar/2000:00:00:04 -0500] "GET /miss HTTP/1.0" 404 100',
+    "garbage line",
+    'h4 - - [01/Mar/2000:00:00:05 -0500] "GET /c.txt HTTP/1.0" 200 -',
+    'h1 - - [01/Mar/2000:00:00:06 -0500] "GET /a.html HTTP/1.0" 200 1000',
+]
+
+
+@pytest.fixture
+def plain_log(tmp_path):
+    p = tmp_path / "access.log"
+    p.write_text("\n".join(LOG_LINES) + "\n")
+    return p
+
+
+@pytest.fixture
+def gz_log(tmp_path):
+    p = tmp_path / "access.log.gz"
+    with gzip.open(p, "wt") as fh:
+        fh.write("\n".join(LOG_LINES) + "\n")
+    return p
+
+
+def test_open_log_plain(plain_log):
+    assert len(list(open_log(plain_log))) == len(LOG_LINES)
+
+
+def test_open_log_gzip(gz_log):
+    assert len(list(open_log(gz_log))) == len(LOG_LINES)
+
+
+def test_open_log_missing():
+    with pytest.raises(FileNotFoundError):
+        list(open_log("/nonexistent/access.log"))
+
+
+def test_ingest_drops_incomplete_and_garbage(plain_log):
+    trace = ingest_log(plain_log)
+    # Only the 4 complete 200-status requests survive.
+    assert len(trace) == 4
+    assert trace.fileset.num_files == 2  # /a.html and /b.gif
+    # /a.html requested 3x -> rank 0.
+    assert trace.fileset.size_of(0) == 1000
+
+
+def test_ingest_gzip_equivalent(plain_log, gz_log):
+    a = ingest_log(plain_log)
+    b = ingest_log(gz_log)
+    assert len(a) == len(b)
+    assert (a.file_ids == b.file_ids).all()
+
+
+def test_ingest_name_default_and_override(plain_log):
+    assert ingest_log(plain_log).name == "access"
+    assert ingest_log(plain_log, name="mysite").name == "mysite"
+
+
+def test_ingest_max_requests(plain_log):
+    trace = ingest_log(plain_log, max_requests=2)
+    assert len(trace) == 2
+    with pytest.raises(ValueError):
+        ingest_log(plain_log, max_requests=0)
+
+
+def test_ingest_empty_log(tmp_path):
+    p = tmp_path / "empty.log"
+    p.write_text("nothing useful\n")
+    with pytest.raises(ValueError):
+        ingest_log(p)
+
+
+def test_ingest_cli_roundtrip(tmp_path, plain_log, capsys):
+    from repro.cli import main
+    from repro.workload import Trace
+
+    out = tmp_path / "trace.npz"
+    assert main(["ingest", str(plain_log), "-o", str(out)]) == 0
+    assert "4 requests" in capsys.readouterr().out
+    t = Trace.load(out)
+    assert len(t) == 4
+    # And it feeds straight into analyze.
+    assert main(["analyze", str(out), "--memories", "1"]) == 0

@@ -1,0 +1,72 @@
+"""Tests for persistent-connection sessionization."""
+
+import numpy as np
+import pytest
+
+from repro.workload import FileSet, Trace, sessionize
+from repro.workload.sessions import SessionTrace
+
+
+def make_trace(n=100):
+    fs = FileSet(sizes=np.arange(1, 11) * 1000, alpha=1.0, name="s")
+    return Trace("s", fs, np.arange(n) % 10)
+
+
+def test_sessionize_mean_one_is_http10():
+    t = make_trace(50)
+    s = sessionize(t, mean_requests_per_connection=1.0)
+    assert s.num_connections == 50
+    assert (s.connection_lengths() == 1).all()
+    assert s.mean_connection_length() == 1.0
+
+
+def test_sessionize_partitions_the_whole_trace():
+    t = make_trace(500)
+    s = sessionize(t, mean_requests_per_connection=4.0, seed=1)
+    lengths = s.connection_lengths()
+    assert lengths.sum() == 500
+    assert (lengths >= 1).all()
+    spans = [s.connection_span(k) for k in range(s.num_connections)]
+    assert spans[0][0] == 0
+    assert spans[-1][1] == 500
+    for (a, b), (c, d) in zip(spans, spans[1:]):
+        assert b == c
+
+
+def test_sessionize_mean_length_approximate():
+    t = make_trace(20_000)
+    s = sessionize(t, mean_requests_per_connection=5.0, seed=2)
+    assert s.mean_connection_length() == pytest.approx(5.0, rel=0.15)
+
+
+def test_sessionize_deterministic():
+    t = make_trace(300)
+    a = sessionize(t, 3.0, seed=9)
+    b = sessionize(t, 3.0, seed=9)
+    assert (a.starts == b.starts).all()
+
+
+def test_sessionize_validation():
+    t = make_trace(10)
+    with pytest.raises(ValueError):
+        sessionize(t.head(0), 2.0)
+    with pytest.raises(ValueError):
+        sessionize(t, 0.5)
+
+
+def test_session_trace_validation():
+    t = make_trace(10)
+    with pytest.raises(ValueError):
+        SessionTrace(t, np.array([1, 5]))  # must start at 0
+    with pytest.raises(ValueError):
+        SessionTrace(t, np.array([0, 5, 5]))  # strictly increasing
+    with pytest.raises(ValueError):
+        SessionTrace(t, np.array([0, 20]))  # past the end
+    with pytest.raises(IndexError):
+        SessionTrace(t, np.array([0, 5])).connection_span(2)
+
+
+def test_iter_connections():
+    t = make_trace(10)
+    s = SessionTrace(t, np.array([0, 4, 7]))
+    assert list(s.iter_connections()) == [(0, 0, 4), (1, 4, 7), (2, 7, 10)]

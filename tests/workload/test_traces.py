@@ -1,0 +1,141 @@
+"""Tests for Trace containers, persistence, and CLF parsing."""
+
+import numpy as np
+import pytest
+
+from repro.workload import (
+    FileSet,
+    Trace,
+    fit_zipf_alpha,
+    parse_common_log,
+    trace_from_log_entries,
+)
+
+
+def make_fileset(n=10, alpha=1.0):
+    return FileSet(sizes=np.arange(1, n + 1) * 1000, alpha=alpha, name="fs")
+
+
+def test_trace_basics():
+    fs = make_fileset()
+    t = Trace("t", fs, np.array([0, 1, 0, 2]))
+    assert len(t) == 4
+    assert t.num_requests == 4
+    assert list(t.request_sizes()) == [1000, 2000, 1000, 3000]
+    assert t.mean_request_bytes() == pytest.approx(1750.0)
+    assert t.unique_files_touched() == 3
+
+
+def test_trace_validation_out_of_range():
+    fs = make_fileset(3)
+    with pytest.raises(ValueError):
+        Trace("t", fs, np.array([0, 3]))
+    with pytest.raises(ValueError):
+        Trace("t", fs, np.array([-1]))
+
+
+def test_trace_timestamps_must_align_and_be_sorted():
+    fs = make_fileset()
+    with pytest.raises(ValueError):
+        Trace("t", fs, np.array([0, 1]), timestamps=np.array([0.0]))
+    with pytest.raises(ValueError):
+        Trace("t", fs, np.array([0, 1]), timestamps=np.array([2.0, 1.0]))
+    t = Trace("t", fs, np.array([0, 1]), timestamps=np.array([1.0, 2.0]))
+    assert t.timestamps is not None
+
+
+def test_trace_head():
+    fs = make_fileset()
+    t = Trace("t", fs, np.arange(5), timestamps=np.arange(5.0))
+    h = t.head(2)
+    assert len(h) == 2
+    assert list(h.file_ids) == [0, 1]
+    assert list(h.timestamps) == [0.0, 1.0]
+    with pytest.raises(ValueError):
+        t.head(-1)
+
+
+def test_trace_stats_row():
+    fs = make_fileset(4)
+    t = Trace("t", fs, np.array([0, 0, 1]))
+    s = t.stats()
+    assert s.num_files == 4
+    assert s.num_requests == 3
+    assert s.alpha == 1.0
+    assert s.total_footprint_mb == pytest.approx(fs.total_bytes / 2**20)
+    assert len(s.as_row()) == 5
+
+
+def test_trace_save_load_roundtrip(tmp_path):
+    fs = make_fileset(8, alpha=0.9)
+    t = Trace("rt", fs, np.array([0, 3, 5]), timestamps=np.array([0.0, 1.5, 2.5]))
+    path = tmp_path / "trace.npz"
+    t.save(path)
+    t2 = Trace.load(path)
+    assert t2.name == "rt"
+    assert t2.fileset.alpha == 0.9
+    assert (t2.file_ids == t.file_ids).all()
+    assert np.allclose(t2.timestamps, t.timestamps)
+    assert (t2.fileset.sizes == fs.sizes).all()
+
+
+def test_trace_save_load_without_timestamps(tmp_path):
+    fs = make_fileset()
+    t = Trace("nt", fs, np.array([1, 2]))
+    path = tmp_path / "nt.npz"
+    t.save(path)
+    assert Trace.load(path).timestamps is None
+
+
+CLF_LINES = [
+    'host1 - - [01/Mar/2000:00:00:01 -0500] "GET /index.html HTTP/1.0" 200 5120',
+    'host2 - - [01/Mar/2000:00:00:02 -0500] "GET /img/logo.gif HTTP/1.0" 200 2048',
+    'host1 - - [01/Mar/2000:00:00:03 -0500] "GET /index.html HTTP/1.0" 200 5120',
+    'host3 - - [01/Mar/2000:00:00:04 -0500] "GET /missing.html HTTP/1.0" 404 512',
+    'host4 - - [01/Mar/2000:00:00:05 -0500] "GET /partial.bin HTTP/1.0" 200 -',
+    "totally not a log line",
+    'host5 - - [01/Mar/2000:00:00:06 -0500] "OPTIONS * HTTP/1.0" 200 17',
+]
+
+
+def test_parse_common_log_filters_incomplete():
+    entries = parse_common_log(CLF_LINES)
+    assert entries == [
+        ("/index.html", 5120),
+        ("/img/logo.gif", 2048),
+        ("/index.html", 5120),
+    ]
+
+
+def test_parse_common_log_keep_unsuccessful():
+    entries = parse_common_log(CLF_LINES, successful_only=False)
+    paths = [p for p, _ in entries]
+    assert "/missing.html" in paths
+    assert "/partial.bin" in paths
+
+
+def test_trace_from_log_entries():
+    entries = parse_common_log(CLF_LINES)
+    t = trace_from_log_entries(entries, name="mini")
+    assert t.name == "mini"
+    assert t.fileset.num_files == 2
+    # /index.html requested twice -> rank 0.
+    assert t.fileset.size_of(0) == 5120
+    assert list(t.file_ids) == [0, 1, 0]
+
+
+def test_trace_from_log_entries_empty_raises():
+    with pytest.raises(ValueError):
+        trace_from_log_entries([])
+
+
+def test_fit_zipf_alpha_recovers_exponent():
+    ranks = np.arange(1, 2001, dtype=np.float64)
+    counts = 1e6 * ranks**-0.9
+    assert fit_zipf_alpha(counts) == pytest.approx(0.9, abs=0.01)
+
+
+def test_fit_zipf_alpha_degenerate_inputs():
+    assert fit_zipf_alpha(np.array([5.0])) == 1.0
+    with pytest.raises(ValueError):
+        fit_zipf_alpha(np.array([]))

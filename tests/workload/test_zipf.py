@@ -1,0 +1,152 @@
+"""Tests for Zipf distributions, including property-based invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload import ZipfDistribution, harmonic, zipf_top_mass
+
+
+def test_harmonic_known_values():
+    assert harmonic(1, 1.0) == pytest.approx(1.0)
+    assert harmonic(2, 1.0) == pytest.approx(1.5)
+    assert harmonic(4, 1.0) == pytest.approx(1 + 0.5 + 1 / 3 + 0.25)
+    assert harmonic(3, 0.0) == pytest.approx(3.0)
+    assert harmonic(0, 1.0) == 0.0
+
+
+def test_harmonic_alpha2():
+    # H_inf(2) = pi^2/6; partial sums approach from below.
+    h = harmonic(10_000, 2.0)
+    assert h < np.pi**2 / 6
+    assert h == pytest.approx(np.pi**2 / 6, abs=1e-3)
+
+
+def test_harmonic_negative_n_rejected():
+    with pytest.raises(ValueError):
+        harmonic(-1, 1.0)
+
+
+def test_zipf_top_mass_basics():
+    assert zipf_top_mass(0, 100, 1.0) == 0.0
+    assert zipf_top_mass(100, 100, 1.0) == pytest.approx(1.0)
+    assert zipf_top_mass(500, 100, 1.0) == pytest.approx(1.0)  # clamped
+    # Top 1 of 2 with alpha=1: (1)/(1+0.5) = 2/3.
+    assert zipf_top_mass(1, 2, 1.0) == pytest.approx(2 / 3)
+
+
+def test_zipf_top_mass_invalid_population():
+    with pytest.raises(ValueError):
+        zipf_top_mass(1, 0, 1.0)
+
+
+def test_pmf_sums_to_one():
+    z = ZipfDistribution(1000, 0.8)
+    assert z.pmf.sum() == pytest.approx(1.0)
+    assert z.cdf[-1] == 1.0
+
+
+def test_pmf_monotone_decreasing():
+    z = ZipfDistribution(50, 1.1)
+    assert (np.diff(z.pmf) <= 0).all()
+
+
+def test_alpha_zero_is_uniform():
+    z = ZipfDistribution(10, 0.0)
+    assert np.allclose(z.pmf, 0.1)
+
+
+def test_probability_bounds():
+    z = ZipfDistribution(5, 1.0)
+    with pytest.raises(IndexError):
+        z.probability(5)
+    with pytest.raises(IndexError):
+        z.probability(-1)
+    assert z.probability(0) > z.probability(4)
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        ZipfDistribution(0, 1.0)
+    with pytest.raises(ValueError):
+        ZipfDistribution(10, -0.5)
+
+
+def test_top_mass_matches_cdf():
+    z = ZipfDistribution(100, 0.9)
+    for n in (1, 10, 50, 100):
+        assert z.top_mass(n) == pytest.approx(z.cdf[n - 1])
+
+
+def test_ranks_for_mass_roundtrip():
+    z = ZipfDistribution(200, 1.0)
+    n = z.ranks_for_mass(0.5)
+    assert z.top_mass(n) >= 0.5
+    assert z.top_mass(n - 1) < 0.5
+    assert z.ranks_for_mass(0.0) == 0
+
+
+def test_ranks_for_mass_validation():
+    z = ZipfDistribution(10, 1.0)
+    with pytest.raises(ValueError):
+        z.ranks_for_mass(1.5)
+
+
+def test_sampling_is_seed_deterministic():
+    z = ZipfDistribution(500, 0.9)
+    a = z.sample(1000, np.random.default_rng(7))
+    b = z.sample(1000, np.random.default_rng(7))
+    assert (a == b).all()
+
+
+def test_sampling_range_and_dtype():
+    z = ZipfDistribution(50, 1.0)
+    s = z.sample(10_000, np.random.default_rng(1))
+    assert s.dtype == np.int64
+    assert s.min() >= 0 and s.max() < 50
+
+
+def test_sampling_frequency_matches_pmf():
+    z = ZipfDistribution(20, 1.0)
+    s = z.sample(200_000, np.random.default_rng(3))
+    freq = np.bincount(s, minlength=20) / s.size
+    assert np.allclose(freq, z.pmf, atol=0.01)
+
+
+def test_sample_negative_size_rejected():
+    z = ZipfDistribution(10, 1.0)
+    with pytest.raises(ValueError):
+        z.sample(-1)
+
+
+def test_expected_mean_of():
+    z = ZipfDistribution(3, 0.0)  # uniform
+    assert z.expected_mean_of(np.array([3.0, 6.0, 9.0])) == pytest.approx(6.0)
+    with pytest.raises(ValueError):
+        z.expected_mean_of(np.array([1.0, 2.0]))
+
+
+@given(
+    population=st.integers(min_value=1, max_value=2000),
+    alpha=st.floats(min_value=0.0, max_value=2.5),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_pmf_valid_distribution(population, alpha):
+    z = ZipfDistribution(population, alpha)
+    assert z.pmf.shape == (population,)
+    assert (z.pmf >= 0).all()
+    assert z.pmf.sum() == pytest.approx(1.0, abs=1e-9)
+    assert (np.diff(z.pmf) <= 1e-15).all()  # non-increasing
+
+
+@given(
+    population=st.integers(min_value=2, max_value=500),
+    alpha=st.floats(min_value=0.1, max_value=2.0),
+    n=st.integers(min_value=1, max_value=500),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_top_mass_monotone(population, alpha, n):
+    m1 = zipf_top_mass(n, population, alpha)
+    m2 = zipf_top_mass(n + 1, population, alpha)
+    assert 0.0 <= m1 <= m2 <= 1.0 + 1e-12

@@ -1,0 +1,131 @@
+"""A2 — crash *and reboot* on the fault-injection subsystem.
+
+The acceptance scenario for ``repro.faults``: one node crashes partway
+through a run and reboots (cold cache) later, clients retry with capped
+exponential backoff, and the availability timeline shows
+
+* LARD, front-end crash — after the in-flight back-end work drains,
+  goodput is ZERO until the front-end itself reboots;
+* L2S / traditional — degraded-then-recovered goodput, with a visible
+  cache-reheat miss-rate transient after the reboot;
+* LARD-NG with failover — the election bounds the outage: goodput
+  resumes on the promoted dispatcher well before the dead node reboots;
+* determinism — a fixed seed gives bit-identical timelines across runs.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fault_recovery_experiment, render_table
+from repro.faults import RetryPolicy
+from repro.workload import synthesize
+
+NODES = 8
+RETRY = RetryPolicy(max_retries=6)
+
+
+def _trace():
+    return synthesize("calgary", num_requests=10_000, seed=3)
+
+
+def test_fault_recovery(benchmark):
+    trace = _trace()
+
+    def compute():
+        return {
+            ("l2s", 3, None): fault_recovery_experiment(
+                "l2s", trace=trace, nodes=NODES, failed_node=3, retry=RETRY
+            ),
+            ("traditional", 3, None): fault_recovery_experiment(
+                "traditional", trace=trace, nodes=NODES, failed_node=3, retry=RETRY
+            ),
+            ("lard", 0, None): fault_recovery_experiment(
+                "lard", trace=trace, nodes=NODES, failed_node=0, retry=RETRY
+            ),
+            ("lard-ng", 0, 0.2): fault_recovery_experiment(
+                "lard-ng",
+                trace=trace,
+                nodes=NODES,
+                failed_node=0,
+                retry=RETRY,
+                failover_s=0.2,
+            ),
+        }
+
+    results = run_once(benchmark, compute)
+    print("\ncrash at 55%, reboot at 75% of the run (8 nodes, calgary):")
+    print(
+        render_table(
+            ["policy", "killed", "healthy", "outage", "recovered", "retried",
+             "reheat", "steady"],
+            [
+                (
+                    p,
+                    node,
+                    f"{r.healthy_throughput:,.0f}",
+                    f"{r.outage_goodput:,.0f}",
+                    f"{r.recovered_goodput:,.0f}",
+                    r.requests_retried,
+                    f"{r.reheat_miss_rate:.2f}",
+                    f"{r.steady_miss_rate:.2f}",
+                )
+                for (p, node, _), r in results.items()
+            ],
+        )
+    )
+
+    l2s = results[("l2s", 3, None)]
+    trad = results[("traditional", 3, None)]
+    lard = results[("lard", 0, None)]
+    lardng = results[("lard-ng", 0, 0.2)]
+
+    # LARD front-end crash: total outage once the in-flight hand-offs
+    # drain, and heavy client retry pressure across the outage.
+    assert lard.outage_goodput < 0.05 * lard.healthy_throughput
+    assert lard.requests_retried > 100
+    # ...but the reboot brings service back.
+    assert lard.recovered_goodput > 0.5 * lard.healthy_throughput
+    assert lard.timeline.goodput_between(
+        lard.recover_at, lard.recover_at + 2.0
+    ) > 0
+
+    # Decentralized designs: degraded during the outage (but serving),
+    # recovered after the reboot.
+    for r in (l2s, trad):
+        assert r.outage_goodput > 0.3 * r.healthy_throughput
+        assert r.recovered_goodput > 0.6 * r.healthy_throughput
+        assert r.requests_failed == 0  # retries absorb every abort
+    # The rebooted node comes back cold: the post-reboot miss rate runs
+    # above the end-of-run steady state (the reheat transient).
+    assert l2s.reheat_miss_rate > l2s.steady_miss_rate
+    assert trad.reheat_miss_rate > trad.steady_miss_rate
+
+    # LARD-NG failover: the election (0.2 s) restores service without
+    # waiting for the dead dispatcher's reboot — the outage window
+    # retains real goodput where plain LARD shows none.
+    assert lardng.outage_goodput > 0.25 * lardng.healthy_throughput
+    assert lardng.timeline.samples, "timeline must have sampled"
+
+    # Node-state strings witness the crash and the reboot.
+    states = [s.node_states for s in lard.timeline.samples]
+    assert any(s.startswith("D") for s in states)
+    assert states[-1] == "U" * NODES
+
+
+def test_fault_recovery_deterministic(benchmark):
+    trace = synthesize("clarknet", num_requests=4_000, seed=1)
+
+    def compute():
+        return [
+            fault_recovery_experiment(
+                "l2s", trace=trace, nodes=4, failed_node=1, retry=RETRY
+            )
+            for _ in range(2)
+        ]
+
+    a, b = run_once(benchmark, compute)
+    # Bit-identical timelines for a fixed seed: same sample instants,
+    # goodput, miss rates, retry counts, and node states (dataclass
+    # equality compares every field exactly).
+    assert a.timeline.samples == b.timeline.samples
+    assert a.events == b.events
+    assert a.faulted_throughput == b.faulted_throughput

@@ -22,6 +22,7 @@ Quickstart::
 """
 
 from .cluster import Cluster, ClusterConfig
+from .faults import AvailabilityTimeline, FaultSchedule, RetryPolicy
 from .model import ModelParameters, compute_surfaces, throughput_increase
 from .servers import (
     ConsistentHashPolicy,
@@ -49,6 +50,9 @@ __all__ = [
     "L2SPolicy",
     "ConsistentHashPolicy",
     "make_policy",
+    "FaultSchedule",
+    "RetryPolicy",
+    "AvailabilityTimeline",
     "Simulation",
     "SimResult",
     "run_simulation",

@@ -8,8 +8,11 @@ Commands
     Print the model figures 3-6 as terminal heat maps.
 ``repro simulate TRACE POLICY [--nodes N] [--requests K] [--memory MB]``
     One simulation run with a summary line.
-``repro figure {7,8,9,10} [--requests K]``
+``repro figure {7,8,9,10} [--requests K] [--workers N]``
     Reproduce one of the scaling figures (model + all three systems).
+``repro faults TRACE POLICY [--schedule SPEC | --mtbf S --mttr S | --crash-node I]``
+    Fault-injection run: crash/recover/slow nodes on a schedule, retry
+    aborted requests, and print the availability timeline.
 ``repro bound TRACE [--nodes N] [--memory MB]``
     The analytic locality-conscious bound for a trace.
 ``repro analyze TRACE [--requests K] [--memories 8,32,128]``
@@ -43,6 +46,11 @@ def build_parser() -> argparse.ArgumentParser:
             "(Carrera & Bianchini, HPDC 2000)"
         ),
     )
+    from . import __version__
+
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("tables", help="print Tables 1 and 2")
@@ -62,6 +70,75 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig = sub.add_parser("figure", help="reproduce figure 7, 8, 9 or 10")
     p_fig.add_argument("number", type=int, choices=sorted(FIGURE_TRACES))
     p_fig.add_argument("--requests", type=int, default=None)
+    p_fig.add_argument(
+        "--workers", type=int, default=None,
+        help="parallel worker processes (default: REPRO_BENCH_WORKERS or 1)",
+    )
+
+    p_flt = sub.add_parser(
+        "faults", help="fault-injection run with an availability timeline"
+    )
+    p_flt.add_argument("trace", help="calgary|clarknet|nasa|rutgers")
+    p_flt.add_argument(
+        "policy", help="l2s|lard|lard-ng|traditional|round-robin|consistent-hash"
+    )
+    p_flt.add_argument("--nodes", type=int, default=8)
+    p_flt.add_argument("--requests", type=int, default=None)
+    p_flt.add_argument("--memory", type=int, default=32, help="MB per node")
+    p_flt.add_argument("--seed", type=int, default=0)
+    p_flt.add_argument(
+        "--schedule", default=None, metavar="SPEC",
+        help=(
+            "explicit fault events, e.g. 'crash:2@0.5,recover:2@1.5,"
+            "slow:1@0.8x0.5' (seconds of simulated time)"
+        ),
+    )
+    p_flt.add_argument(
+        "--mtbf", type=float, default=None, metavar="S",
+        help="stochastic mode: mean time between failures per node (s)",
+    )
+    p_flt.add_argument(
+        "--mttr", type=float, default=None, metavar="S",
+        help="stochastic mode: mean time to repair (s)",
+    )
+    p_flt.add_argument(
+        "--horizon", type=float, default=None, metavar="S",
+        help="stochastic mode: schedule horizon (s); default: a healthy "
+        "calibration run's duration",
+    )
+    p_flt.add_argument(
+        "--crash-node", type=int, default=0, metavar="I",
+        help="fraction mode: node to crash (default 0)",
+    )
+    p_flt.add_argument(
+        "--crash-frac", type=float, default=0.55,
+        help="fraction mode: crash at this fraction of the run (default 0.55)",
+    )
+    p_flt.add_argument(
+        "--recover-frac", type=float, default=0.75,
+        help="fraction mode: reboot at this fraction (default 0.75)",
+    )
+    p_flt.add_argument(
+        "--no-recover", action="store_true",
+        help="fraction mode: crash with no reboot",
+    )
+    p_flt.add_argument(
+        "--retries", type=int, default=4,
+        help="client retries per aborted request (default 4)",
+    )
+    p_flt.add_argument(
+        "--timeout", type=float, default=None,
+        help="client response timeout in simulated seconds",
+    )
+    p_flt.add_argument(
+        "--failover", type=float, default=None, metavar="S",
+        help="lard-ng only: elect a new dispatcher S seconds after a "
+        "dispatcher crash",
+    )
+    p_flt.add_argument(
+        "--csv", default=None, metavar="PATH",
+        help="also write the raw timeline samples as CSV",
+    )
 
     p_bound = sub.add_parser("bound", help="analytic bound for a trace")
     p_bound.add_argument("trace")
@@ -105,6 +182,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument(
         "--model-only", action="store_true",
         help="skip the simulations (tables + model figures only)",
+    )
+    p_rep.add_argument(
+        "--workers", type=int, default=None,
+        help="parallel worker processes (default: REPRO_BENCH_WORKERS or 1)",
     )
     return parser
 
@@ -166,7 +247,9 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     from .experiments import scaling_experiment
 
     trace = FIGURE_TRACES[args.number]
-    exp = scaling_experiment(trace, num_requests=args.requests)
+    exp = scaling_experiment(
+        trace, num_requests=args.requests, workers=args.workers
+    )
     print(f"Figure {args.number}: throughputs for the {trace} trace\n")
     print(exp.render())
     return 0
@@ -230,6 +313,110 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from .cluster import ClusterConfig
+    from .experiments import fault_recovery_experiment, run_fault_simulation
+    from .faults import FaultSchedule, RetryPolicy
+    from .model import MB
+    from .workload import synthesize
+
+    if (args.mtbf is None) != (args.mttr is None):
+        print("--mtbf and --mttr must be given together", file=sys.stderr)
+        return 2
+    if args.schedule is not None and args.mtbf is not None:
+        print("--schedule and --mtbf/--mttr are exclusive", file=sys.stderr)
+        return 2
+    if args.failover is not None and args.policy != "lard-ng":
+        print("--failover only applies to lard-ng", file=sys.stderr)
+        return 2
+
+    trace = synthesize(args.trace, num_requests=args.requests, seed=args.seed)
+    config = ClusterConfig(nodes=args.nodes, cache_bytes=args.memory * MB)
+    retry = RetryPolicy(
+        max_retries=args.retries, timeout_s=args.timeout
+    )
+
+    if args.schedule is None and args.mtbf is None:
+        # Fraction mode: crash one node partway through, reboot it later.
+        r = fault_recovery_experiment(
+            args.policy,
+            trace=trace,
+            nodes=args.nodes,
+            failed_node=args.crash_node,
+            crash_frac=args.crash_frac,
+            recover_frac=None if args.no_recover else args.recover_frac,
+            retry=retry,
+            failover_s=args.failover,
+            cache_bytes=config.cache_bytes,
+        )
+        timeline = r.timeline
+        print(
+            f"{args.policy} x {args.nodes} nodes, {args.trace}: "
+            f"crash({r.failed_node}) at t={r.crash_at:.3f}s"
+            + (
+                f", recover at t={r.recover_at:.3f}s"
+                if r.recover_at is not None
+                else ", no reboot"
+            )
+        )
+        print(
+            f"  healthy {r.healthy_throughput:,.0f} req/s | faulted "
+            f"{r.faulted_throughput:,.0f} req/s | outage goodput "
+            f"{r.outage_goodput:,.0f} req/s ({r.outage_fraction:.0%} of "
+            f"healthy) | recovered {r.recovered_goodput:,.0f} req/s"
+        )
+        print(
+            f"  failed {r.requests_failed:,} | retried {r.requests_retried:,}"
+            f" | reheat miss {r.reheat_miss_rate:.1%} -> steady "
+            f"{r.steady_miss_rate:.1%}"
+        )
+    else:
+        # Calibrate the timescale with a healthy run, then inject.
+        healthy = run_fault_simulation(
+            trace, args.policy, config, faults=None, failover_s=args.failover
+        )
+        total_s = healthy._last_completion
+        if args.schedule is not None:
+            schedule = FaultSchedule.parse(args.schedule)
+        else:
+            schedule = FaultSchedule.stochastic(
+                args.nodes,
+                horizon_s=args.horizon if args.horizon else total_s,
+                mtbf_s=args.mtbf,
+                mttr_s=args.mttr,
+                seed=args.seed,
+            )
+        print(f"schedule: {schedule.describe()}")
+        sim = run_fault_simulation(
+            trace,
+            args.policy,
+            config,
+            faults=schedule,
+            retry=retry,
+            timeline_interval_s=max(total_s, 1e-9) / 160,
+            failover_s=args.failover,
+        )
+        timeline = sim.timeline
+        healthy_rps = healthy._completed / total_s if total_s > 0 else 0.0
+        faulted_rps = (
+            sim._completed / sim._last_completion
+            if sim._last_completion > 0
+            else 0.0
+        )
+        print(
+            f"{args.policy} x {args.nodes} nodes, {args.trace}: healthy "
+            f"{healthy_rps:,.0f} req/s | faulted {faulted_rps:,.0f} req/s | "
+            f"failed {sim._failed:,} | retried {sim._retried:,}"
+        )
+    print()
+    print(timeline.render())
+    if args.csv:
+        with open(args.csv, "w") as fh:
+            fh.write(timeline.to_csv())
+        print(f"\nwrote {args.csv}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "tables":
@@ -240,6 +427,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_simulate(args)
     if args.command == "figure":
         return _cmd_figure(args)
+    if args.command == "faults":
+        return _cmd_faults(args)
     if args.command == "bound":
         return _cmd_bound(args)
     if args.command == "analyze":
@@ -267,6 +456,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 int(n) for n in args.nodes.split(",") if n.strip()
             ),
             include_sims=not args.model_only,
+            workers=args.workers,
         )
         print(f"wrote {args.out}")
         return 0

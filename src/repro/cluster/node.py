@@ -50,9 +50,19 @@ class Node:
         #: True once the node has crashed (failure-injection runs).  The
         #: request lifecycle checks this at stage boundaries and aborts.
         self.failed = False
+        #: Incarnation number: bumped on every crash so requests started
+        #: against a previous incarnation abort even if the node has since
+        #: recovered (their connection died with the old incarnation).
+        self.incarnation = 0
+        #: Crash / recovery counters (availability reporting).
+        self.crashes = 0
+        self.recoveries = 0
         #: CPU speed multiplier (heterogeneity extension): CPU work takes
         #: ``seconds / speed``.
         self.speed = config.speed_of(node_id)
+        #: Configured speed; ``slow`` fault events scale relative to this
+        #: and recovery restores it.
+        self.base_speed = self.speed
         self._hw = hw
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -72,6 +82,45 @@ class Node:
             raise RuntimeError(f"node {self.id}: closing a connection at zero")
         self.connections.add(-1)
         self.completed += 1
+
+    # -- faults --------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Availability state: "up", "slow" (CPU degraded), or "down"."""
+        if self.failed:
+            return "down"
+        return "slow" if self.speed < self.base_speed else "up"
+
+    def crash(self) -> None:
+        """Kill the node.  Idempotent; in-flight requests abort at their
+        next stage boundary (they see the incarnation change)."""
+        if self.failed:
+            return
+        self.failed = True
+        self.incarnation += 1
+        self.crashes += 1
+
+    def recover(self) -> None:
+        """Reboot: rejoin with a cold (flushed) cache at base speed.
+
+        Connection accounting is not forced to zero — every in-flight
+        request from the dead incarnation aborts and closes its own
+        connection, so the count drains to zero through the normal path.
+        """
+        if not self.failed:
+            return
+        self.failed = False
+        self.cache.clear()
+        self.speed = self.base_speed
+        self.recoveries += 1
+
+    def set_speed_factor(self, factor: float) -> None:
+        """Scale CPU speed to ``factor`` of the configured base (fail-slow
+        injection); ``factor=1.0`` restores full speed."""
+        if factor <= 0:
+            raise ValueError(f"speed factor must be positive, got {factor}")
+        self.speed = self.base_speed * factor
 
     # -- hardware occupancy generators --------------------------------------
 

@@ -5,7 +5,11 @@ length, connection count, ...) and reports its time-weighted average.
 :class:`Tally` accumulates plain observations (latencies, sizes).
 :class:`RateMeter` counts events over a window and reports a rate.
 
-All three support ``reset()`` so a warmup phase can be discarded.
+All three support ``reset()`` so a warmup phase can be discarded; the
+semantics are identical across the meters: accumulated history clears,
+the measurement window restarts at the current simulated time, and any
+*current* level (a TimeWeightedValue's value) carries across the
+boundary unchanged.
 """
 
 from __future__ import annotations
@@ -61,6 +65,9 @@ class TimeWeightedValue:
         return area / elapsed
 
     def reset(self) -> None:
+        """Discard history at a warmup boundary: averaging restarts at
+        the current time from the *current* value (which is kept — the
+        tracked quantity itself doesn't change at the boundary)."""
         self._area = 0.0
         self._t0 = self.env.now
         self._last_change = self.env.now
@@ -120,7 +127,16 @@ class Tally:
         return self._max if self._n else 0.0
 
     def reset(self) -> None:
-        self.__init__()
+        """Discard history at a warmup boundary: every accumulator
+        returns to its initial state (explicit field reinit — calling
+        ``self.__init__()`` for this is fragile under subclassing and
+        hides the reset semantics from readers)."""
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._sum = 0.0
 
 
 class RateMeter:
@@ -157,6 +173,10 @@ class RateMeter:
         return self._count / elapsed
 
     def reset(self) -> None:
+        """Discard history at a warmup boundary: the count (and any kept
+        event times) clear and the rate window restarts at the current
+        time, mirroring :meth:`TimeWeightedValue.reset` /
+        :meth:`Tally.reset`."""
         self._count = 0
         self._t0 = self.env.now
         self._times.clear()

@@ -6,7 +6,13 @@ own ablations to :mod:`extra`.  ``benchmarks/`` drives each of these with
 one pytest-benchmark target.
 """
 
-from .availability import AvailabilityResult, availability_experiment
+from .availability import (
+    AvailabilityResult,
+    FaultRecoveryResult,
+    availability_experiment,
+    fault_recovery_experiment,
+    run_fault_simulation,
+)
 from .flashcrowd import (
     FlashCrowdResult,
     flash_crowd_experiment,
@@ -46,6 +52,9 @@ from .tables import render_table1, render_table2, table1_rows, table2_rows
 __all__ = [
     "AvailabilityResult",
     "availability_experiment",
+    "FaultRecoveryResult",
+    "fault_recovery_experiment",
+    "run_fault_simulation",
     "LoadPoint",
     "latency_vs_load",
     "model_latency_validation",

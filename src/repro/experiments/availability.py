@@ -4,32 +4,40 @@ The paper motivates L2S with LARD's single point of failure: "a
 front-end node that ... represents both a single point of failure and a
 potential bottleneck", versus L2S where "all nodes behave exactly the
 same ... the system is bottleneck-free and has no single point of
-failure".  This experiment quantifies it: crash one node at the start of
-the measurement window and compare against an identical healthy run.
+failure".  Two experiments quantify it:
 
-* L2S / traditional: lose roughly a node's worth of capacity (plus, for
-  L2S, a cache-reheat transient for the dead node's files) and keep
-  serving;
-* LARD, back-end crash: keep serving on the survivors;
-* LARD, front-end crash: every subsequent request fails — total outage.
+* :func:`availability_experiment` — the original whole-window compare:
+  crash one node as measurement begins and report degraded vs healthy
+  throughput.  L2S / traditional lose roughly a node's worth of
+  capacity and keep serving; a LARD front-end crash is a total outage.
 
-Whole-window averages are compared (healthy vs degraded run over the
-same trace pass), which is robust to the throughput drift a replayed
-trace shows within a pass.
+* :func:`fault_recovery_experiment` — the full crash *and reboot* story
+  on the :mod:`repro.faults` subsystem: a healthy calibration run
+  learns the run's duration, then a faulted run crashes a node at a
+  chosen fraction of it and reboots it (cold cache) later, with clients
+  retrying under capped exponential backoff and an availability
+  timeline sampling goodput, failures, and the cache-reheat transient.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Tuple
 
 from ..cluster import ClusterConfig
+from ..faults import AvailabilityTimeline, FaultSchedule, RetryPolicy
 from ..servers import make_policy
 from ..sim import Simulation
 from ..workload import Trace, synthesize
 from .figures import bench_requests
 
-__all__ = ["AvailabilityResult", "availability_experiment"]
+__all__ = [
+    "AvailabilityResult",
+    "availability_experiment",
+    "FaultRecoveryResult",
+    "fault_recovery_experiment",
+    "run_fault_simulation",
+]
 
 
 @dataclass(frozen=True)
@@ -88,13 +96,13 @@ def availability_experiment(
     config = ClusterConfig(nodes=nodes)
     trigger = len(trace) // 2  # mid-warmup (passes=2: warmup is one replay)
 
-    def run(failures):
+    def run(faults):
         sim = Simulation(
             trace,
             make_policy(policy_name),
             config,
             passes=2,
-            failures=failures,
+            faults=faults,
             record_timeline=True,
         )
         try:
@@ -105,8 +113,8 @@ def availability_experiment(
             pass
         return sim
 
-    healthy = run([])
-    degraded = run([(failed_node, trigger)])
+    healthy = run(None)
+    degraded = run(FaultSchedule.single_crash(failed_node, after_requests=trigger))
     return AvailabilityResult(
         policy=policy_name,
         nodes=nodes,
@@ -115,4 +123,184 @@ def availability_experiment(
         degraded_throughput=_measured_throughput(degraded),
         requests_failed=degraded._failed,
         completed_after=degraded._measured,
+    )
+
+
+# -- crash-and-reboot on the faults subsystem ---------------------------------
+
+
+@dataclass(frozen=True)
+class FaultRecoveryResult:
+    """One crash/reboot scenario measured on the availability timeline."""
+
+    policy: str
+    nodes: int
+    failed_node: int
+    #: When the node crashed / rebooted (simulated seconds; recover_at is
+    #: None for a crash with no reboot).
+    crash_at: float
+    recover_at: Optional[float]
+    #: Whole-run throughput of the healthy calibration run (req/s).
+    healthy_throughput: float
+    #: Whole-run throughput of the faulted run (req/s).
+    faulted_throughput: float
+    #: Terminal failures and client retries in the faulted run.
+    requests_failed: int
+    requests_retried: int
+    #: Mean goodput over the second half of the outage (past the
+    #: in-flight drain; ~0 for a LARD front-end crash).
+    outage_goodput: float
+    #: Mean goodput after the reboot settles (last quarter of the run).
+    recovered_goodput: float
+    #: Completion-weighted miss rate just after the reboot vs at the end
+    #: of the run — their gap is the cache-reheat transient.
+    reheat_miss_rate: float
+    steady_miss_rate: float
+    #: The full sampled timeline (render() / to_csv() for reports).
+    timeline: AvailabilityTimeline
+    #: Fault events actually executed: (time, kind, node).
+    events: List[Tuple[float, str, int]]
+
+    @property
+    def outage_fraction(self) -> float:
+        """Outage goodput relative to healthy (0 = total outage)."""
+        if self.healthy_throughput <= 0:
+            return 0.0
+        return self.outage_goodput / self.healthy_throughput
+
+
+def run_fault_simulation(
+    trace: Trace,
+    policy_name: str,
+    config: ClusterConfig,
+    faults: Optional[FaultSchedule],
+    retry: Optional[RetryPolicy] = None,
+    timeline_interval_s: Optional[float] = None,
+    passes: int = 2,
+    failover_s: Optional[float] = None,
+) -> Simulation:
+    """One fault-injected run with timeline + retry wiring (shared by the
+    experiment below and the ``repro faults`` CLI command)."""
+    kwargs = {"failover_s": failover_s} if failover_s is not None else {}
+    policy = make_policy(policy_name, **kwargs)
+    sim = Simulation(
+        trace,
+        policy,
+        config,
+        passes=passes,
+        faults=faults,
+        retry=retry,
+        timeline_interval_s=timeline_interval_s,
+    )
+    try:
+        sim.run()
+    except RuntimeError:
+        # Retries exhausted against a permanent outage leave the driver
+        # short of its request count; the timeline still stands.
+        pass
+    return sim
+
+
+def fault_recovery_experiment(
+    policy_name: str,
+    trace: Optional[Trace] = None,
+    trace_name: str = "calgary",
+    nodes: int = 8,
+    failed_node: int = 0,
+    num_requests: Optional[int] = None,
+    crash_frac: float = 0.55,
+    recover_frac: Optional[float] = 0.75,
+    retry: Optional[RetryPolicy] = None,
+    samples: int = 160,
+    failover_s: Optional[float] = None,
+    cache_bytes: Optional[int] = None,
+) -> FaultRecoveryResult:
+    """Crash ``failed_node`` partway through a run and reboot it later.
+
+    A healthy calibration run (same trace, same config) learns the run's
+    total duration ``T``; the faulted run then crashes at
+    ``crash_frac * T`` and reboots at ``recover_frac * T`` (pass
+    ``recover_frac=None`` for a crash with no reboot).  With the default
+    ``passes=2`` warmup replay, both instants land inside the measured
+    pass, after every cache is warm — so the post-reboot miss-rate spike
+    on the timeline is purely the reheat transient.
+    """
+    if not 0.0 < crash_frac < 1.0:
+        raise ValueError(f"crash_frac must be in (0, 1), got {crash_frac}")
+    if recover_frac is not None and not crash_frac < recover_frac < 1.0:
+        raise ValueError(
+            f"recover_frac must be in (crash_frac, 1), got {recover_frac}"
+        )
+    if samples < 10:
+        raise ValueError(f"samples must be >= 10, got {samples}")
+    if trace is None:
+        requests = num_requests if num_requests is not None else bench_requests()
+        trace = synthesize(trace_name, num_requests=requests)
+    if cache_bytes is not None:
+        config = ClusterConfig(nodes=nodes, cache_bytes=cache_bytes)
+    else:
+        config = ClusterConfig(nodes=nodes)
+    if retry is None:
+        retry = RetryPolicy()
+
+    healthy = run_fault_simulation(
+        trace, policy_name, config, faults=None, passes=2, failover_s=failover_s
+    )
+    total_s = healthy._last_completion
+    crash_at = crash_frac * total_s
+    recover_at = recover_frac * total_s if recover_frac is not None else None
+    if recover_at is not None:
+        schedule = FaultSchedule.crash_and_recover(failed_node, crash_at, recover_at)
+    else:
+        schedule = FaultSchedule.single_crash(failed_node, at=crash_at)
+
+    sim = run_fault_simulation(
+        trace,
+        policy_name,
+        config,
+        faults=schedule,
+        retry=retry,
+        timeline_interval_s=total_s / samples,
+        passes=2,
+        failover_s=failover_s,
+    )
+    timeline = sim.timeline
+    assert timeline is not None
+    end = max(total_s, sim._last_completion)
+    outage_end = recover_at if recover_at is not None else end
+    # Second half of the outage: past the drain of requests that were
+    # already in service when the node died.
+    outage_goodput = timeline.goodput_between(
+        crash_at + 0.5 * (outage_end - crash_at), outage_end
+    )
+    recovered_goodput = timeline.goodput_between(0.75 * end, end)
+    if recover_at is not None:
+        reheat_span = 0.25 * (end - recover_at)
+        reheat = timeline.miss_rate_between(recover_at, recover_at + reheat_span)
+        steady = timeline.miss_rate_between(end - reheat_span, end)
+    else:
+        reheat = steady = timeline.miss_rate_between(0.75 * end, end)
+
+    return FaultRecoveryResult(
+        policy=policy_name,
+        nodes=nodes,
+        failed_node=failed_node,
+        crash_at=crash_at,
+        recover_at=recover_at,
+        healthy_throughput=(
+            healthy._completed / total_s if total_s > 0 else 0.0
+        ),
+        faulted_throughput=(
+            sim._completed / sim._last_completion
+            if sim._last_completion > 0
+            else 0.0
+        ),
+        requests_failed=sim._failed,
+        requests_retried=sim._retried,
+        outage_goodput=outage_goodput,
+        recovered_goodput=recovered_goodput,
+        reheat_miss_rate=reheat,
+        steady_miss_rate=steady,
+        timeline=timeline,
+        events=list(timeline.events),
     )

@@ -1,0 +1,61 @@
+"""FaultInjector: a DES process that executes a :class:`FaultSchedule`.
+
+Timed events run from a single simulation process that sleeps until each
+event's time and then applies it; count-triggered events are applied by
+the driver's request-completion hook through :meth:`notify_finished`.
+Application itself is delegated back to the simulation driver
+(``crash_node`` / ``recover_node`` / ``slow_node``) so the injector
+stays a pure scheduler and the recovery semantics live in one place.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Tuple
+
+from .schedule import FaultEvent, FaultSchedule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sim.driver import Simulation
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Executes a fault schedule against a running simulation."""
+
+    def __init__(self, sim: "Simulation", schedule: FaultSchedule):
+        schedule.validate(sim.config.nodes)
+        self.sim = sim
+        self.schedule = schedule
+        #: Count-triggered events not yet fired (sorted by trigger).
+        self._counted: List[FaultEvent] = list(schedule.counted)
+        #: Events actually executed: (time, kind, node).
+        self.log: List[Tuple[float, str, int]] = []
+
+    def start(self) -> None:
+        """Spawn the timed-event process (no-op for count-only schedules)."""
+        if self.schedule.timed:
+            self.sim.env.process(self._run_timed(), name="fault-injector")
+
+    def _run_timed(self):
+        env = self.sim.env
+        for event in self.schedule.timed:
+            delay = event.at - env.now
+            if delay > 0:
+                yield env.timeout(delay)
+            self._apply(event)
+
+    def notify_finished(self, finished: int) -> None:
+        """Driver hook: fire count-triggered events whose trigger passed."""
+        while self._counted and finished >= self._counted[0].after_requests:
+            self._apply(self._counted.pop(0))
+
+    def _apply(self, event: FaultEvent) -> None:
+        sim = self.sim
+        if event.kind == "crash":
+            sim.crash_node(event.node)
+        elif event.kind == "recover":
+            sim.recover_node(event.node)
+        else:
+            sim.slow_node(event.node, event.factor)
+        self.log.append((sim.env.now, event.kind, event.node))

@@ -148,6 +148,28 @@ class DistributionPolicy(ABC):
         """
         self.failed_nodes.add(node_id)
 
+    def on_node_recovered(self, node_id: int) -> None:
+        """A crashed node rebooted and rejoined (cold cache, no state).
+
+        The base behaviour re-admits it to routing; subclasses extend
+        this to rebuild their distributed views of the node (L2S resets
+        and rebroadcasts its load, LARD re-admits the back-end or
+        restarts the front-end's tables cold, consistent hashing
+        restores the ring points).
+        """
+        self.failed_nodes.discard(node_id)
+
+    def on_request_aborted(self, node_id: int, opened: bool) -> None:
+        """A request aborted mid-flight (crash or client timeout).
+
+        ``node_id`` is the initial node; ``opened`` says whether a
+        service connection had been opened (in which case the normal
+        ``on_connection_end`` hook already fired from the close path).
+        Policies whose dispatcher counts assignments from arrival (the
+        traditional fewest-connections switch) decrement here when the
+        request died before opening a connection.
+        """
+
     def _next_alive(self, node_id: int) -> int:
         """The given node, or the next alive one after it (wrap-around)."""
         cluster = self._require_cluster()

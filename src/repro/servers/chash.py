@@ -61,6 +61,12 @@ class ConsistentHashPolicy(DistributionPolicy):
         super().on_node_failed(node_id)
         self._build_ring()
 
+    def on_node_recovered(self, node_id: int) -> None:
+        """Restore the node's ring points: its files remap straight back
+        (the ring is deterministic), hitting a now-cold cache."""
+        super().on_node_recovered(node_id)
+        self._build_ring()
+
     def owner_of(self, file_id: int) -> int:
         """The ring owner of a file."""
         h = _hash64(f"file:{file_id}")

@@ -80,6 +80,7 @@ class L2SPolicy(DistributionPolicy):
         self.shrinks = 0
         self.load_broadcasts = 0
         self.set_broadcasts = 0
+        self.rejoins = 0
 
     def _setup(self) -> None:
         cluster = self._require_cluster()
@@ -204,6 +205,33 @@ class L2SPolicy(DistributionPolicy):
         for view in self._views:
             view[node_id] = 1 << 30
 
+    def on_node_recovered(self, node_id: int) -> None:
+        """Rejoin after a cold reboot — again fully decentralized.
+
+        The restarted node lost all soft state: it starts with a fresh
+        (all-zero) view of everyone's load and belongs to no server set
+        (its cache is empty; files replicate back onto it through the
+        normal overload path, which is the reheat transient the
+        availability timeline shows).  It announces itself by
+        broadcasting its (zero) load; each survivor un-poisons its view
+        entry only when that message is delivered, so rejoin — like
+        every other L2S view change — propagates at message speed.
+        """
+        super().on_node_recovered(node_id)
+        cluster = self._require_cluster()
+        n = cluster.num_nodes
+        self._views[node_id] = [0] * n
+        self._last_broadcast[node_id] = 0
+        self.rejoins += 1
+        self.load_broadcasts += 1
+        for other in range(n):
+            if other == node_id or other in self.failed_nodes:
+                continue
+            cluster.env.process(
+                self._deliver_load(node_id, other, 0),
+                name=f"l2s-rejoin:{node_id}->{other}",
+            )
+
     def on_connection_change(self, node_id: int) -> None:
         """Broadcast a node's load when it drifts past the delta."""
         if node_id in self.failed_nodes:
@@ -249,6 +277,7 @@ class L2SPolicy(DistributionPolicy):
         self.shrinks = 0
         self.load_broadcasts = 0
         self.set_broadcasts = 0
+        self.rejoins = 0
 
     def stats(self) -> Dict[str, Any]:
         return {
@@ -256,6 +285,7 @@ class L2SPolicy(DistributionPolicy):
             "shrinks": self.shrinks,
             "load_broadcasts": self.load_broadcasts,
             "set_broadcasts": self.set_broadcasts,
+            "rejoins": self.rejoins,
             "mean_server_set_size": self.mean_server_set_size(),
             "files_with_server_sets": len(self._server_sets),
         }

@@ -35,6 +35,7 @@ curves at more than one node.
 
 from __future__ import annotations
 
+from bisect import insort
 from typing import Any, Dict, List
 
 from .base import Decision, DistributionPolicy, ServiceUnavailable
@@ -73,6 +74,7 @@ class LARDPolicy(DistributionPolicy):
         self.replications = 0
         self.shrinks = 0
         self.completion_notices = 0
+        self.front_end_restarts = 0
 
     @property
     def front_end(self) -> int:
@@ -115,6 +117,33 @@ class LARDPolicy(DistributionPolicy):
             if not sset:
                 del self._server_sets[file_id]
                 self._set_modified.pop(file_id, None)
+
+    def on_node_recovered(self, node_id: int) -> None:
+        """Rejoin semantics per role.
+
+        A rebooted **back-end** re-enters the pool with an empty cache,
+        a zeroed view entry, and no server-set membership — LARD
+        re-replicates hot files onto it through the normal t_high/t_low
+        path.  A rebooted **front-end** resumes service, but its LARD
+        tables (views, server sets, pending notices) restart cold: the
+        state lived in the front-end's memory, which is exactly why the
+        paper calls it a single point of failure.
+        """
+        super().on_node_recovered(node_id)
+        if self._single_node:
+            return
+        n = self._require_cluster().num_nodes
+        if node_id == self.front_end:
+            self._view = [0] * n
+            self._server_sets.clear()
+            self._set_modified.clear()
+            self._pending_notice = [0] * n
+            self.front_end_restarts += 1
+        else:
+            if node_id not in self._back_ends:
+                insort(self._back_ends, node_id)
+            self._view[node_id] = 0
+            self._pending_notice[node_id] = 0
 
     # -- LARD/R -------------------------------------------------------------------
 
@@ -198,7 +227,12 @@ class LARDPolicy(DistributionPolicy):
     def _deliver_notice(self, back_end: int, batch: int):
         """Back-end -> front-end message; the view updates on delivery."""
         cluster = self._require_cluster()
-        yield from cluster.net.send_control(back_end, self.front_end, kind="lard_done")
+        if back_end != self.front_end:
+            # An elected lard-ng dispatcher also serves; its own notices
+            # are a local table update, not a network message.
+            yield from cluster.net.send_control(
+                back_end, self.front_end, kind="lard_done"
+            )
         self._view[back_end] -= batch
         self.completion_notices += 1
 
@@ -217,6 +251,7 @@ class LARDPolicy(DistributionPolicy):
             "replications": self.replications,
             "shrinks": self.shrinks,
             "completion_notices": self.completion_notices,
+            "front_end_restarts": self.front_end_restarts,
             "front_end_view": list(self._view),
             "files_with_server_sets": len(self._server_sets),
         }

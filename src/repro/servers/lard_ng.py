@@ -14,13 +14,23 @@ argues, (a) the dispatcher is still a single point of failure, (b) its
 cache space is still wasted, and (c) every request pays a two-way
 communication.  L2S has none of these.  This policy exists to check
 that analysis.
+
+Failover extension (fault-injection runs): with ``failover_s`` set, a
+dispatcher crash triggers an **election** after that delay — the
+lowest-id alive serving node promotes itself to dispatcher, rebuilding
+the LARD tables from scratch (they died with the old dispatcher's
+memory), and announces the result with a broadcast.  Until the election
+completes every request fails, which is the outage window the
+availability timeline measures.  Without ``failover_s`` a dispatcher
+crash is a total outage until the node itself recovers — the paper's
+single-point-of-failure claim in its starkest form.
 """
 
 from __future__ import annotations
 
-from typing import Generator
+from typing import Generator, Optional
 
-from .base import Decision, ServiceUnavailable, ShuffledRoundRobin
+from .base import Decision, DistributionPolicy, ServiceUnavailable, ShuffledRoundRobin
 from .lard import LARDPolicy
 
 __all__ = ["DispatcherLARDPolicy"]
@@ -34,20 +44,37 @@ class DispatcherLARDPolicy(LARDPolicy):
     #: :meth:`decide_process`, which charges the query round-trip.
     async_decide = True
 
-    def __init__(self, decision_cpu_s: float = 20e-6, **kwargs):
+    def __init__(
+        self,
+        decision_cpu_s: float = 20e-6,
+        failover_s: Optional[float] = None,
+        **kwargs,
+    ):
         super().__init__(**kwargs)
         if decision_cpu_s < 0:
             raise ValueError("decision_cpu_s must be non-negative")
+        if failover_s is not None and failover_s < 0:
+            raise ValueError("failover_s must be non-negative")
         #: Dispatcher CPU time per distribution decision (a table lookup
         #: plus bookkeeping; Aron et al. measured tens of microseconds).
         self.decision_cpu_s = decision_cpu_s
+        #: Election delay after a dispatcher crash (None = no failover).
+        self.failover_s = failover_s
         self.queries = 0
+        self.elections = 0
 
     @property
     def dispatcher(self) -> int:
-        return 0
+        return self._dispatcher
+
+    @property
+    def front_end(self) -> int:
+        """The current dispatcher — keeps the inherited LARD notice and
+        recovery paths pointed at whoever holds the tables now."""
+        return self._dispatcher
 
     def _setup(self) -> None:
+        self._dispatcher = 0
         super()._setup()
         self._rr = ShuffledRoundRobin(max(1, self._require_cluster().num_nodes - 1))
 
@@ -55,7 +82,8 @@ class DispatcherLARDPolicy(LARDPolicy):
         """Connections land directly on serving nodes (1..N-1)."""
         if self._single_node:
             return 0
-        # Round-robin over the serving nodes, skipping the dispatcher.
+        # Round-robin over the serving nodes, skipping the original
+        # dispatcher slot (an elected dispatcher keeps its arrivals).
         node = 1 + self._rr.node_for(index)
         return self._next_alive_serving(node)
 
@@ -68,25 +96,85 @@ class DispatcherLARDPolicy(LARDPolicy):
                 return candidate
         raise ServiceUnavailable("every serving node has failed")
 
+    # -- failure / failover -----------------------------------------------------
+
+    def on_node_failed(self, node_id: int) -> None:
+        """Prune the dead node from the serving structures and, if it was
+        the dispatcher and failover is enabled, schedule an election.
+
+        Unlike front-end LARD, the dispatcher here may itself be a
+        serving node (after a previous election), so the serving-pool
+        repair runs unconditionally.
+        """
+        DistributionPolicy.on_node_failed(self, node_id)
+        if self._single_node:
+            return
+        if node_id in self._back_ends:
+            self._back_ends.remove(node_id)
+        for file_id in list(self._server_sets):
+            sset = self._server_sets[file_id]
+            if node_id in sset:
+                sset.remove(node_id)
+            if not sset:
+                del self._server_sets[file_id]
+                self._set_modified.pop(file_id, None)
+        if node_id == self._dispatcher and self.failover_s is not None:
+            self._require_cluster().env.schedule_callback(
+                self.failover_s, self._elect
+            )
+
+    def _elect(self) -> None:
+        """Promote the lowest-id alive serving node to dispatcher.
+
+        The promoted node rebuilds the LARD tables from scratch — the
+        old ones died with the old dispatcher's memory — and announces
+        the election with a (charged) broadcast.  A no-op if the old
+        dispatcher already recovered, or if nobody is left to elect.
+        """
+        if self._dispatcher not in self.failed_nodes:
+            return
+        cluster = self._require_cluster()
+        n = cluster.num_nodes
+        alive = [i for i in range(1, n) if i not in self.failed_nodes]
+        if not alive:
+            return
+        self._dispatcher = alive[0]
+        self._view = [0] * n
+        self._server_sets.clear()
+        self._set_modified.clear()
+        self._pending_notice = [0] * n
+        self.elections += 1
+        cluster.net.broadcast_control(self._dispatcher, kind="lardng_elect")
+
+    # -- decisions ---------------------------------------------------------------
+
     def decide_process(self, initial: int, file_id: int) -> Generator:
         """Query round-trip to the dispatcher, then the LARD/R decision.
 
         Charged: control message initial -> dispatcher, decision CPU at
-        the dispatcher, control message back.  Returns the
-        :class:`Decision` (``forwarded`` only when the dispatcher picked
-        a different node than the accepting one).
+        the dispatcher, control message back (both messages skipped when
+        the accepting node *is* the dispatcher — possible after an
+        election).  Returns the :class:`Decision` (``forwarded`` only
+        when the dispatcher picked a different node than the accepting
+        one).
         """
         cluster = self._require_cluster()
         if self._single_node:
             return Decision(target=0, forwarded=False)
-        if self.dispatcher in self.failed_nodes:
+        if self._dispatcher in self.failed_nodes:
             raise ServiceUnavailable("the dispatcher has failed")
         self.queries += 1
-        yield from cluster.net.send_control(initial, self.dispatcher, kind="lardng_query")
+        if initial != self._dispatcher:
+            yield from cluster.net.send_control(
+                initial, self._dispatcher, kind="lardng_query"
+            )
         if self.decision_cpu_s > 0:
-            yield from cluster.node(self.dispatcher).use_cpu(self.decision_cpu_s)
+            yield from cluster.node(self._dispatcher).use_cpu(self.decision_cpu_s)
         decision = super().decide(initial, file_id)
-        yield from cluster.net.send_control(self.dispatcher, initial, kind="lardng_reply")
+        if initial != self._dispatcher:
+            yield from cluster.net.send_control(
+                self._dispatcher, initial, kind="lardng_reply"
+            )
         return decision
 
     def decide(self, initial: int, file_id: int) -> Decision:
@@ -98,4 +186,6 @@ class DispatcherLARDPolicy(LARDPolicy):
     def stats(self):
         s = super().stats()
         s["queries"] = self.queries
+        s["elections"] = self.elections
+        s["dispatcher"] = self._dispatcher
         return s

@@ -48,5 +48,12 @@ class TraditionalPolicy(DistributionPolicy):
     def on_connection_end(self, node_id: int) -> None:
         self._assigned[node_id] -= 1
 
+    def on_request_aborted(self, node_id: int, opened: bool) -> None:
+        """Balance the dispatcher view for requests that died between
+        assignment and connection open (the open path decrements through
+        ``on_connection_end`` as usual)."""
+        if not opened and node_id >= 0:
+            self._assigned[node_id] -= 1
+
     def stats(self) -> Dict[str, Any]:
         return {"dispatcher_view": list(self._assigned)}

@@ -25,6 +25,7 @@ import numpy as np
 
 from ..cluster import Cluster, ClusterConfig
 from ..des import Environment, Tally
+from ..faults import AvailabilityTimeline, FaultInjector, FaultSchedule, RetryPolicy
 from ..servers import DistributionPolicy
 from ..workload import Trace
 from .lifecycle import client_request
@@ -49,6 +50,9 @@ class Simulation:
         arrival_rate: Optional[float] = None,
         record_latencies: bool = False,
         seed: int = 0,
+        faults: Optional[FaultSchedule] = None,
+        retry: Optional[RetryPolicy] = None,
+        timeline_interval_s: Optional[float] = None,
     ):
         if len(trace) == 0:
             raise ValueError("trace is empty")
@@ -120,6 +124,26 @@ class Simulation:
         self.record_latencies = record_latencies
         self._latencies: List[float] = []
 
+        #: Fault-injection schedule (timed and count-triggered events);
+        #: the legacy ``failures`` parameter remains as a shorthand for
+        #: count-triggered crashes and both may be used together.
+        self.faults = faults
+        self._injector = (
+            FaultInjector(self, faults) if faults is not None else None
+        )
+        #: Client retry behaviour for aborted requests.  ``None`` keeps
+        #: the historical semantics: an abort is a terminal failure.
+        self.retry = retry
+        self._attempts: Dict[int, int] = {}
+        self._retried = 0
+        #: Availability timeline (sampled goodput / failures / node
+        #: states); enabled by passing a sampling interval.
+        self.timeline = (
+            AvailabilityTimeline(self.env, self.cluster, timeline_interval_s)
+            if timeline_interval_s is not None
+            else None
+        )
+
     # -- injection -------------------------------------------------------------
 
     def _spawn_next(self) -> bool:
@@ -133,7 +157,7 @@ class Simulation:
 
     def _spawn_index(self, i: int) -> None:
         fid = int(self._ids[i % self._trace_len])
-        self.env.process(
+        proc = self.env.process(
             client_request(
                 self.cluster,
                 self.policy,
@@ -145,14 +169,28 @@ class Simulation:
             ),
             name=f"req{i}",
         )
+        if self.retry is not None and self.retry.timeout_s is not None:
+            self.env.schedule_callback(
+                self.retry.timeout_s, lambda p=proc: self._client_timeout(p)
+            )
+
+    def _client_timeout(self, proc) -> None:
+        """Abort a request the client has given up on.  The lifecycle
+        catches the interrupt as an abort, which feeds the normal
+        failure/retry path."""
+        if proc.is_alive:
+            proc.interrupt("client timeout")
 
     @property
     def _finished(self) -> int:
         return self._completed + self._failed
 
     def _on_done(self, index: int, start: float, forwarded: bool, was_miss: bool) -> None:
+        self._attempts.pop(index, None)
         self._completed += 1
         self._last_completion = self.env.now
+        if self.timeline is not None:
+            self.timeline.record_completion(was_miss)
         if self._measure_start is not None:
             self._measured += 1
             self._measured_forwarded += 1 if forwarded else 0
@@ -164,13 +202,33 @@ class Simulation:
         self._after_request()
 
     def _on_failed(self, index: int) -> None:
+        if self.retry is not None:
+            attempt = self._attempts.get(index, 0) + 1
+            if attempt <= self.retry.max_retries:
+                # Client retry: back off (capped exponential) and re-issue
+                # the same request.  Not terminal — the closed-loop slot
+                # stays occupied by this request until it resolves.
+                self._attempts[index] = attempt
+                self._retried += 1
+                if self.timeline is not None:
+                    self.timeline.record_retry()
+                self.env.schedule_callback(
+                    self.retry.backoff(attempt),
+                    lambda i=index: self._spawn_index(i),
+                )
+                return
+            self._attempts.pop(index, None)
         self._failed += 1
+        if self.timeline is not None:
+            self.timeline.record_failure()
         self._after_request()
 
     def _after_request(self) -> None:
         if self._finished == self._warmup_count:
             self._begin_measurement()
         self._check_failures()
+        if self._injector is not None:
+            self._injector.notify_finished(self._finished)
         if self.arrival_rate is None:
             # Closed loop: a completion frees a slot for the next request.
             self._spawn_next()
@@ -186,14 +244,38 @@ class Simulation:
             node_id, _ = self._pending_failures.pop(0)
             self.fail_node(node_id)
 
-    def fail_node(self, node_id: int) -> None:
-        """Crash a node now: in-flight requests there abort, the policy
-        repairs its structures, nothing is routed to it again."""
+    def crash_node(self, node_id: int) -> None:
+        """Crash a node now: in-flight requests there abort (at their next
+        stage boundary, against the bumped incarnation), the policy repairs
+        its structures, nothing is routed to it again.  Idempotent."""
         node = self.cluster.node(node_id)
         if node.failed:
             return
-        node.failed = True
+        node.crash()
         self.policy.on_node_failed(node_id)
+        if self.timeline is not None:
+            self.timeline.mark_event("crash", node_id)
+
+    #: Backwards-compatible name for :meth:`crash_node`.
+    fail_node = crash_node
+
+    def recover_node(self, node_id: int) -> None:
+        """Reboot a crashed node: cold (flushed) cache, base speed, zero
+        connections (in-flight aborts drain naturally), and the policy
+        re-admits it per its own rejoin semantics.  Idempotent."""
+        node = self.cluster.node(node_id)
+        if not node.failed:
+            return
+        node.recover()
+        self.policy.on_node_recovered(node_id)
+        if self.timeline is not None:
+            self.timeline.mark_event("recover", node_id)
+
+    def slow_node(self, node_id: int, factor: float) -> None:
+        """Degrade (or restore, with ``factor=1``) a node's CPU speed."""
+        self.cluster.node(node_id).set_speed_factor(factor)
+        if self.timeline is not None:
+            self.timeline.mark_event("slow", node_id)
 
     def _begin_measurement(self) -> None:
         """Reset all meters at the warmup boundary (state survives)."""
@@ -231,6 +313,10 @@ class Simulation:
         """Execute the whole trace and return the measured results."""
         if self.prewarm_local_caches:
             self._prewarm()
+        if self._injector is not None:
+            self._injector.start()
+        if self.timeline is not None:
+            self.timeline.start(lambda: self._finished >= self._total)
         if self._warmup_count == 0:
             self._begin_measurement()
 
@@ -299,6 +385,7 @@ class Simulation:
             node_completions=completions,
             policy_stats=self.policy.stats(),
             requests_failed=self._failed,
+            requests_retried=self._retried,
             latency_percentiles=self._percentiles(),
             station_utilizations=stations,
         )

@@ -17,6 +17,15 @@ Mirrors Figure 2's path and Section 5.1's methodology:
 
 Connection accounting and the policy hooks around it drive L2S's load
 broadcasts and LARD's completion notices.
+
+Failure semantics (fault-injection runs): a node involved in the
+request crashing aborts the request at the next stage boundary.  The
+check is *incarnation-aware* — a request that started against a node
+which crashed and already recovered still aborts, because its
+connection died with the old incarnation.  A client-side timeout
+(:class:`repro.des.Interrupt` thrown by the driver) aborts the same
+way.  Aborts fire ``on_failed(index)``; the driver decides whether to
+retry.
 """
 
 from __future__ import annotations
@@ -24,6 +33,7 @@ from __future__ import annotations
 from typing import Callable, Generator, Optional
 
 from ..cluster import Cluster
+from ..des import Interrupt
 from ..servers import DistributionPolicy
 from ..servers.base import ServiceUnavailable
 
@@ -51,14 +61,17 @@ def client_request(
 
     ``on_done(index, start_time, forwarded, was_miss)`` is invoked after
     the reply has fully left the cluster.  If a node involved crashes
-    mid-flight (failure-injection runs), the request aborts and
-    ``on_failed(index)`` fires instead; without an ``on_failed`` handler
-    the abort propagates as :class:`NodeFailedError`.
+    mid-flight (failure-injection runs) or the driver interrupts the
+    request (client timeout), the request aborts and ``on_failed(index)``
+    fires instead; without an ``on_failed`` handler the abort propagates
+    as :class:`NodeFailedError`.
     """
     env = cluster.env
     hw = cluster.config.hardware
     size_kb = size_bytes / 1024.0
     start = env.now
+    initial: Optional[int] = None
+    opened = False
 
     try:
         try:
@@ -66,14 +79,20 @@ def client_request(
         except ServiceUnavailable:
             raise NodeFailedError(-1) from None
         initial_node = cluster.node(initial)
+        initial_inc = initial_node.incarnation
+
+        def initial_dead() -> bool:
+            return initial_node.failed or initial_node.incarnation != initial_inc
 
         # Inbound: router moves the request into the cluster, the initial
         # node's NI receives it, the CPU reads and parses it.
         yield from cluster.net.route(hw.request_kb)
-        if initial_node.failed:
+        if initial_dead():
             raise NodeFailedError(initial)
         yield from initial_node.use_ni_in(hw.ni_message_time(hw.request_kb))
         yield from initial_node.parse_request()
+        if initial_dead():
+            raise NodeFailedError(initial)
 
         try:
             if getattr(policy, "async_decide", False):
@@ -95,16 +114,24 @@ def client_request(
         service_node = cluster.node(target)
         if service_node.failed:
             raise NodeFailedError(target)
+        service_inc = service_node.incarnation
+
+        def service_dead() -> bool:
+            return service_node.failed or service_node.incarnation != service_inc
+
         service_node.connection_opened()
+        opened = True
         policy.on_connection_change(target)
 
         misses_before = service_node.cache.misses
         try:
             # Memory or disk, then the reply work and the outbound path.
             yield from cluster.fetch_file(target, file_id, size_bytes)
-            if service_node.failed:
+            if service_dead():
                 raise NodeFailedError(target)
             yield from service_node.reply_work(size_kb)
+            if service_dead():
+                raise NodeFailedError(target)
             yield from service_node.use_ni_out(hw.ni_reply_time(size_kb))
             yield from cluster.net.route(size_kb)
         finally:
@@ -112,7 +139,12 @@ def client_request(
             policy.on_connection_change(target)
             policy.on_complete(target, file_id)
             policy.on_connection_end(target)
-    except NodeFailedError:
+    except (NodeFailedError, Interrupt):
+        if initial is not None:
+            # Give dispatcher-style policies a chance to balance their
+            # assignment counters for requests that never reached (or
+            # never finished at) a service node.
+            policy.on_request_aborted(initial, opened)
         if on_failed is None:
             raise
         on_failed(index)

@@ -44,6 +44,8 @@ class SimResult:
     policy_stats: Dict[str, Any] = field(default_factory=dict)
     #: Requests aborted by node failures (failure-injection runs only).
     requests_failed: int = 0
+    #: Client retries issued after aborts (fault runs with a RetryPolicy).
+    requests_retried: int = 0
     #: Response-time percentiles in seconds (p50/p90/p99/max), populated
     #: only when the driver records latencies.
     latency_percentiles: Dict[str, float] = field(default_factory=dict)

@@ -88,6 +88,62 @@ def test_tally_reset():
     assert t.mean == 0.0
 
 
+def test_tally_reset_restores_every_accumulator():
+    """Reset returns every field to its initial state — min/max sentinels
+    included — and post-reset statistics match a fresh Tally exactly."""
+    t = Tally()
+    for x in [1.0, -3.0, 12.0]:
+        t.record(x)
+    t.reset()
+    assert t.count == 0
+    assert t.total == 0.0
+    assert t.variance == 0.0
+    assert t.minimum == 0.0
+    assert t.maximum == 0.0
+    fresh = Tally()
+    for x in [2.0, 6.0]:
+        t.record(x)
+        fresh.record(x)
+    assert t.mean == fresh.mean
+    assert t.variance == fresh.variance
+    assert (t.minimum, t.maximum) == (fresh.minimum, fresh.maximum)
+
+
+def test_reset_semantics_identical_across_meters():
+    """At a warmup boundary all three meters restart their window at the
+    current time; a measurement made over the post-reset window alone is
+    unaffected by anything recorded before it."""
+    env = Environment()
+    tw = TimeWeightedValue(env, initial=0)
+    tally = Tally()
+    meter = RateMeter(env)
+
+    def warmup(env):
+        # Warmup phase: noisy values that must leave no trace.
+        yield env.timeout(3)
+        tw.set(999)
+        tally.record(999.0)
+        meter.tick(50)
+        yield env.timeout(2)
+        # --- warmup boundary (t=5) ---
+        tw.set(10)
+        tw.reset()
+        tally.reset()
+        meter.reset()
+        # Measured phase: constant level 10, one observation, 5 ticks
+        # over 5 seconds.
+        yield env.timeout(5)
+        tally.record(7.0)
+        meter.tick(5)
+
+    env.process(warmup(env))
+    env.run()
+    assert tw.mean() == pytest.approx(10.0)
+    assert tw.maximum == 10
+    assert tally.count == 1 and tally.mean == pytest.approx(7.0)
+    assert meter.rate() == pytest.approx(1.0)
+
+
 def test_rate_meter():
     env = Environment()
     meter = RateMeter(env)

@@ -1,0 +1,122 @@
+"""Unit tests for the availability timeline instrument."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.des import Environment
+from repro.faults import AvailabilityTimeline
+from repro.model import MB
+
+
+def make(interval=1.0, nodes=2):
+    env = Environment()
+    cluster = Cluster(env, ClusterConfig(nodes=nodes, cache_bytes=1 * MB))
+    return env, cluster, AvailabilityTimeline(env, cluster, interval)
+
+
+def test_interval_validation():
+    env, cluster, _ = make()
+    with pytest.raises(ValueError):
+        AvailabilityTimeline(env, cluster, 0.0)
+
+
+def test_sampler_collects_and_stops():
+    env, cluster, tl = make(interval=1.0)
+    done = {"n": 0}
+
+    def work(env):
+        # Offset the completions so none coincide with a sample boundary
+        # (ordering of same-timestamp events is an implementation detail).
+        yield env.timeout(0.05)
+        for _ in range(30):
+            tl.record_completion(was_miss=False)
+            done["n"] += 1
+            yield env.timeout(0.1)
+
+    env.process(work(env))
+    tl.start(stop=lambda: done["n"] >= 30)
+    env.run()  # terminates: the sampler exits once the work is done
+    assert len(tl.samples) == 3
+    assert [s.completions for s in tl.samples] == [10, 10, 10]
+    assert all(s.goodput_rps == pytest.approx(10.0) for s in tl.samples)
+
+
+def test_window_counters_reset_each_sample():
+    env, cluster, tl = make(interval=1.0)
+
+    def work(env):
+        tl.record_completion(was_miss=True)
+        tl.record_completion(was_miss=False)
+        tl.record_failure()
+        tl.record_retry()
+        yield env.timeout(1.0)
+
+    env.process(work(env))
+    env.run()
+    s = tl.take_sample()
+    assert (s.completions, s.failures, s.retries) == (2, 1, 1)
+    assert s.miss_rate == pytest.approx(0.5)
+    s2 = tl.take_sample()
+    assert (s2.completions, s2.failures, s2.retries) == (0, 0, 0)
+    assert s2.miss_rate == 0.0
+
+
+def test_node_state_string_tracks_cluster():
+    env, cluster, tl = make(nodes=3)
+    cluster.node(1).crash()
+    cluster.node(2).set_speed_factor(0.5)
+    s = tl.take_sample()
+    assert s.node_states == "UDS"
+    cluster.node(1).recover()
+    cluster.node(2).set_speed_factor(1.0)
+    s = tl.take_sample()
+    assert s.node_states == "UUU"
+
+
+def test_analysis_helpers():
+    env, cluster, tl = make(interval=1.0)
+
+    def work(env):
+        # 10 rps for 2 s, outage for 2 s, 10 rps for 2 s; offset from the
+        # sample boundaries so ordering at coincident times can't matter.
+        yield env.timeout(0.05)
+        for _ in range(20):
+            tl.record_completion(was_miss=False)
+            yield env.timeout(0.1)
+        yield env.timeout(2.0)
+        for _ in range(20):
+            tl.record_completion(was_miss=False)
+            yield env.timeout(0.1)
+
+    env.process(work(env))
+    tl.start(stop=lambda: env.now >= 6.0)
+    env.run()
+    assert tl.goodput_between(0.0, 2.0) == pytest.approx(10.0)
+    assert tl.goodput_between(2.0, 4.0) == pytest.approx(0.0)
+    assert tl.time_to_recover(4.0, target_rps=5.0) is not None
+    assert tl.time_to_recover(4.0, target_rps=1e9) is None
+
+
+def test_event_annotation_and_render():
+    env, cluster, tl = make()
+    tl.mark_event("crash", 1)
+    tl.take_sample()
+    assert tl.events == [(0.0, "crash", 1)]
+    out = tl.render()
+    assert "crash(1)" in out
+    assert "goodput" in out
+
+
+def test_csv_round_trip():
+    env, cluster, tl = make()
+    tl.record_completion(was_miss=True)
+    tl.take_sample()
+    text = tl.to_csv()
+    header, row = text.strip().split("\n")
+    assert header.startswith("t,goodput_rps,")
+    assert row.split(",")[2] == "1"  # completions column
+
+
+def test_render_empty():
+    env, cluster, tl = make()
+    assert tl.render() == "(no samples)"

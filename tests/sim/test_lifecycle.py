@@ -7,7 +7,7 @@ from repro.cluster import Cluster, ClusterConfig
 from repro.des import Environment
 from repro.model import MB
 from repro.servers import RoundRobinPolicy, make_policy
-from repro.sim.lifecycle import client_request
+from repro.sim.lifecycle import NodeFailedError, client_request
 
 
 def setup(nodes=2, policy_name="round-robin", cache_mb=1):
@@ -127,6 +127,95 @@ def test_connection_closed_even_on_failure():
     with pytest.raises(RuntimeError, match="disk on fire"):
         env.run()
     assert cluster.node(0).open_connections == 0
+
+
+# -- abort paths (fault-injection runs) ---------------------------------------
+
+
+def run_one_abortable(env, cluster, policy, index=0, file_id=0, size=10 * 1024):
+    done, failed = [], []
+    proc = env.process(
+        client_request(
+            cluster,
+            policy,
+            index,
+            file_id,
+            size,
+            lambda i, t, fwd, miss: done.append(i),
+            lambda i: failed.append(i),
+        )
+    )
+    return proc, done, failed
+
+
+def test_service_crash_aborts_and_fires_on_failed():
+    env, cluster, policy = setup(nodes=1)
+    proc, done, failed = run_one_abortable(env, cluster, policy)
+    node = cluster.node(0)
+    env.schedule_callback(1e-4, node.crash)
+    env.run()
+    assert failed == [0]
+    assert done == []
+    # The finally block released any connection the request held.
+    assert node.open_connections == 0
+    assert node.completed == 0
+
+
+def test_incarnation_mismatch_aborts_after_quick_reboot():
+    """A request dispatched against incarnation 0 must abort even if the
+    node has already rebooted (as incarnation 1) by the time the request
+    reaches its next stage boundary: its connection died with the old
+    incarnation."""
+    env, cluster, policy = setup(nodes=1)
+    proc, done, failed = run_one_abortable(env, cluster, policy)
+    node = cluster.node(0)
+    env.schedule_callback(1e-4, node.crash)
+    env.schedule_callback(2e-4, node.recover)
+    env.run()
+    assert not node.failed and node.incarnation == 1
+    assert failed == [0]
+    assert done == []
+
+
+def test_abort_without_handler_propagates():
+    env, cluster, policy = setup(nodes=1)
+    env.process(client_request(cluster, policy, 0, 0, 10 * 1024))
+    env.schedule_callback(1e-4, cluster.node(0).crash)
+    with pytest.raises(NodeFailedError):
+        env.run()
+    assert cluster.node(0).open_connections == 0
+
+
+def test_client_timeout_interrupt_aborts_request():
+    """The driver models client timeouts by interrupting the request
+    process; the lifecycle treats that exactly like a node failure."""
+    env, cluster, policy = setup(nodes=1)
+    proc, done, failed = run_one_abortable(env, cluster, policy)
+    env.schedule_callback(1e-4, lambda: proc.interrupt("client timeout"))
+    env.run()
+    assert failed == [0]
+    assert done == []
+    assert cluster.node(0).open_connections == 0
+
+
+def test_traditional_abort_balances_dispatcher_view():
+    """An aborted request must not leave a phantom connection in the
+    traditional dispatcher's assigned-connections view, whether it died
+    before or after the service node opened the connection."""
+    env, cluster, policy = setup(nodes=2, policy_name="traditional")
+    proc, done, failed = run_one_abortable(env, cluster, policy)
+    mid_flight = []
+
+    def crash():
+        mid_flight.append(list(policy.stats()["dispatcher_view"]))
+        cluster.node(0).crash()
+        policy.on_node_failed(0)
+
+    env.schedule_callback(1e-4, crash)
+    env.run()
+    assert mid_flight == [[1, 0]]  # assignment was counted while in flight
+    assert failed == [0]
+    assert policy.stats()["dispatcher_view"] == [0, 0]
 
 
 def test_router_contention_serializes_big_replies():

@@ -1,13 +1,45 @@
-"""Shared assertions for the figure 7-10 scaling benchmarks."""
+"""Shared setup and assertions for the figure 7-10 scaling benchmarks.
+
+Also the bridge to the perf suite: :func:`canonical_perf_simulation`
+delegates to :mod:`repro.bench`, so ``benchmarks/perf/`` and
+``repro bench`` measure exactly the scenario shape the figures run.
+"""
 
 from __future__ import annotations
 
+from repro.bench import canonical_simulation
 from repro.experiments import ScalingExperiment
 
 
 def print_figure(exp: ScalingExperiment, figure: str) -> None:
     print(f"\n{figure}: throughput (req/s) for the {exp.trace} trace")
     print(exp.render())
+
+
+def figure_experiment(
+    benchmark, scaling_store, trace: str, figure: str, **shape_kwargs
+) -> ScalingExperiment:
+    """The setup shared by every figure 7-10 benchmark: run the trace's
+    scaling experiment exactly once under pytest-benchmark timing, print
+    the figure, and assert the common paper shape.  Returns the
+    experiment for trace-specific assertions."""
+    exp = benchmark.pedantic(
+        scaling_store.get, args=(trace,), rounds=1, iterations=1
+    )
+    print_figure(exp, figure)
+    assert_paper_shape(exp, **shape_kwargs)
+    return exp
+
+
+def canonical_perf_simulation(policy: str, num_requests=None):
+    """Build the canonical 16-node perf scenario for ``policy``.
+
+    Thin wrapper over :func:`repro.bench.canonical_simulation` so the
+    perf suite and the figure benchmarks share one scenario definition.
+    """
+    if num_requests is None:
+        return canonical_simulation(policy)
+    return canonical_simulation(policy, num_requests=num_requests)
 
 
 def assert_paper_shape(

@@ -1,0 +1,16 @@
+"""Path setup for the perf suite.
+
+These tests live one level below ``benchmarks/`` but share its helpers
+(``figshared``), so put the parent directory on ``sys.path`` before
+collection.  Fixtures from ``benchmarks/conftest.py`` are inherited
+through pytest's conftest chain as usual.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_BENCHMARKS_DIR = str(Path(__file__).resolve().parents[1])
+if _BENCHMARKS_DIR not in sys.path:
+    sys.path.insert(0, _BENCHMARKS_DIR)

@@ -6,14 +6,11 @@ single-node caches are hopeless and locality-conscious distribution
 shines.
 """
 
-from conftest import run_once
-from figshared import assert_paper_shape, print_figure
+from figshared import figure_experiment
 
 
 def test_fig10_rutgers(benchmark, scaling_store):
-    exp = run_once(benchmark, lambda: scaling_store.get("rutgers"))
-    print_figure(exp, "Figure 10")
-    assert_paper_shape(exp)
+    exp = figure_experiment(benchmark, scaling_store, "rutgers", "Figure 10")
 
     series = exp.throughput_series()
     i16 = exp.node_counts.index(16)

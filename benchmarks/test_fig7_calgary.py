@@ -5,14 +5,11 @@ model, 33% over LARD, 180% over the traditional server; LARD flattens at
 its front-end limit.
 """
 
-from conftest import run_once
-from figshared import assert_paper_shape, print_figure
+from figshared import figure_experiment
 
 
 def test_fig7_calgary(benchmark, scaling_store):
-    exp = run_once(benchmark, lambda: scaling_store.get("calgary"))
-    print_figure(exp, "Figure 7")
-    assert_paper_shape(exp)
+    exp = figure_experiment(benchmark, scaling_store, "calgary", "Figure 7")
 
     series = exp.throughput_series()
     i16 = exp.node_counts.index(16)

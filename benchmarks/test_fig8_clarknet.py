@@ -5,17 +5,16 @@ traces (paper: +141%) and a huge gap over the traditional server
 (paper: +366%) — Clarknet's many small files make locality decisive.
 """
 
-from conftest import run_once
-from figshared import assert_paper_shape, print_figure
+from figshared import figure_experiment
 
 
 def test_fig8_clarknet(benchmark, scaling_store):
-    exp = run_once(benchmark, lambda: scaling_store.get("clarknet"))
-    print_figure(exp, "Figure 8")
     # Clarknet is our widest L2S-to-bound gap: the bound assumes 15%
     # replication of its 36k-file population, while simulated L2S
     # replicates only the hottest files (see EXPERIMENTS.md).
-    assert_paper_shape(exp, l2s_within=0.55)
+    exp = figure_experiment(
+        benchmark, scaling_store, "clarknet", "Figure 8", l2s_within=0.55
+    )
 
     series = exp.throughput_series()
     i16 = exp.node_counts.index(16)

@@ -6,18 +6,22 @@ four traces and the L2S advantage over LARD is the smallest (paper:
 +7%; we allow a band around parity).
 """
 
-from conftest import run_once
-from figshared import assert_paper_shape, print_figure
+from figshared import figure_experiment
 
 
 def test_fig9_nasa(benchmark, scaling_store):
-    exp = run_once(benchmark, lambda: scaling_store.get("nasa"))
-    print_figure(exp, "Figure 9")
     # NASA is the near-parity trace: allow L2S down to 0.9x LARD.  Its
     # 47 KB replies keep LARD's back-ends (not the front-end) the
     # bottleneck, so the front-end plateau is not yet visible at 16
     # nodes and that check is skipped.
-    assert_paper_shape(exp, l2s_over_lard_at_16=0.9, lard_plateaus=False)
+    exp = figure_experiment(
+        benchmark,
+        scaling_store,
+        "nasa",
+        "Figure 9",
+        l2s_over_lard_at_16=0.9,
+        lard_plateaus=False,
+    )
 
     series = exp.throughput_series()
     i16 = exp.node_counts.index(16)

@@ -1,0 +1,275 @@
+"""Kernel performance harness: ``repro bench``.
+
+Measures wall-clock time and event throughput of the DES kernel on the
+three canonical 16-node scenarios (traditional, LARD, L2S on the calgary
+trace, two passes — the same shapes the figure benchmarks run), and
+writes the numbers to ``BENCH_kernel.json`` so CI can catch performance
+regressions.
+
+Metrics per scenario:
+
+``wall_s``
+    Wall-clock seconds for ``Simulation.run()`` (best of ``repeats``).
+``events``
+    Events scheduled by the run (``Environment.event_count``) — the
+    kernel's work metric.  Note that kernel *optimizations* legitimately
+    lower this number (the callback fast path schedules fewer events for
+    the same simulated behaviour), which is why the regression check
+    keys on ``events_per_s``.
+``events_per_s``
+    ``events / wall_s`` — events actually processed per second.
+``throughput_rps``
+    Simulated requests/s (a correctness canary: for a fixed scenario and
+    seed this must not move between kernel versions).
+
+Usage::
+
+    repro bench                       # full scenarios, print a table
+    repro bench --quick               # ~4x smaller trace, for CI smoke
+    repro bench --out BENCH_kernel.json
+    repro bench --check BENCH_kernel.json   # fail on >25% events/s drop
+    repro bench --profile 15          # cProfile top-15 per scenario
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import json
+import pstats
+import sys
+import time
+from typing import Dict, List, Optional
+
+__all__ = [
+    "CANONICAL_POLICIES",
+    "canonical_simulation",
+    "run_scenario",
+    "run_bench",
+    "check_regression",
+    "main",
+]
+
+#: The canonical perf scenarios: one per server design, 16 nodes,
+#: calgary trace, two passes (pass 1 warms, pass 2 is measured).
+CANONICAL_POLICIES = ("traditional", "lard", "l2s")
+CANONICAL_TRACE = "calgary"
+CANONICAL_NODES = 16
+CANONICAL_PASSES = 2
+FULL_REQUESTS = 8_000
+QUICK_REQUESTS = 2_000
+
+#: events/s may drop by at most this fraction vs the committed baseline.
+DEFAULT_TOLERANCE = 0.25
+
+
+def canonical_simulation(
+    policy: str,
+    num_requests: int = FULL_REQUESTS,
+    nodes: int = CANONICAL_NODES,
+    seed: int = 0,
+):
+    """Build the canonical perf scenario: one Simulation, ready to run.
+
+    Single source of truth for the scenario shape — the figure
+    benchmarks (``benchmarks/figshared.py``) and the perf suite
+    (``benchmarks/perf/``) both build their runs through this.
+    """
+    from .cluster import ClusterConfig
+    from .servers import make_policy
+    from .sim.driver import Simulation
+    from .workload import synthesize
+
+    trace = synthesize(CANONICAL_TRACE, num_requests=num_requests, seed=seed)
+    return Simulation(
+        trace,
+        make_policy(policy),
+        ClusterConfig(nodes=nodes),
+        passes=CANONICAL_PASSES,
+    )
+
+
+def run_scenario(
+    policy: str,
+    num_requests: int = FULL_REQUESTS,
+    repeats: int = 1,
+    profile_top: int = 0,
+) -> Dict[str, object]:
+    """Run one canonical scenario and return its measurements."""
+    best: Optional[Dict[str, object]] = None
+    for _ in range(max(1, repeats)):
+        sim = canonical_simulation(policy, num_requests=num_requests)
+        if profile_top:
+            prof = cProfile.Profile()
+            t0 = time.perf_counter()
+            prof.enable()
+            result = sim.run()
+            prof.disable()
+            wall = time.perf_counter() - t0
+            buf = io.StringIO()
+            stats = pstats.Stats(prof, stream=buf)
+            stats.sort_stats("tottime").print_stats(profile_top)
+            print(f"\n--- profile: {policy} (top {profile_top} by tottime) ---")
+            print(buf.getvalue())
+        else:
+            t0 = time.perf_counter()
+            result = sim.run()
+            wall = time.perf_counter() - t0
+        events = sim.env.event_count
+        measured = {
+            "policy": policy,
+            "requests": num_requests,
+            "wall_s": round(wall, 4),
+            "events": events,
+            "events_per_s": round(events / wall, 1),
+            "throughput_rps": round(result.throughput_rps, 2),
+        }
+        if best is None or measured["wall_s"] < best["wall_s"]:
+            best = measured
+    assert best is not None
+    return best
+
+
+def run_bench(
+    quick: bool = False,
+    repeats: int = 1,
+    profile_top: int = 0,
+    policies: Optional[List[str]] = None,
+) -> Dict[str, object]:
+    """Run all canonical scenarios; return the BENCH_kernel.json payload."""
+    from .des.core import DEFAULT_SCHEDULER
+    import os
+    import platform
+
+    num_requests = QUICK_REQUESTS if quick else FULL_REQUESTS
+    scenarios = {}
+    for policy in policies or CANONICAL_POLICIES:
+        r = run_scenario(
+            policy,
+            num_requests=num_requests,
+            repeats=repeats,
+            profile_top=profile_top,
+        )
+        scenarios[policy] = r
+        print(
+            f"{policy:12s} {r['wall_s']:8.3f}s  {r['events']:>10,} events  "
+            f"{r['events_per_s']:>12,.0f} ev/s  "
+            f"{r['throughput_rps']:>12,.0f} req/s"
+        )
+    return {
+        "meta": {
+            "trace": CANONICAL_TRACE,
+            "requests": num_requests,
+            "nodes": CANONICAL_NODES,
+            "passes": CANONICAL_PASSES,
+            "quick": quick,
+            "scheduler": os.environ.get("REPRO_DES_SCHEDULER", DEFAULT_SCHEDULER),
+            "python": platform.python_version(),
+        },
+        "scenarios": scenarios,
+    }
+
+
+def check_regression(
+    payload: Dict[str, object],
+    baseline_path: str,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> List[str]:
+    """Compare ``payload`` against a committed baseline file.
+
+    Returns human-readable failure strings (empty = pass).  Only
+    ``events_per_s`` is rate-based and machine-dependent, so it gets the
+    ``tolerance``; ``throughput_rps`` is simulated output and must match
+    the baseline exactly when the request counts agree (a moved number
+    means the kernel changed simulation behaviour, not just speed).
+    """
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    failures: List[str] = []
+    base_scenarios = baseline.get("scenarios", {})
+    same_scale = baseline.get("meta", {}).get("requests") == payload["meta"][
+        "requests"
+    ]
+    for policy, r in payload["scenarios"].items():
+        b = base_scenarios.get(policy)
+        if b is None:
+            continue
+        floor = b["events_per_s"] * (1.0 - tolerance)
+        if r["events_per_s"] < floor:
+            failures.append(
+                f"{policy}: events/s {r['events_per_s']:,.0f} is more than "
+                f"{tolerance:.0%} below the baseline "
+                f"{b['events_per_s']:,.0f} (floor {floor:,.0f})"
+            )
+        if same_scale and r["throughput_rps"] != b["throughput_rps"]:
+            failures.append(
+                f"{policy}: simulated throughput moved "
+                f"({b['throughput_rps']} -> {r['throughput_rps']} req/s); "
+                "the kernel changed behaviour, not just speed"
+            )
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro bench", description="DES kernel performance harness"
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help=f"small trace ({QUICK_REQUESTS} requests) for CI smoke runs",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=1,
+        help="run each scenario N times, keep the fastest (default 1)",
+    )
+    parser.add_argument(
+        "--profile", type=int, nargs="?", const=15, default=0, metavar="N",
+        help="cProfile each scenario, print top N functions by tottime",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the results as JSON (e.g. BENCH_kernel.json)",
+    )
+    parser.add_argument(
+        "--check", default=None, metavar="FILE",
+        help="compare against a baseline JSON; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="allowed fractional events/s drop for --check (default 0.25)",
+    )
+    parser.add_argument(
+        "--policies", default=None,
+        help="comma-separated subset of " + ",".join(CANONICAL_POLICIES),
+    )
+    args = parser.parse_args(argv)
+
+    policies = (
+        [p.strip() for p in args.policies.split(",") if p.strip()]
+        if args.policies
+        else None
+    )
+    payload = run_bench(
+        quick=args.quick,
+        repeats=args.repeats,
+        profile_top=args.profile,
+        policies=policies,
+    )
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    if args.check:
+        failures = check_regression(payload, args.check, args.tolerance)
+        if failures:
+            for f in failures:
+                print(f"FAIL: {f}", file=sys.stderr)
+            return 1
+        print(f"ok: within {args.tolerance:.0%} of {args.check}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

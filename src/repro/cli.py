@@ -24,6 +24,10 @@ Commands
     trace file for ``repro analyze`` / ``run_simulation``.
 ``repro reproduce [--out REPORT.md] [--requests K] [--model-only]``
     Run the whole suite and write a consolidated markdown report.
+``repro bench [--quick] [--profile [N]] [--out FILE] [--check FILE]``
+    DES kernel performance harness: events/s and wall-clock on the
+    canonical 16-node scenarios, with an optional regression check
+    against a committed baseline (see docs/KERNEL.md).
 """
 
 from __future__ import annotations
@@ -186,6 +190,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument(
         "--workers", type=int, default=None,
         help="parallel worker processes (default: REPRO_BENCH_WORKERS or 1)",
+    )
+
+    # `repro bench` owns its own argparse (it is also runnable as
+    # `python -m repro.bench`); declared here so it shows in --help.
+    sub.add_parser(
+        "bench",
+        help="DES kernel performance harness (see `repro bench --help`)",
+        add_help=False,
     )
     return parser
 
@@ -418,6 +430,13 @@ def _cmd_faults(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "bench":
+        # Delegate everything after `bench` to the harness's own parser.
+        from .bench import main as bench_main
+
+        return bench_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.command == "tables":
         return _cmd_tables()

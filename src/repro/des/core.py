@@ -1,7 +1,7 @@
 """Core of the discrete-event simulation kernel.
 
 This module provides a small, self-contained, simpy-style kernel:
-an :class:`Environment` owning a time-ordered event heap, :class:`Event`
+an :class:`Environment` owning a time-ordered event queue, :class:`Event`
 objects with success/failure semantics, and :class:`Process` objects that
 drive Python generators, suspending on the events they ``yield``.
 
@@ -12,16 +12,35 @@ exactly reproducible from its random seed.
 Design notes
 ------------
 The simulator in :mod:`repro.sim` schedules on the order of millions of
-events per run, so this module is written for speed as much as clarity:
-``__slots__`` everywhere on the hot classes, a plain ``heapq`` of tuples,
-and no per-event allocations beyond the event object itself.
+events per run, so this module is written for speed as much as clarity
+(see ``docs/KERNEL.md`` for the full story):
+
+* ``__slots__`` everywhere on the hot classes;
+* two interchangeable schedulers behind one ``(time, priority, eid,
+  event)`` contract — a C-accelerated binary heap (default) and a
+  calendar queue (:mod:`repro.des.calendar`), selected per environment
+  via ``Environment(scheduler=...)`` or the ``REPRO_DES_SCHEDULER``
+  environment variable;
+* a free-list pool recycling :class:`Timeout` and internal callback
+  events once processed (``REPRO_DES_POOL=0`` disables it);
+* :meth:`Environment.call_later` / :meth:`Event.succeed_at` fast paths
+  so resources and callback chains can schedule completions without
+  allocating intermediate events or generator frames.
 """
 
 from __future__ import annotations
 
+import os
 from heapq import heappop, heappush
 from math import inf
 from typing import Any, Callable, Generator, Iterable, Optional
+
+try:
+    from sys import getrefcount as _refcount
+except ImportError:  # pragma: no cover - non-CPython: pooling disabled
+    _refcount = None
+
+from .calendar import CalendarQueue
 
 __all__ = [
     "Environment",
@@ -34,6 +53,8 @@ __all__ = [
     "PENDING",
     "URGENT",
     "NORMAL",
+    "DEFAULT_SCHEDULER",
+    "SCHEDULERS",
 ]
 
 #: Sentinel for the value of an event that has not been triggered yet.
@@ -44,6 +65,35 @@ PENDING: Any = object()
 URGENT = 0
 #: Default scheduling priority.
 NORMAL = 1
+
+#: Recognized scheduler backends.
+SCHEDULERS = ("heap", "calendar")
+
+#: Scheduler used when neither the constructor nor ``REPRO_DES_SCHEDULER``
+#: picks one.  The binary heap won the validation benchmarks
+#: (``repro bench``): heapq's C implementation beats the pure-Python
+#: calendar queue on every canonical scenario, so it stays the default;
+#: the calendar queue remains selectable and bit-identical.
+DEFAULT_SCHEDULER = "heap"
+
+#: Upper bound on each per-environment free list (events, not bytes).
+_POOL_MAX = 4096
+
+# Bound by repro.des.events at import time (see _lazy_conditions); keeps
+# Event.__and__/__or__ and Environment.all_of/any_of free of per-call
+# imports without a circular module import.
+_AllOf = None
+_AnyOf = None
+
+
+def _lazy_conditions():
+    """Bind the condition classes on first use (core imported alone)."""
+    global _AllOf, _AnyOf
+    if _AllOf is None:
+        from .events import AllOf, AnyOf
+
+        _AllOf, _AnyOf = AllOf, AnyOf
+    return _AllOf, _AnyOf
 
 
 class EmptySchedule(Exception):
@@ -152,6 +202,24 @@ class Event:
         self.env._schedule(self, NORMAL)
         return self
 
+    def succeed_at(self, delay: float, value: Any = None) -> "Event":
+        """Trigger successfully, processed ``delay`` time units from now.
+
+        The completion fast path: where ``succeed()`` fires callbacks at
+        the current time, ``succeed_at(d)`` fires them at ``now + d``
+        without allocating an intermediate :class:`Timeout`.  The event
+        reads as *triggered* immediately (its value is set), exactly like
+        a :class:`Timeout` between construction and expiry.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, NORMAL, delay)
+        return self
+
     def fail(self, exception: BaseException) -> "Event":
         """Trigger the event as failed with ``exception``.
 
@@ -187,18 +255,27 @@ class Event:
     # -- composition ------------------------------------------------------
 
     def __and__(self, other: "Event") -> "Condition":
-        from .events import AllOf
-
-        return AllOf(self.env, [self, other])
+        allof = _AllOf
+        if allof is None:
+            allof, _ = _lazy_conditions()
+        return allof(self.env, [self, other])
 
     def __or__(self, other: "Event") -> "Condition":
-        from .events import AnyOf
-
-        return AnyOf(self.env, [self, other])
+        anyof = _AnyOf
+        if anyof is None:
+            _, anyof = _lazy_conditions()
+        return anyof(self.env, [self, other])
 
 
 class Timeout(Event):
-    """An event that fires after a fixed ``delay`` of simulated time."""
+    """An event that fires after a fixed ``delay`` of simulated time.
+
+    Instances created through :meth:`Environment.timeout` are recycled via
+    a free list once processed, *if* nothing outside the kernel still
+    references them (checked by refcount — see ``docs/KERNEL.md`` for the
+    pooling rules).  Retaining a reference to a fired Timeout is therefore
+    always safe: the retained object simply is not recycled.
+    """
 
     __slots__ = ("delay",)
 
@@ -210,6 +287,17 @@ class Timeout(Event):
         self._ok = True
         self._value = value
         env._schedule(self, NORMAL, delay)
+
+
+class _Callback(Event):
+    """Internal pooled event driving callback chains (never user-visible).
+
+    Created only by :meth:`Environment.call_later`; recycled
+    unconditionally after processing, so references must never outlive
+    the callback invocation.
+    """
+
+    __slots__ = ()
 
 
 class Initialize(Event):
@@ -288,57 +376,63 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with the value/failure of ``event``."""
-        env = self.env
         if self._value is not PENDING:
             # Already terminated (e.g. interrupted to death while an older
             # wake-up was in flight).  Nothing to do.
             return
         # Detach from the event we were waiting on (the interrupt path
         # resumes us while self._target is still pending).
-        if self._target is not None and event is not self._target:
+        target = self._target
+        if target is not None and event is not target:
             # Late interrupt: forget the original target's callback so a
             # later trigger does not resume us twice.
             try:
-                self._target.callbacks.remove(self._resume)
+                target.callbacks.remove(self._resume)
             except (ValueError, AttributeError):
                 pass
         self._target = None
+        env = self.env
         env._active_proc = self
+        # Hot loop: localize the generator methods and the schedule hook;
+        # each send() drives the process to its next yield.
+        generator = self._generator
+        send = generator.send
+        schedule = env._schedule
 
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = send(event._value)
                 else:
                     # The event failed: throw its exception into the process.
                     event._defused = True
-                    next_event = self._generator.throw(event._value)
+                    next_event = generator.throw(event._value)
             except StopIteration as exc:
                 self._ok = True
                 self._value = exc.value
-                env._schedule(self, NORMAL)
+                schedule(self, NORMAL)
                 break
             except StopProcess as exc:
-                self._generator.close()
+                generator.close()
                 self._ok = True
                 self._value = exc.value
-                env._schedule(self, NORMAL)
+                schedule(self, NORMAL)
                 break
             except BaseException as exc:
-                self._generator.close()
+                generator.close()
                 self._ok = False
                 self._value = exc
-                env._schedule(self, NORMAL)
+                schedule(self, NORMAL)
                 break
 
             if not isinstance(next_event, Event):
                 exc = RuntimeError(
                     f"process {self.name!r} yielded a non-event: {next_event!r}"
                 )
-                self._generator.close()
+                generator.close()
                 self._ok = False
                 self._value = exc
-                env._schedule(self, NORMAL)
+                schedule(self, NORMAL)
                 break
 
             if next_event.callbacks is not None:
@@ -354,14 +448,62 @@ class Process(Event):
 
 
 class Environment:
-    """Execution environment: simulated clock plus the event queue."""
+    """Execution environment: simulated clock plus the event queue.
 
-    __slots__ = ("_now", "_queue", "_eid", "_active_proc")
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulated clock.
+    scheduler:
+        ``"heap"`` (binary heap, the validated default) or ``"calendar"``
+        (calendar queue).  ``None`` consults the ``REPRO_DES_SCHEDULER``
+        environment variable, then :data:`DEFAULT_SCHEDULER`.  Both obey
+        the identical (time, priority, insertion-order) contract.
+    pool_events:
+        Enable the Timeout/callback-event free lists.  ``None`` consults
+        ``REPRO_DES_POOL`` (default on; set ``0`` to disable).
+    """
 
-    def __init__(self, initial_time: float = 0.0):
+    __slots__ = (
+        "_now",
+        "_queue",
+        "_cal",
+        "_eid",
+        "_active_proc",
+        "_timeout_pool",
+        "_cb_pool",
+        "_scheduler",
+    )
+
+    def __init__(
+        self,
+        initial_time: float = 0.0,
+        scheduler: Optional[str] = None,
+        pool_events: Optional[bool] = None,
+    ):
         self._now = float(initial_time)
-        # Heap of (time, priority, eid, event).
-        self._queue: list = []
+        if scheduler is None:
+            scheduler = os.environ.get("REPRO_DES_SCHEDULER", DEFAULT_SCHEDULER)
+        if scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {scheduler!r}; pick one of {SCHEDULERS}"
+            )
+        self._scheduler = scheduler
+        if scheduler == "heap":
+            # Heap of (time, priority, eid, event).
+            self._queue: Optional[list] = []
+            self._cal: Optional[CalendarQueue] = None
+        else:
+            self._queue = None
+            self._cal = CalendarQueue()
+        if pool_events is None:
+            pool_events = os.environ.get("REPRO_DES_POOL", "1") != "0"
+        if _refcount is None:  # pragma: no cover - non-CPython
+            pool_events = False
+        # The free lists are None when pooling is off, so the hot-path
+        # check is a single identity test.
+        self._timeout_pool: Optional[list] = [] if pool_events else None
+        self._cb_pool: Optional[list] = [] if pool_events else None
         self._eid = 0
         self._active_proc: Optional[Process] = None
 
@@ -373,6 +515,21 @@ class Environment:
         return self._now
 
     @property
+    def scheduler(self) -> str:
+        """Name of the scheduler backend ("heap" or "calendar")."""
+        return self._scheduler
+
+    @property
+    def pooling(self) -> bool:
+        """True when the event free lists are enabled."""
+        return self._timeout_pool is not None
+
+    @property
+    def event_count(self) -> int:
+        """Total events scheduled so far (the benchmark work metric)."""
+        return self._eid
+
+    @property
     def active_process(self) -> Optional[Process]:
         """The process currently being advanced (None between events)."""
         return self._active_proc
@@ -382,8 +539,59 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create a :class:`Timeout` firing ``delay`` time units from now."""
+        """Create a :class:`Timeout` firing ``delay`` time units from now.
+
+        Draws from the free list when pooling is enabled; see the class
+        docstring for the (narrow) aliasing caveat.
+        """
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise ValueError(f"negative delay {delay}")
+            t = pool.pop()
+            t.callbacks = []
+            t._value = value
+            t._ok = True
+            t._defused = False
+            t.delay = delay
+            self._schedule(t, NORMAL, delay)
+            return t
         return Timeout(self, delay, value)
+
+    def call_later(
+        self,
+        delay: float,
+        fn: Callable[[Event], None],
+        value: Any = None,
+        priority: int = NORMAL,
+    ) -> Event:
+        """Run ``fn(event)`` after ``delay`` — the callback-chain fast path.
+
+        Uses a pooled internal event: no Timeout, no generator, no
+        process.  The returned handle is recycled as soon as ``fn`` has
+        run and must not be retained afterwards.  ``event.value`` is
+        ``value`` (handy for chains that thread a payload through).
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        pool = self._cb_pool
+        if pool:
+            ev = pool.pop()
+            ev._value = value
+            ev._ok = True
+            ev._defused = False
+        else:
+            ev = _Callback(self)
+            ev._value = value
+        ev.callbacks = [fn]
+        # Inlined _schedule (this is the hottest scheduling entry point).
+        eid = self._eid = self._eid + 1
+        q = self._queue
+        if q is not None:
+            heappush(q, (self._now + delay, priority, eid, ev))
+        else:
+            self._cal.push((self._now + delay, priority, eid, ev))
+        return ev
 
     def process(
         self,
@@ -394,55 +602,93 @@ class Environment:
         return Process(self, generator, name)
 
     def all_of(self, events: Iterable[Event]) -> "Condition":
-        from .events import AllOf
-
-        return AllOf(self, events)
+        allof = _AllOf
+        if allof is None:
+            allof, _ = _lazy_conditions()
+        return allof(self, events)
 
     def any_of(self, events: Iterable[Event]) -> "Condition":
-        from .events import AnyOf
-
-        return AnyOf(self, events)
+        anyof = _AnyOf
+        if anyof is None:
+            _, anyof = _lazy_conditions()
+        return anyof(self, events)
 
     def schedule_callback(
         self, delay: float, callback: Callable[[], None]
     ) -> Event:
-        """Run ``callback()`` after ``delay`` without creating a process."""
-        ev = Timeout(self, delay)
-        ev.callbacks.append(lambda _e: callback())
-        return ev
+        """Run ``callback()`` after ``delay`` without creating a process.
+
+        The returned event handle is pooled: it is recycled once the
+        callback has run, so do not retain it past that point.
+        """
+        return self.call_later(delay, lambda _e: callback())
 
     # -- scheduling ---------------------------------------------------------
 
     def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
-        self._eid += 1
-        heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        eid = self._eid = self._eid + 1
+        q = self._queue
+        if q is not None:
+            heappush(q, (self._now + delay, priority, eid, event))
+        else:
+            self._cal.push((self._now + delay, priority, eid, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else inf
+        q = self._queue
+        if q is not None:
+            return q[0][0] if q else inf
+        head = self._cal.peek()
+        return head[0] if head is not None else inf
 
     def step(self) -> None:
         """Process the next event.  Raises :class:`EmptySchedule` if none."""
-        try:
-            self._now, _, _, event = heappop(self._queue)
-        except IndexError:
-            raise EmptySchedule() from None
+        q = self._queue
+        if q is not None:
+            try:
+                self._now, _, _, event = heappop(q)
+            except IndexError:
+                raise EmptySchedule() from None
+        else:
+            try:
+                self._now, _, _, event = self._cal.popmin()
+            except IndexError:
+                raise EmptySchedule() from None
 
-        callbacks, event.callbacks = event.callbacks, None
+        callbacks = event.callbacks
+        event.callbacks = None
         for callback in callbacks:
             callback(event)
 
         if not event._ok and not event._defused:
             # Nobody handled this failure.
-            exc = event._value
-            raise exc
+            raise event._value
+
+        # Free-list recycling.  An event is recyclable only when nothing
+        # outside this frame still references it: refcount 2 = the `event`
+        # local plus getrefcount's argument.  A generator that kept the
+        # Timeout it yielded, a condition holding its constituents, or a
+        # caller retaining a call_later handle all raise the count and
+        # (safely) exempt that object from recycling.
+        cls = event.__class__
+        if cls is Timeout:
+            pool = self._timeout_pool
+            if pool is not None and len(pool) < _POOL_MAX and _refcount(event) == 2:
+                event._value = PENDING  # poison stale reads
+                pool.append(event)
+        elif cls is _Callback:
+            pool = self._cb_pool
+            if pool is not None and len(pool) < _POOL_MAX and _refcount(event) == 2:
+                event._value = PENDING
+                pool.append(event)
 
     def run(self, until: Any = None) -> Any:
         """Run the simulation.
 
         ``until`` may be ``None`` (run until the queue drains), a number
-        (run until that simulated time), or an :class:`Event` (run until it
-        is processed and return its value).
+        (run until that simulated time; ``until == now`` is a documented
+        no-op so sweep drivers can resume in fixed windows), or an
+        :class:`Event` (run until it is processed and return its value).
         """
         stop_at = inf
         stop_event: Optional[Event] = None
@@ -469,13 +715,57 @@ class Environment:
                 stop_event._defused = True
                 raise stop_event._value
             stop_at = float(until)
-            if stop_at <= self._now:
+            if stop_at < self._now:
                 raise ValueError(
-                    f"until ({stop_at}) must be greater than now ({self._now})"
+                    f"until ({stop_at}) must not be earlier than now "
+                    f"({self._now})"
                 )
+            if stop_at == self._now:
+                # No-op: events exactly at `now` stay unprocessed, exactly
+                # as a previous run(until=now) left them.
+                return None
 
-        while self._queue and self._queue[0][0] < stop_at:
-            self.step()
+        q = self._queue
+        if q is not None:
+            # The heap main loop inlines step(): at millions of events per
+            # run the per-event call overhead is measurable.  Keep the two
+            # bodies in sync (step() remains the single-event API).
+            timeout_pool = self._timeout_pool
+            cb_pool = self._cb_pool
+            pop = heappop
+            while q and q[0][0] < stop_at:
+                self._now, _, _, event = pop(q)
+                callbacks = event.callbacks
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
+                cls = event.__class__
+                if cls is Timeout:
+                    if (
+                        timeout_pool is not None
+                        and len(timeout_pool) < _POOL_MAX
+                        and _refcount(event) == 2
+                    ):
+                        event._value = PENDING
+                        timeout_pool.append(event)
+                elif cls is _Callback:
+                    if (
+                        cb_pool is not None
+                        and len(cb_pool) < _POOL_MAX
+                        and _refcount(event) == 2
+                    ):
+                        event._value = PENDING
+                        cb_pool.append(event)
+        else:
+            step = self.step
+            cal = self._cal
+            while cal:
+                head = cal.peek()
+                if head is None or head[0] >= stop_at:
+                    break
+                step()
         if stop_at is not inf:
             self._now = stop_at
         return None

@@ -138,3 +138,13 @@ class AnyOf(Condition):
 
     def __init__(self, env: Environment, events: Iterable[Event]):
         super().__init__(env, lambda events, count: count >= 1, events)
+
+
+# Hoisted binding: Event.__and__/__or__ and Environment.all_of/any_of
+# dispatch through module globals in repro.des.core, installed here once
+# at import time (repro.des always imports this module), replacing the
+# old per-call `from .events import ...` on the hot path.
+from . import core as _core
+
+_core._AllOf = AllOf
+_core._AnyOf = AnyOf

@@ -43,7 +43,13 @@ class Request(Event):
     __slots__ = ("resource", "usage_since")
 
     def __init__(self, resource: "Resource"):
-        super().__init__(resource.env)
+        # Inlined Event.__init__ — requests are the hottest allocation in
+        # a simulation run (see docs/KERNEL.md).
+        self.env = resource.env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = True
+        self._defused = False
         self.resource = resource
         #: Simulated time the request was granted (None while queued).
         self.usage_since: Optional[float] = None
@@ -150,12 +156,17 @@ class Resource:
     # -- internals ---------------------------------------------------------
 
     def _grant(self, req: Request) -> None:
+        env = self.env
+        now = env._now
         if not self.users:
-            self._busy_since = self.env.now
+            self._busy_since = now
         self.users.append(req)
-        req.usage_since = self.env.now
+        req.usage_since = now
         self._total_served += 1
-        req.succeed()
+        # Inlined req.succeed(): a grant happens exactly once per request.
+        req._ok = True
+        req._value = None
+        env._schedule(req, 1)  # NORMAL
 
     def _do_request(self, req: Request) -> None:
         if len(self.users) < self._capacity:
@@ -177,7 +188,7 @@ class Resource:
                 f"release of a request that does not hold {self!r}"
             ) from None
         if not self.users and self._busy_since is not None:
-            self._busy_time += self.env.now - self._busy_since
+            self._busy_time += self.env._now - self._busy_since
             self._busy_since = None
         # Hand the slot to the next queued request (skipping cancelled).
         while self.queue:
@@ -186,6 +197,13 @@ class Resource:
                 self._grant(nxt)
                 break
 
+    #: Release a granted request without allocating a Release event — the
+    #: callback-chain fast path (see ``docs/KERNEL.md``).  Semantics are
+    #: identical to ``request.release()``: the slot is handed to the next
+    #: queued request synchronously, minus the bookkeeping event the
+    #: generator API needs to have something to yield.
+    free = _do_release
+
 
 class PriorityRequest(Request):
     """Request with a priority; lower values are served first.
@@ -193,18 +211,24 @@ class PriorityRequest(Request):
     Ties are broken FIFO via a monotonically increasing sequence number.
     """
 
-    __slots__ = ("priority", "seq")
+    __slots__ = ("priority", "seq", "key")
 
     _seq = itertools.count()
 
     def __init__(self, resource: "PriorityResource", priority: int = 0):
         self.priority = priority
-        self.seq = next(PriorityRequest._seq)
-        super().__init__(resource)
-
-    @property
-    def key(self):
-        return (self.priority, self.seq)
+        seq = self.seq = next(PriorityRequest._seq)
+        #: Sort key; stored (not computed) — the queue scan reads it a lot.
+        self.key = (priority, seq)
+        # Inlined Request/Event.__init__ (hot allocation; see docs/KERNEL.md).
+        self.env = resource.env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = True
+        self._defused = False
+        self.resource = resource
+        self.usage_since = None
+        resource._do_request(self)
 
 
 class PriorityResource(Resource):
@@ -217,16 +241,20 @@ class PriorityResource(Resource):
         if len(self.users) < self._capacity:
             self._grant(req)
         else:
-            assert isinstance(req, PriorityRequest)
-            # Insert keeping the queue sorted by (priority, seq).
+            # Insert keeping the queue sorted by (priority, seq).  Seq is
+            # monotonic, so a request at the tail's priority (or lower)
+            # always appends — the common case is O(1) and the scan only
+            # runs when a higher-priority request overtakes a queue.
             q = self.queue
-            key = req.key
-            idx = len(q)
+            key = req.key  # type: ignore[attr-defined]
+            if not q or q[-1].key <= key:  # type: ignore[attr-defined]
+                q.append(req)
+                return
             for i, other in enumerate(q):
                 if other.key > key:  # type: ignore[attr-defined]
-                    idx = i
-                    break
-            q.insert(idx, req)
+                    q.insert(i, req)
+                    return
+            q.append(req)
 
 
 class ContainerPut(Event):

@@ -227,10 +227,7 @@ class L2SPolicy(DistributionPolicy):
         for other in range(n):
             if other == node_id or other in self.failed_nodes:
                 continue
-            cluster.env.process(
-                self._deliver_load(node_id, other, 0),
-                name=f"l2s-rejoin:{node_id}->{other}",
-            )
+            self._deliver_load(node_id, other, 0, kind="l2s_load")
 
     def on_connection_change(self, node_id: int) -> None:
         """Broadcast a node's load when it drifts past the delta."""
@@ -245,16 +242,24 @@ class L2SPolicy(DistributionPolicy):
         for other in range(cluster.num_nodes):
             if other == node_id:
                 continue
-            cluster.env.process(
-                self._deliver_load(node_id, other, actual),
-                name=f"l2s-load:{node_id}->{other}",
-            )
+            self._deliver_load(node_id, other, actual)
 
-    def _deliver_load(self, src: int, dst: int, value: int):
-        """Message process: the estimate updates only on delivery."""
+    def _deliver_load(
+        self, src: int, dst: int, value: int, kind: str = "l2s_load"
+    ) -> None:
+        """Fire-and-forget load message; the estimate updates on delivery.
+
+        Rides the interconnect's callback-chain fast path — the dominant
+        message source in an L2S run (one broadcast per connection-count
+        drift), so not paying a process per message matters.
+        """
         cluster = self._require_cluster()
-        yield from cluster.net.send_control(src, dst, kind="l2s_load")
-        self._views[dst][src] = value
+        views = self._views
+
+        def apply() -> None:
+            views[dst][src] = value
+
+        cluster.net.send_control_cb(src, dst, kind, done=apply)
 
     def _broadcast_set_change(self, src: int) -> None:
         """Charge the (rare) server-set modification broadcast."""

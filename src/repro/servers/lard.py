@@ -218,23 +218,25 @@ class LARDPolicy(DistributionPolicy):
             return
         batch = self._pending_notice[node_id]
         self._pending_notice[node_id] = 0
-        cluster = self._require_cluster()
-        cluster.env.process(
-            self._deliver_notice(node_id, batch),
-            name=f"lard-notice:{node_id}",
-        )
+        self._deliver_notice(node_id, batch)
 
-    def _deliver_notice(self, back_end: int, batch: int):
-        """Back-end -> front-end message; the view updates on delivery."""
+    def _deliver_notice(self, back_end: int, batch: int) -> None:
+        """Back-end -> front-end message; the view updates on delivery.
+
+        Rides the callback-chain fast path (no per-notice process).  An
+        elected lard-ng dispatcher also serves; its own notices are a
+        local table update, not a network message — ``send_control_cb``'s
+        ``src == dst`` shortcut applies the update synchronously.
+        """
         cluster = self._require_cluster()
-        if back_end != self.front_end:
-            # An elected lard-ng dispatcher also serves; its own notices
-            # are a local table update, not a network message.
-            yield from cluster.net.send_control(
-                back_end, self.front_end, kind="lard_done"
-            )
-        self._view[back_end] -= batch
-        self.completion_notices += 1
+
+        def apply() -> None:
+            self._view[back_end] -= batch
+            self.completion_notices += 1
+
+        cluster.net.send_control_cb(
+            back_end, self.front_end, kind="lard_done", done=apply
+        )
 
     # -- reporting ----------------------------------------------------------------------
 

@@ -19,6 +19,7 @@ methodology.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -28,7 +29,7 @@ from ..des import Environment, Tally
 from ..faults import AvailabilityTimeline, FaultInjector, FaultSchedule, RetryPolicy
 from ..servers import DistributionPolicy
 from ..workload import Trace
-from .lifecycle import client_request
+from .lifecycle import client_request, start_fast_request
 from .results import SimResult
 
 __all__ = ["Simulation"]
@@ -143,6 +144,19 @@ class Simulation:
             if timeline_interval_s is not None
             else None
         )
+        #: Callback-chain request lifecycle (see docs/KERNEL.md).  The
+        #: fast path covers the common shape — replicated disks, a
+        #: synchronous ``decide``, no client-side timeout interrupts; the
+        #: generator path keeps the rest.  Crash/recovery schedules stay
+        #: eligible: the chain performs the same incarnation-aware abort
+        #: checks at every stage boundary.  REPRO_SIM_FASTPATH=0 forces
+        #: the generator path everywhere (used by the equivalence suite).
+        self._fastpath = (
+            os.environ.get("REPRO_SIM_FASTPATH", "1") != "0"
+            and config.replicated_disks
+            and not getattr(policy, "async_decide", False)
+            and (retry is None or retry.timeout_s is None)
+        )
 
     # -- injection -------------------------------------------------------------
 
@@ -157,6 +171,17 @@ class Simulation:
 
     def _spawn_index(self, i: int) -> None:
         fid = int(self._ids[i % self._trace_len])
+        if self._fastpath:
+            start_fast_request(
+                self.cluster,
+                self.policy,
+                i,
+                fid,
+                int(self._sizes[fid]),
+                self._on_done,
+                self._on_failed,
+            )
+            return
         proc = self.env.process(
             client_request(
                 self.cluster,

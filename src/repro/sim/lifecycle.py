@@ -33,11 +33,13 @@ from __future__ import annotations
 from typing import Callable, Generator, Optional
 
 from ..cluster import Cluster
+from ..cluster.node import CPU_BULK, CPU_PROMPT
 from ..des import Interrupt
+from ..des.core import URGENT
 from ..servers import DistributionPolicy
 from ..servers.base import ServiceUnavailable
 
-__all__ = ["client_request", "NodeFailedError"]
+__all__ = ["client_request", "start_fast_request", "NodeFailedError"]
 
 
 class NodeFailedError(Exception):
@@ -153,3 +155,269 @@ def client_request(
     if on_done is not None:
         was_miss = service_node.cache.misses > misses_before
         on_done(index, start, decision.forwarded, was_miss)
+
+
+class _FastRequest:
+    """Callback-chain twin of :func:`client_request`.
+
+    Walks the identical stage sequence — router, NI-in, parse, decide,
+    (forward + hand-off), connection open, fetch, reply, NI-out, router —
+    with the identical incarnation-aware abort checks at the identical
+    stage boundaries, but drives it with event callbacks and pooled holds
+    instead of one generator ``Process`` per request.  Per request this
+    eliminates the process, its initialize/terminate events, every
+    ``Release`` event, and all ``Timeout`` allocations; the scheduler
+    equivalence suite asserts the results are indistinguishable from the
+    generator path.
+
+    The driver falls back to :func:`client_request` whenever a request
+    might be *interrupted* (client timeouts need a process to throw
+    into), when the policy decides through the messaging layer
+    (``async_decide``), or when the DFS is partitioned (remote miss
+    traffic keeps the generator path); see ``docs/KERNEL.md``.
+    """
+
+    __slots__ = (
+        "cluster",
+        "policy",
+        "index",
+        "file_id",
+        "size_bytes",
+        "size_kb",
+        "on_done",
+        "on_failed",
+        "env",
+        "hw",
+        "start",
+        "initial",
+        "initial_node",
+        "initial_inc",
+        "decision",
+        "service_node",
+        "service_inc",
+        "opened",
+        "misses_before",
+        "_req",
+    )
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        policy: DistributionPolicy,
+        index: int,
+        file_id: int,
+        size_bytes: int,
+        on_done: Optional[Callable[[int, float, bool, bool], None]],
+        on_failed: Optional[Callable[[int], None]],
+    ):
+        self.cluster = cluster
+        self.policy = policy
+        self.index = index
+        self.file_id = file_id
+        self.size_bytes = size_bytes
+        self.size_kb = size_bytes / 1024.0
+        self.on_done = on_done
+        self.on_failed = on_failed
+        self.env = cluster.env
+        self.hw = cluster.config.hardware
+        self.initial: Optional[int] = None
+        self.opened = False
+        self._req = None
+        # The urgent zero-delay kick mirrors the Initialize event that
+        # starts a generator process, keeping both paths' first actions
+        # at the same point in the event order.
+        self.env.call_later(0.0, self._start, priority=URGENT)
+
+    # -- failure plumbing --------------------------------------------------
+
+    def _initial_dead(self) -> bool:
+        node = self.initial_node
+        return node.failed or node.incarnation != self.initial_inc
+
+    def _service_dead(self) -> bool:
+        node = self.service_node
+        return node.failed or node.incarnation != self.service_inc
+
+    def _abort(self) -> None:
+        if self.initial is not None:
+            self.policy.on_request_aborted(self.initial, self.opened)
+        if self.on_failed is None:
+            raise NodeFailedError(self.initial if self.initial is not None else -1)
+        self.on_failed(self.index)
+
+    def _close_connection(self) -> None:
+        """The generator path's ``finally`` block around fetch/reply."""
+        self.service_node.connection_closed()
+        policy = self.policy
+        target = self.decision.target
+        policy.on_connection_change(target)
+        policy.on_complete(target, self.file_id)
+        policy.on_connection_end(target)
+
+    # -- inbound -----------------------------------------------------------
+
+    def _start(self, _e) -> None:
+        self.start = self.env.now
+        try:
+            self.initial = self.policy.initial_node(self.index, self.file_id)
+        except ServiceUnavailable:
+            self._abort()
+            return
+        self.initial_node = node = self.cluster.node(self.initial)
+        self.initial_inc = node.incarnation
+        req = self._req = self.cluster.net.router.request()
+        req.callbacks.append(self._route_in_held)
+
+    def _route_in_held(self, _e) -> None:
+        self.env.call_later(
+            self.hw.route_time(self.hw.request_kb), self._route_in_done
+        )
+
+    def _route_in_done(self, _e) -> None:
+        self.cluster.net.router.free(self._req)
+        if self._initial_dead():
+            self._abort()
+            return
+        req = self._req = self.initial_node.ni_in.request()
+        req.callbacks.append(self._ni_in_held)
+
+    def _ni_in_held(self, _e) -> None:
+        self.env.call_later(
+            self.hw.ni_message_time(self.hw.request_kb), self._ni_in_done
+        )
+
+    def _ni_in_done(self, _e) -> None:
+        self.initial_node.ni_in.free(self._req)
+        req = self._req = self.initial_node.cpu.request(CPU_PROMPT)
+        req.callbacks.append(self._parse_held)
+
+    def _parse_held(self, _e) -> None:
+        self.env.call_later(
+            self.hw.parse_time() / self.initial_node.speed, self._parse_done
+        )
+
+    # -- decide + hand-off -------------------------------------------------
+
+    def _parse_done(self, _e) -> None:
+        self.initial_node.cpu.free(self._req)
+        if self._initial_dead():
+            self._abort()
+            return
+        try:
+            self.decision = self.policy.decide(self.initial, self.file_id)
+        except ServiceUnavailable:
+            self._abort()
+            return
+        if self.decision.forwarded:
+            node = self.initial_node
+            node.forwarded += 1
+            req = self._req = node.cpu.request(CPU_PROMPT)
+            req.callbacks.append(self._forward_held)
+        else:
+            self._at_service()
+
+    def _forward_held(self, _e) -> None:
+        self.env.call_later(
+            self.hw.forward_time() / self.initial_node.speed, self._forward_done
+        )
+
+    def _forward_done(self, _e) -> None:
+        self.initial_node.cpu.free(self._req)
+        self.cluster.net.send_message_cb(
+            self.initial,
+            self.decision.target,
+            self.hw.request_kb,
+            kind="handoff",
+            done=self._at_service,
+        )
+
+    # -- service node: fetch + reply ---------------------------------------
+
+    def _at_service(self) -> None:
+        target = self.decision.target
+        self.service_node = node = self.cluster.node(target)
+        if node.failed:
+            self._abort()
+            return
+        self.service_inc = node.incarnation
+        node.connection_opened()
+        self.opened = True
+        self.policy.on_connection_change(target)
+        self.misses_before = node.cache.misses
+        if node.cache.lookup(self.file_id):
+            self._after_fetch()
+        else:
+            # Replicated-disk miss: a local disk read (the partitioned
+            # layout falls back to the generator lifecycle entirely).
+            self.cluster.dfs.local_reads += 1
+            req = self._req = node.disk.request()
+            req.callbacks.append(self._disk_held)
+
+    def _disk_held(self, _e) -> None:
+        self.env.call_later(self.hw.disk_time(self.size_kb), self._disk_done)
+
+    def _disk_done(self, _e) -> None:
+        self.service_node.disk.free(self._req)
+        self.service_node.cache.insert(self.file_id, self.size_bytes)
+        self._after_fetch()
+
+    def _after_fetch(self) -> None:
+        if self._service_dead():
+            self._close_connection()
+            self._abort()
+            return
+        req = self._req = self.service_node.cpu.request(CPU_BULK)
+        req.callbacks.append(self._reply_held)
+
+    def _reply_held(self, _e) -> None:
+        self.env.call_later(
+            self.hw.reply_time(self.size_kb) / self.service_node.speed,
+            self._reply_done,
+        )
+
+    def _reply_done(self, _e) -> None:
+        self.service_node.cpu.free(self._req)
+        if self._service_dead():
+            self._close_connection()
+            self._abort()
+            return
+        req = self._req = self.service_node.ni_out.request()
+        req.callbacks.append(self._ni_out_held)
+
+    def _ni_out_held(self, _e) -> None:
+        self.env.call_later(
+            self.hw.ni_reply_time(self.size_kb), self._ni_out_done
+        )
+
+    def _ni_out_done(self, _e) -> None:
+        self.service_node.ni_out.free(self._req)
+        req = self._req = self.cluster.net.router.request()
+        req.callbacks.append(self._route_out_held)
+
+    def _route_out_held(self, _e) -> None:
+        self.env.call_later(self.hw.route_time(self.size_kb), self._route_out_done)
+
+    def _route_out_done(self, _e) -> None:
+        self.cluster.net.router.free(self._req)
+        self._close_connection()
+        if self.on_done is not None:
+            was_miss = self.service_node.cache.misses > self.misses_before
+            self.on_done(self.index, self.start, self.decision.forwarded, was_miss)
+
+
+def start_fast_request(
+    cluster: Cluster,
+    policy: DistributionPolicy,
+    index: int,
+    file_id: int,
+    size_bytes: int,
+    on_done: Optional[Callable[[int, float, bool, bool], None]] = None,
+    on_failed: Optional[Callable[[int], None]] = None,
+) -> None:
+    """Launch one client request on the callback-chain fast path.
+
+    Drop-in sibling of ``env.process(client_request(...))`` for requests
+    that will never be interrupted; see :class:`_FastRequest` for the
+    exact fallback conditions the driver applies.
+    """
+    _FastRequest(cluster, policy, index, file_id, size_bytes, on_done, on_failed)

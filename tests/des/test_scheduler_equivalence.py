@@ -1,0 +1,193 @@
+"""Cross-variant equivalence: every kernel configuration must agree.
+
+The kernel ships two schedulers (binary heap and calendar queue), an
+event free-list pool, and a callback-chain request fast path.  All are
+pure optimizations: for a fixed seed, every combination must produce the
+*same simulation* — identical event orderings on randomized storms,
+identical SimResults, and byte-identical ``repro reproduce`` reports.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.cluster import ClusterConfig
+from repro.des import Environment, Interrupt, Resource
+from repro.servers import make_policy
+from repro.sim.driver import Simulation
+from repro.workload import build_fileset, generate_trace
+
+#: (scheduler, pooling) kernel variants.
+KERNEL_VARIANTS = list(itertools.product(["heap", "calendar"], [True, False]))
+
+
+# -- randomized event storms -------------------------------------------------
+
+
+def _storm(scheduler: str, pooling: bool, seed: int):
+    """A seeded blizzard of timeouts, ties, priorities, resource contention,
+    interrupts and failures; returns the processed-event log."""
+    rng = random.Random(seed)
+    env = Environment(scheduler=scheduler, pool_events=pooling)
+    res = Resource(env, capacity=2)
+    log = []
+
+    def worker(wid):
+        for step in range(rng.randint(3, 12)):
+            # Integer delays force heavy (time, priority) ties.
+            delay = rng.choice([0, 0, 1, 1, 2, 5])
+            try:
+                yield env.timeout(delay, value=(wid, step))
+            except Interrupt as i:
+                log.append((env.now, "interrupted", wid, step, str(i.cause)))
+                continue
+            log.append((env.now, "tick", wid, step))
+            if rng.random() < 0.4:
+                try:
+                    with res.request() as req:
+                        yield req
+                        log.append((env.now, "hold", wid, step))
+                        yield env.timeout(rng.choice([0, 1, 3]))
+                    log.append((env.now, "release", wid, step))
+                except Interrupt as i:
+                    log.append((env.now, "interrupted-res", wid, step, str(i.cause)))
+
+    def chaos(procs):
+        for _ in range(10):
+            yield env.timeout(rng.choice([1, 2, 3]))
+            victim = rng.choice(procs)
+            if victim.is_alive and victim is not env.active_process:
+                victim.interrupt(cause=f"chaos@{env.now}")
+                log.append((env.now, "interrupt-sent"))
+
+    def late_caller():
+        for i in range(8):
+            env.call_later(
+                rng.choice([0.0, 1.0, 2.5]),
+                lambda _e, i=i: log.append((env.now, "call_later", i)),
+                priority=rng.choice([0, 1]),
+            )
+            yield env.timeout(1)
+
+    def failer():
+        yield env.timeout(7)
+        ev = env.event()
+        ev.callbacks.append(lambda e: log.append((env.now, "failed-seen")))
+        ev.defused()
+        ev.fail(RuntimeError("storm failure"))
+        yield env.timeout(1)
+
+    procs = [env.process(worker(w)) for w in range(6)]
+    env.process(chaos(procs))
+    env.process(late_caller())
+    env.process(failer())
+    env.run()
+    return log
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 17])
+def test_storm_identical_across_variants(seed):
+    reference = _storm("heap", True, seed)
+    assert reference, "storm produced no events"
+    for scheduler, pooling in KERNEL_VARIANTS[1:]:
+        assert _storm(scheduler, pooling, seed) == reference, (
+            f"scheduler={scheduler} pooling={pooling} diverged from "
+            "heap+pool on the same seed"
+        )
+
+
+def test_storm_final_state_identical():
+    """Beyond ordering: clocks and event counts agree too."""
+    for seed in (5, 6):
+        finals = set()
+        for scheduler, pooling in KERNEL_VARIANTS:
+            env = Environment(scheduler=scheduler, pool_events=pooling)
+            rng = random.Random(seed)
+
+            def burst():
+                for _ in range(200):
+                    yield env.timeout(rng.choice([0, 1, 1, 2, 7]))
+
+            env.process(burst())
+            env.run()
+            finals.add((env.now, env.event_count))
+        assert len(finals) == 1, f"final states diverged: {finals}"
+
+
+# -- full simulations --------------------------------------------------------
+
+
+def _sim_result(monkeypatch, scheduler, pooling, fastpath, failures=None):
+    monkeypatch.setenv("REPRO_DES_SCHEDULER", scheduler)
+    monkeypatch.setenv("REPRO_DES_POOL", "1" if pooling else "0")
+    monkeypatch.setenv("REPRO_SIM_FASTPATH", "1" if fastpath else "0")
+    fs = build_fileset(120, 15 * 1024, 12 * 1024, 0.9, seed=3, name="eq")
+    trace = generate_trace(fs, 1200, seed=4, name="eq")
+    sim = Simulation(
+        trace,
+        make_policy("l2s"),
+        ClusterConfig(nodes=4),
+        passes=2,
+        failures=failures,
+    )
+    return sim.run()
+
+
+@pytest.mark.parametrize("failures", [None, [(1, 300)]], ids=["healthy", "crash"])
+def test_simulation_identical_across_all_variants(monkeypatch, failures):
+    """SimResult equality across scheduler x pooling x fastpath (8 ways),
+    healthy and with a mid-run node crash."""
+    reference = None
+    for scheduler, pooling in KERNEL_VARIANTS:
+        for fastpath in (True, False):
+            r = _sim_result(monkeypatch, scheduler, pooling, fastpath, failures)
+            if reference is None:
+                reference = r
+            else:
+                assert r == reference, (
+                    f"scheduler={scheduler} pooling={pooling} "
+                    f"fastpath={fastpath} changed the simulation"
+                )
+
+
+@pytest.mark.parametrize("policy", ["traditional", "lard"])
+def test_other_policies_fastpath_equivalence(monkeypatch, policy):
+    fs = build_fileset(120, 15 * 1024, 12 * 1024, 0.9, seed=3, name="eq")
+    trace = generate_trace(fs, 1000, seed=4, name="eq")
+    results = []
+    for fastpath in ("1", "0"):
+        monkeypatch.setenv("REPRO_SIM_FASTPATH", fastpath)
+        sim = Simulation(
+            trace, make_policy(policy), ClusterConfig(nodes=4), passes=2
+        )
+        results.append(sim.run())
+    assert results[0] == results[1]
+
+
+# -- end-to-end report bytes -------------------------------------------------
+
+
+@pytest.mark.slow
+def test_reproduce_report_byte_identical_across_kernels(monkeypatch, tmp_path):
+    """`repro reproduce --workers 2` output must not depend on the kernel
+    variant (workers inherit the variant through the environment)."""
+    from repro.experiments.reproduce import write_report
+
+    texts = {}
+    for scheduler in ("heap", "calendar"):
+        monkeypatch.setenv("REPRO_DES_SCHEDULER", scheduler)
+        monkeypatch.setenv("REPRO_DES_POOL", "1" if scheduler == "heap" else "0")
+        out = tmp_path / f"report-{scheduler}.md"
+        write_report(
+            str(out),
+            num_requests=800,
+            traces=("calgary",),
+            node_counts=(2, 4),
+            workers=2,
+            timing_footer=False,
+        )
+        texts[scheduler] = out.read_bytes()
+    assert texts["heap"] == texts["calendar"]

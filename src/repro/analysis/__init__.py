@@ -1,0 +1,46 @@
+"""``repro.analysis`` — correctness tooling for the simulator.
+
+Two complementary halves:
+
+* :mod:`repro.analysis.simlint` — **simlint**, a repo-specific AST
+  linter that flags determinism hazards (unseeded RNGs, unordered-set
+  iteration feeding scheduling decisions, wall-clock reads in the
+  kernel, ``id()``-based ordering, mutable default arguments, swallowed
+  exceptions).  Run it as ``repro lint``.
+* :mod:`repro.des.sanitize` — the runtime DES sanitizer
+  (``Environment(sanitize=True)`` / ``REPRO_DES_SANITIZE=1``), re-exported
+  here for convenience: use-after-recycle poisoning, scheduler invariant
+  checks, double-trigger detection, and an end-of-run leak report.
+
+See ``docs/ANALYSIS.md`` for the rule catalog and rationale.
+"""
+
+from ..des.sanitize import (
+    DESSanitizer,
+    LeakReport,
+    SanitizerError,
+    Violation,
+    force_recycle,
+)
+from .simlint import (
+    RULES,
+    Finding,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from .simlint import main as lint_main
+
+__all__ = [
+    "RULES",
+    "Finding",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "lint_main",
+    "DESSanitizer",
+    "SanitizerError",
+    "LeakReport",
+    "Violation",
+    "force_recycle",
+]

@@ -1,0 +1,744 @@
+"""simlint — repo-specific determinism linter for the simulator codebase.
+
+The paper's results are reproducible only because every simulation run is
+deterministic for a fixed seed: byte-identical ``repro reproduce`` reports,
+exact ``throughput_rps`` equality in the bench regression gate, and the
+scheduler/fast-path equivalence suites all depend on it.  simlint is an
+AST-based static-analysis pass that catches the code patterns which break
+that guarantee *before* they reach a run:
+
+``REP001`` unseeded-global-rng
+    Calls to the module-level ``random`` / ``numpy.random`` API (global,
+    implicitly seeded state) in simulation code.  Use a seeded
+    ``random.Random(seed)`` / ``numpy.random.default_rng(seed)`` instance.
+``REP002`` unordered-iteration
+    Iteration over a ``set``/``frozenset`` (or ``dict.keys()`` views used
+    as an ordering source) feeding scheduling, dispatch, or server-set
+    decisions.  Set iteration order depends on insertion history and — for
+    str keys — the per-process hash seed.  Sort, or use an ordered
+    structure.
+``REP003`` wall-clock
+    Wall-clock reads (``time.time``, ``datetime.now``, ...) inside the
+    kernel/simulation packages.  Simulated code must read ``env.now``.
+``REP004`` id-ordering
+    ``id()``-based ordering or hashing.  CPython ids are allocation
+    addresses: they vary run to run and recycle, so any order derived from
+    them is nondeterministic.
+``REP005`` mutable-default
+    Mutable default arguments — shared across calls, a classic source of
+    state bleeding between otherwise independent runs.
+``REP006`` swallowed-exception
+    Bare ``except:`` or blanket ``except Exception: pass`` handlers.  In
+    event callbacks these silently eat generator/callback failures the
+    kernel relies on to surface broken runs.
+
+Suppression
+-----------
+Append ``# simlint: disable=REP002`` (comma-separate several rules, or
+omit the ``=`` part to disable every rule) to the flagged line.  The
+comment must sit on the same line the finding is reported at.
+
+Usage::
+
+    repro lint                      # lint src/ (the CI gate)
+    repro lint src tests            # explicit paths
+    repro lint --format json        # machine-readable output
+    repro lint --select REP001,REP004
+
+Exit status is 0 when no findings survive suppression, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["Finding", "RULES", "lint_source", "lint_file", "lint_paths", "main"]
+
+#: Rule id -> one-line description (the catalog; docs/ANALYSIS.md expands it).
+RULES: Dict[str, str] = {
+    "REP001": "unseeded-global-rng: module-level random/numpy.random call",
+    "REP002": "unordered-iteration: iterating a set (or dict.keys) where "
+    "order matters",
+    "REP003": "wall-clock: real-time read inside simulation code",
+    "REP004": "id-ordering: ordering or hashing derived from id()",
+    "REP005": "mutable-default: mutable default argument",
+    "REP006": "swallowed-exception: bare or blanket exception handler",
+}
+
+#: Package directories whose files count as "simulation code" (REP001).
+SIM_SCOPE = frozenset({"des", "sim", "servers", "cluster", "faults", "workload"})
+#: Package directories where wall-clock reads are forbidden (REP003).
+KERNEL_SCOPE = frozenset({"des", "sim", "servers", "cluster", "faults"})
+
+#: random-module attributes that are safe to call (seeded constructors and
+#: state plumbing, not draws from the global generator).
+_SAFE_RANDOM_ATTRS = frozenset({"Random", "SystemRandom", "getstate", "setstate"})
+#: numpy.random attributes that are safe (seeded-generator constructors).
+_SAFE_NP_RANDOM_ATTRS = frozenset(
+    {"default_rng", "Generator", "RandomState", "SeedSequence", "BitGenerator",
+     "PCG64", "Philox", "MT19937", "SFC64"}
+)
+#: Wall-clock functions on the time module.
+_TIME_ATTRS = frozenset(
+    {"time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+     "perf_counter_ns", "process_time", "process_time_ns", "localtime",
+     "gmtime"}
+)
+#: Zero/implicit-argument "what time is it" constructors on datetime/date.
+_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+#: Set-producing methods whose result is itself unordered.
+_SET_OP_METHODS = frozenset(
+    {"intersection", "union", "difference", "symmetric_difference"}
+)
+#: Callables for which a mutable result as a default argument is shared.
+_MUTABLE_FACTORIES = frozenset(
+    {"list", "dict", "set", "defaultdict", "OrderedDict", "Counter", "deque"}
+)
+
+_DISABLE_RE = re.compile(
+    r"#\s*simlint:\s*disable(?:\s*=\s*(?P<rules>[A-Z0-9,\s]+))?"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+def _scope_dirs(path: str) -> Set[str]:
+    """Path components used for rule scoping (package directory names)."""
+    return set(Path(path).parts)
+
+
+def _suppressions(source: str) -> Dict[int, Optional[Set[str]]]:
+    """Map line number -> suppressed rules (``None`` = all rules)."""
+    out: Dict[int, Optional[Set[str]]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _DISABLE_RE.search(line)
+        if not m:
+            continue
+        rules = m.group("rules")
+        if rules is None:
+            out[lineno] = None
+        else:
+            out[lineno] = {r.strip() for r in rules.split(",") if r.strip()}
+    return out
+
+
+class _SetInference(ast.NodeVisitor):
+    """First pass: collect names/attributes statically known to hold sets."""
+
+    def __init__(self) -> None:
+        self.set_names: Set[str] = set()
+        self.set_attrs: Set[str] = set()
+
+    @staticmethod
+    def _is_set_expr(node: Optional[ast.AST]) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in ("set", "frozenset")
+        return False
+
+    @staticmethod
+    def _is_set_annotation(node: Optional[ast.AST]) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in ("set", "frozenset", "Set", "FrozenSet")
+        if isinstance(node, ast.Subscript):
+            return _SetInference._is_set_annotation(node.value)
+        if isinstance(node, ast.Attribute):  # typing.Set[...]
+            return node.attr in ("Set", "FrozenSet")
+        return False
+
+    def _record_target(self, target: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            self.set_names.add(target.id)
+        elif isinstance(target, ast.Attribute):
+            self.set_attrs.add(target.attr)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._is_set_expr(node.value):
+            for target in node.targets:
+                self._record_target(target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if self._is_set_expr(node.value) or self._is_set_annotation(
+            node.annotation
+        ):
+            self._record_target(node.target)
+        self.generic_visit(node)
+
+    def visit_arg(self, node: ast.arg) -> None:
+        if self._is_set_annotation(node.annotation):
+            self.set_names.add(node.arg)
+        self.generic_visit(node)
+
+
+class _Checker(ast.NodeVisitor):
+    """Second pass: emit findings."""
+
+    def __init__(
+        self,
+        path: str,
+        sets: _SetInference,
+        active: Set[str],
+    ) -> None:
+        self.path = path
+        self.sets = sets
+        self.active = active
+        self.findings: List[Finding] = []
+        #: Local names bound to the random module (``import random [as r]``).
+        self._random_mods: Set[str] = set()
+        #: Local names bound to the numpy module (``import numpy as np``).
+        self._numpy_mods: Set[str] = set()
+        #: Local names bound to numpy.random itself.
+        self._np_random_mods: Set[str] = set()
+        #: Function names imported from random (``from random import choice``).
+        self._random_funcs: Set[str] = set()
+        #: Names bound to the time module.
+        self._time_mods: Set[str] = set()
+        #: Functions imported from time (``from time import time``).
+        self._time_funcs: Set[str] = set()
+        #: Names bound to datetime classes/module (datetime, date).
+        self._datetime_names: Set[str] = set()
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _emit(self, node: ast.AST, rule: str, message: str) -> None:
+        if rule not in self.active:
+            return
+        self.findings.append(
+            Finding(
+                path=self.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                rule=rule,
+                message=message,
+            )
+        )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            if alias.name == "random":
+                self._random_mods.add(bound)
+            elif alias.name in ("numpy", "numpy.random"):
+                if alias.name == "numpy.random" and alias.asname:
+                    self._np_random_mods.add(alias.asname)
+                else:
+                    self._numpy_mods.add(bound)
+            elif alias.name == "time":
+                self._time_mods.add(bound)
+            elif alias.name == "datetime":
+                self._datetime_names.add(bound)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            for alias in node.names:
+                if alias.name not in _SAFE_RANDOM_ATTRS:
+                    self._random_funcs.add(alias.asname or alias.name)
+        elif node.module == "numpy":
+            for alias in node.names:
+                if alias.name == "random":
+                    self._np_random_mods.add(alias.asname or alias.name)
+        elif node.module == "time":
+            for alias in node.names:
+                if alias.name in _TIME_ATTRS:
+                    self._time_funcs.add(alias.asname or alias.name)
+        elif node.module == "datetime":
+            for alias in node.names:
+                if alias.name in ("datetime", "date"):
+                    self._datetime_names.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    # -- REP001 / REP003: call-pattern rules -------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        # REP001 — module-level random API.
+        if isinstance(func, ast.Attribute):
+            value = func.value
+            if (
+                isinstance(value, ast.Name)
+                and value.id in self._random_mods
+                and func.attr not in _SAFE_RANDOM_ATTRS
+            ):
+                self._emit(
+                    node,
+                    "REP001",
+                    f"call to random.{func.attr}() uses the global RNG; "
+                    "use a seeded random.Random(seed) instance",
+                )
+            elif self._is_np_random(value) and (
+                func.attr not in _SAFE_NP_RANDOM_ATTRS
+            ):
+                self._emit(
+                    node,
+                    "REP001",
+                    f"call to numpy.random.{func.attr}() uses the global "
+                    "RNG; use numpy.random.default_rng(seed)",
+                )
+        elif isinstance(func, ast.Name) and func.id in self._random_funcs:
+            self._emit(
+                node,
+                "REP001",
+                f"call to {func.id}() drawn from the global random module; "
+                "use a seeded random.Random(seed) instance",
+            )
+
+        # REP003 — wall-clock reads.
+        self._check_wall_clock(node)
+
+        # REP004 — id()-keyed ordering/hashing.
+        self._check_id_ordering(node)
+
+        # REP002 — eager conversions of set-typed expressions.
+        if isinstance(func, ast.Name):
+            if func.id in ("list", "tuple", "enumerate", "iter") and node.args:
+                self._check_unordered(node.args[0], f"{func.id}() over")
+            elif func.id in ("min", "max") and node.args:
+                # With a key function, ties resolve by iteration order.
+                if any(kw.arg == "key" for kw in node.keywords):
+                    self._check_unordered(
+                        node.args[0], f"{func.id}(key=...) over"
+                    )
+        self.generic_visit(node)
+
+    def _is_np_random(self, value: ast.AST) -> bool:
+        """True for an expression denoting the numpy.random module."""
+        if isinstance(value, ast.Name):
+            return value.id in self._np_random_mods
+        return (
+            isinstance(value, ast.Attribute)
+            and value.attr == "random"
+            and isinstance(value.value, ast.Name)
+            and value.value.id in self._numpy_mods
+        )
+
+    def _check_wall_clock(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            value = func.value
+            if (
+                isinstance(value, ast.Name)
+                and value.id in self._time_mods
+                and func.attr in _TIME_ATTRS
+            ):
+                self._emit(
+                    node,
+                    "REP003",
+                    f"time.{func.attr}() reads the wall clock; simulation "
+                    "code must use env.now",
+                )
+                return
+            if func.attr in _DATETIME_ATTRS and not node.args:
+                root = value
+                while isinstance(root, ast.Attribute):
+                    root = root.value
+                if (
+                    isinstance(root, ast.Name)
+                    and root.id in self._datetime_names
+                ):
+                    self._emit(
+                        node,
+                        "REP003",
+                        f"{ast.unparse(func)}() reads the wall clock; "
+                        "simulation code must use env.now",
+                    )
+        elif isinstance(func, ast.Name) and func.id in self._time_funcs:
+            self._emit(
+                node,
+                "REP003",
+                f"{func.id}() reads the wall clock; simulation code must "
+                "use env.now",
+            )
+
+    # -- REP004 ------------------------------------------------------------
+
+    @staticmethod
+    def _contains_id_call(node: ast.AST) -> bool:
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Name)
+                and sub.func.id == "id"
+            ):
+                return True
+        return False
+
+    def _check_id_ordering(self, node: ast.Call) -> None:
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute) and func.attr == "sort":
+            name = "sort"
+        if name in ("sorted", "min", "max", "sort"):
+            for kw in node.keywords:
+                if kw.arg != "key":
+                    continue
+                if isinstance(kw.value, ast.Name) and kw.value.id == "id":
+                    self._emit(
+                        node,
+                        "REP004",
+                        f"{name}(key=id) orders by object address; ids vary "
+                        "between runs",
+                    )
+                elif isinstance(kw.value, ast.Lambda) and self._contains_id_call(
+                    kw.value.body
+                ):
+                    self._emit(
+                        node,
+                        "REP004",
+                        f"{name}() key derives from id(); ids vary between "
+                        "runs",
+                    )
+        elif name == "hash" and node.args and self._contains_id_call(
+            node.args[0]
+        ):
+            self._emit(
+                node,
+                "REP004",
+                "hash(id(...)) derives a hash from an object address; ids "
+                "vary between runs",
+            )
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        ordering = (ast.Lt, ast.LtE, ast.Gt, ast.GtE)
+        if any(isinstance(op, ordering) for op in node.ops):
+            operands = [node.left, *node.comparators]
+            if any(
+                isinstance(o, ast.Call)
+                and isinstance(o.func, ast.Name)
+                and o.func.id == "id"
+                for o in operands
+            ):
+                self._emit(
+                    node,
+                    "REP004",
+                    "comparison of id() values orders by object address; "
+                    "ids vary between runs",
+                )
+        self.generic_visit(node)
+
+    # -- REP002 ------------------------------------------------------------
+
+    def _is_set_typed(self, node: ast.AST) -> Optional[str]:
+        """A short description when ``node`` is statically set-typed."""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return "a set literal"
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+                return f"a {func.id}()"
+            if isinstance(func, ast.Attribute):
+                if func.attr == "keys":
+                    return "dict.keys()"
+                if func.attr in _SET_OP_METHODS:
+                    return f"a set .{func.attr}() result"
+        if isinstance(node, ast.Name) and node.id in self.sets.set_names:
+            return f"the set {node.id!r}"
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr in self.sets.set_attrs
+        ):
+            return f"the set attribute {node.attr!r}"
+        return None
+
+    def _check_unordered(self, iter_node: ast.AST, context: str) -> None:
+        desc = self._is_set_typed(iter_node)
+        if desc is not None:
+            self._emit(
+                iter_node,
+                "REP002",
+                f"{context} {desc}: iteration order is not deterministic "
+                "across runs; sort or use an ordered structure",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_unordered(node.iter, "for-loop over")
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_unordered(node.iter, "for-loop over")
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node) -> None:
+        for gen in node.generators:
+            self._check_unordered(gen.iter, "comprehension over")
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+    # -- REP005 ------------------------------------------------------------
+
+    @staticmethod
+    def _is_mutable_default(node: ast.AST) -> bool:
+        if isinstance(
+            node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+                   ast.SetComp)
+        ):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr
+                if isinstance(func, ast.Attribute)
+                else None
+            )
+            return name in _MUTABLE_FACTORIES
+        return False
+
+    def _check_defaults(self, node) -> None:
+        args = node.args
+        for default in [*args.defaults, *args.kw_defaults]:
+            if default is not None and self._is_mutable_default(default):
+                self._emit(
+                    default,
+                    "REP005",
+                    "mutable default argument is shared across calls; "
+                    "default to None and allocate inside the function",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    # -- REP006 ------------------------------------------------------------
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._emit(
+                node,
+                "REP006",
+                "bare except: catches and hides every failure (including "
+                "kernel Interrupts); name the exceptions",
+            )
+        elif self._is_blanket(node.type) and self._only_passes(node.body):
+            self._emit(
+                node,
+                "REP006",
+                "blanket exception handler swallows callback/generator "
+                "failures; name the exceptions or handle the error",
+            )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_blanket(node: ast.AST) -> bool:
+        names = []
+        if isinstance(node, ast.Name):
+            names = [node.id]
+        elif isinstance(node, ast.Tuple):
+            names = [e.id for e in node.elts if isinstance(e, ast.Name)]
+        return any(n in ("Exception", "BaseException") for n in names)
+
+    @staticmethod
+    def _only_passes(body: Sequence[ast.stmt]) -> bool:
+        return all(
+            isinstance(stmt, ast.Pass)
+            or (
+                isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+            )
+            for stmt in body
+        )
+
+
+def _active_rules(path: str, select: Optional[Set[str]]) -> Set[str]:
+    active = set(RULES) if select is None else set(select)
+    dirs = _scope_dirs(path)
+    if not dirs & SIM_SCOPE:
+        active.discard("REP001")
+    if not dirs & KERNEL_SCOPE:
+        active.discard("REP003")
+    return active
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    select: Optional[Set[str]] = None,
+) -> List[Finding]:
+    """Lint one source string; ``path`` drives rule scoping."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                rule="REP000",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    sets = _SetInference()
+    sets.visit(tree)
+    checker = _Checker(path, sets, _active_rules(path, select))
+    checker.visit(tree)
+    suppressed = _suppressions(source)
+    out = []
+    for finding in checker.findings:
+        rules = suppressed.get(finding.line, ())
+        if rules is None or finding.rule in rules:
+            continue
+        out.append(finding)
+    out.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return out
+
+
+def lint_file(path: str, select: Optional[Set[str]] = None) -> List[Finding]:
+    """Lint one file."""
+    source = Path(path).read_text(encoding="utf-8")
+    return lint_source(source, path=str(path), select=select)
+
+
+_EXCLUDED_DIRS = {"__pycache__", ".git", "build", "dist", ".venv"}
+
+
+def _python_files(paths: Iterable[str]) -> List[str]:
+    files: List[str] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_file():
+            files.append(str(p))
+        elif p.is_dir():
+            for sub in sorted(p.rglob("*.py")):
+                parts = set(sub.parts)
+                if parts & _EXCLUDED_DIRS or any(
+                    part.endswith(".egg-info") for part in sub.parts
+                ):
+                    continue
+                files.append(str(sub))
+    return files
+
+
+def lint_paths(
+    paths: Sequence[str], select: Optional[Set[str]] = None
+) -> Tuple[List[Finding], int]:
+    """Lint files/directories; returns (findings, files_checked)."""
+    files = _python_files(paths)
+    findings: List[Finding] = []
+    for f in files:
+        findings.extend(lint_file(f, select=select))
+    return findings, len(files)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="determinism linter for the simulator codebase",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=None,
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="RULES",
+        help="comma-separated rule subset, e.g. REP001,REP004",
+    )
+    parser.add_argument(
+        "--statistics", action="store_true",
+        help="print a per-rule finding count summary",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, desc in sorted(RULES.items()):
+            print(f"{rule}  {desc}")
+        return 0
+
+    select: Optional[Set[str]] = None
+    if args.select:
+        select = {r.strip() for r in args.select.split(",") if r.strip()}
+        unknown = select - set(RULES)
+        if unknown:
+            print(
+                f"unknown rules: {', '.join(sorted(unknown))}",
+                file=sys.stderr,
+            )
+            return 2
+
+    paths = args.paths or (["src"] if Path("src").is_dir() else ["."])
+    findings, files_checked = lint_paths(paths, select=select)
+
+    if args.fmt == "json":
+        counts: Dict[str, int] = {}
+        for f in findings:
+            counts[f.rule] = counts.get(f.rule, 0) + 1
+        print(
+            json.dumps(
+                {
+                    "files_checked": files_checked,
+                    "findings": [f.as_dict() for f in findings],
+                    "counts": counts,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        for f in findings:
+            print(f.render())
+        if args.statistics:
+            counts = {}
+            for f in findings:
+                counts[f.rule] = counts.get(f.rule, 0) + 1
+            for rule in sorted(counts):
+                print(f"{rule}: {counts[rule]}")
+        summary = (
+            f"{len(findings)} finding{'s' if len(findings) != 1 else ''} "
+            f"in {files_checked} files"
+        )
+        print(("FAIL: " if findings else "ok: ") + summary)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

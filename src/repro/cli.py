@@ -28,6 +28,11 @@ Commands
     DES kernel performance harness: events/s and wall-clock on the
     canonical 16-node scenarios, with an optional regression check
     against a committed baseline (see docs/KERNEL.md).
+``repro lint [PATH ...] [--format {text,json}] [--select RULES]``
+    simlint, the determinism linter: AST checks for unseeded RNGs,
+    unordered-set iteration in scheduling code, wall-clock reads in the
+    kernel, and friends (see docs/ANALYSIS.md).  Exits nonzero on
+    findings.
 """
 
 from __future__ import annotations
@@ -70,6 +75,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--requests", type=int, default=None)
     p_sim.add_argument("--memory", type=int, default=32, help="MB per node")
     p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument(
+        "--sanitize", action="store_true",
+        help="run under the DES sanitizer and print its leak report",
+    )
 
     p_fig = sub.add_parser("figure", help="reproduce figure 7, 8, 9 or 10")
     p_fig.add_argument("number", type=int, choices=sorted(FIGURE_TRACES))
@@ -192,11 +201,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="parallel worker processes (default: REPRO_BENCH_WORKERS or 1)",
     )
 
-    # `repro bench` owns its own argparse (it is also runnable as
-    # `python -m repro.bench`); declared here so it shows in --help.
+    # `repro bench` and `repro lint` own their own argparse (both are
+    # also runnable as `python -m repro.<module>`); declared here so
+    # they show in --help.
     sub.add_parser(
         "bench",
         help="DES kernel performance harness (see `repro bench --help`)",
+        add_help=False,
+    )
+    sub.add_parser(
+        "lint",
+        help="determinism linter (see `repro lint --help`)",
         add_help=False,
     )
     return parser
@@ -243,10 +258,25 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     bound = model_bound_for_trace(
         trace, nodes=args.nodes, cache_bytes=args.memory * MB
     )
-    result = run_simulation(
-        trace, args.policy, nodes=args.nodes, cache_bytes=args.memory * MB
-    )
-    print(result.summary_row())
+    if args.sanitize:
+        from .cluster import ClusterConfig
+        from .servers import make_policy
+        from .sim.driver import Simulation
+
+        config = ClusterConfig(
+            nodes=args.nodes, cache_bytes=args.memory * MB
+        )
+        sim = Simulation(
+            trace, make_policy(args.policy), config, passes=2, sanitize=True
+        )
+        result = sim.run()
+        print(result.summary_row())
+        print(sim.env.sanitizer.finish().render())
+    else:
+        result = run_simulation(
+            trace, args.policy, nodes=args.nodes, cache_bytes=args.memory * MB
+        )
+        print(result.summary_row())
     print(
         f"model bound: {bound.throughput:,.0f} req/s "
         f"({result.throughput_rps / bound.throughput:.0%} achieved; "
@@ -437,6 +467,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .bench import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "lint":
+        # Likewise for simlint.
+        from .analysis.simlint import main as lint_main
+
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.command == "tables":
         return _cmd_tables()

@@ -33,6 +33,7 @@ from .core import (
 )
 from .events import AllOf, AnyOf, Condition, ConditionValue
 from .monitor import RateMeter, Tally, TimeWeightedValue
+from .sanitize import DESSanitizer, LeakReport, SanitizerError, Violation
 from .resources import (
     Container,
     PriorityRequest,
@@ -66,4 +67,8 @@ __all__ = [
     "TimeWeightedValue",
     "Tally",
     "RateMeter",
+    "DESSanitizer",
+    "SanitizerError",
+    "LeakReport",
+    "Violation",
 ]

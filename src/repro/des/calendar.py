@@ -54,6 +54,17 @@ class CalendarQueue:
     def __bool__(self) -> bool:
         return self._size > 0
 
+    def __iter__(self):
+        """Yield every queued item in sorted order, without consuming.
+
+        Gives the calendar queue the same inspectability as the heap
+        (a plain iterable list) — the sanitizer's tests and leak-report
+        cross-checks walk pending items through this.
+        """
+        return iter(sorted(
+            item for bucket in self._buckets for item in bucket
+        ))
+
     def _set_position(self, t: float) -> None:
         """Point the dequeue scan at the bucket whose window contains ``t``."""
         day = int(t / self._width)

@@ -26,6 +26,15 @@ events per run, so this module is written for speed as much as clarity
 * :meth:`Environment.call_later` / :meth:`Event.succeed_at` fast paths
   so resources and callback chains can schedule completions without
   allocating intermediate events or generator frames.
+
+All of those fast paths are risky enough that the kernel carries an
+optional runtime sanitizer (``Environment(sanitize=True)`` or
+``REPRO_DES_SANITIZE=1``): every scheduling entry point and every pop is
+then routed through :mod:`repro.des.sanitize`'s invariant checks
+(use-after-recycle poisoning, time monotonicity, tie-break order, double
+triggers, end-of-run leak accounting).  When the sanitizer is off the
+hooks reduce to a single predictable-branch ``None`` check per entry
+point, which the bench regression gate shows is free.
 """
 
 from __future__ import annotations
@@ -33,7 +42,10 @@ from __future__ import annotations
 import os
 from heapq import heappop, heappush
 from math import inf
-from typing import Any, Callable, Generator, Iterable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from .events import Condition
 
 try:
     from sys import getrefcount as _refcount
@@ -155,6 +167,8 @@ class Event:
         self._value: Any = PENDING
         self._ok: bool = True
         self._defused: bool = False
+        if env._san is not None:
+            env._san.on_create(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = (
@@ -462,6 +476,13 @@ class Environment:
     pool_events:
         Enable the Timeout/callback-event free lists.  ``None`` consults
         ``REPRO_DES_POOL`` (default on; set ``0`` to disable).
+    sanitize:
+        Route every scheduling entry point and pop through the runtime
+        sanitizer (:mod:`repro.des.sanitize`): use-after-recycle
+        poisoning, monotonicity/tie-break invariants, double-trigger
+        detection, leak accounting.  ``None`` consults
+        ``REPRO_DES_SANITIZE`` (default off).  Behaviour (results, event
+        order) is identical either way; sanitized runs are slower.
     """
 
     __slots__ = (
@@ -473,6 +494,7 @@ class Environment:
         "_timeout_pool",
         "_cb_pool",
         "_scheduler",
+        "_san",
     )
 
     def __init__(
@@ -480,8 +502,17 @@ class Environment:
         initial_time: float = 0.0,
         scheduler: Optional[str] = None,
         pool_events: Optional[bool] = None,
+        sanitize: Optional[bool] = None,
     ):
         self._now = float(initial_time)
+        if sanitize is None:
+            sanitize = os.environ.get("REPRO_DES_SANITIZE", "0") != "0"
+        if sanitize:
+            from .sanitize import DESSanitizer
+
+            self._san = DESSanitizer(self)
+        else:
+            self._san = None
         if scheduler is None:
             scheduler = os.environ.get("REPRO_DES_SCHEDULER", DEFAULT_SCHEDULER)
         if scheduler not in SCHEDULERS:
@@ -525,6 +556,16 @@ class Environment:
         return self._timeout_pool is not None
 
     @property
+    def sanitizer(self):
+        """The :class:`~repro.des.sanitize.DESSanitizer` (None when off)."""
+        return self._san
+
+    @property
+    def sanitized(self) -> bool:
+        """True when the runtime sanitizer is active."""
+        return self._san is not None
+
+    @property
     def event_count(self) -> int:
         """Total events scheduled so far (the benchmark work metric)."""
         return self._eid
@@ -549,6 +590,8 @@ class Environment:
             if delay < 0:
                 raise ValueError(f"negative delay {delay}")
             t = pool.pop()
+            if self._san is not None:
+                self._san.on_reuse(t)
             t.callbacks = []
             t._value = value
             t._ok = True
@@ -577,6 +620,8 @@ class Environment:
         pool = self._cb_pool
         if pool:
             ev = pool.pop()
+            if self._san is not None:
+                self._san.on_reuse(ev)
             ev._value = value
             ev._ok = True
             ev._defused = False
@@ -585,6 +630,8 @@ class Environment:
             ev._value = value
         ev.callbacks = [fn]
         # Inlined _schedule (this is the hottest scheduling entry point).
+        if self._san is not None:
+            self._san.on_schedule(ev, self._now + delay)
         eid = self._eid = self._eid + 1
         q = self._queue
         if q is not None:
@@ -626,6 +673,8 @@ class Environment:
     # -- scheduling ---------------------------------------------------------
 
     def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
+        if self._san is not None:
+            self._san.on_schedule(event, self._now + delay)
         eid = self._eid = self._eid + 1
         q = self._queue
         if q is not None:
@@ -646,14 +695,18 @@ class Environment:
         q = self._queue
         if q is not None:
             try:
-                self._now, _, _, event = heappop(q)
+                t, priority, eid, event = heappop(q)
             except IndexError:
                 raise EmptySchedule() from None
         else:
             try:
-                self._now, _, _, event = self._cal.popmin()
+                t, priority, eid, event = self._cal.popmin()
             except IndexError:
                 raise EmptySchedule() from None
+        san = self._san
+        if san is not None:
+            san.on_pop(t, priority, eid, event, self._now)
+        self._now = t
 
         callbacks = event.callbacks
         event.callbacks = None
@@ -666,21 +719,41 @@ class Environment:
 
         # Free-list recycling.  An event is recyclable only when nothing
         # outside this frame still references it: refcount 2 = the `event`
-        # local plus getrefcount's argument.  A generator that kept the
-        # Timeout it yielded, a condition holding its constituents, or a
-        # caller retaining a call_later handle all raise the count and
-        # (safely) exempt that object from recycling.
+        # local plus getrefcount's argument (3 when the sanitizer's record
+        # holds its extra reference).  A generator that kept the Timeout
+        # it yielded, a condition holding its constituents, or a caller
+        # retaining a call_later handle all raise the count and (safely)
+        # exempt that object from recycling.
+        recyclable = 2 if san is None else 3
         cls = event.__class__
         if cls is Timeout:
             pool = self._timeout_pool
-            if pool is not None and len(pool) < _POOL_MAX and _refcount(event) == 2:
+            if (
+                pool is not None
+                and len(pool) < _POOL_MAX
+                and _refcount(event) == recyclable
+            ):
                 event._value = PENDING  # poison stale reads
                 pool.append(event)
+                if san is not None:
+                    san.on_recycle(event)
+            elif san is not None:
+                san.on_processed(event)
         elif cls is _Callback:
             pool = self._cb_pool
-            if pool is not None and len(pool) < _POOL_MAX and _refcount(event) == 2:
+            if (
+                pool is not None
+                and len(pool) < _POOL_MAX
+                and _refcount(event) == recyclable
+            ):
                 event._value = PENDING
                 pool.append(event)
+                if san is not None:
+                    san.on_recycle(event)
+            elif san is not None:
+                san.on_processed(event)
+        elif san is not None:
+            san.on_processed(event)
 
     def run(self, until: Any = None) -> Any:
         """Run the simulation.
@@ -726,7 +799,15 @@ class Environment:
                 return None
 
         q = self._queue
-        if q is not None:
+        if self._san is not None:
+            # Sanitized: every event must flow through the fully-checked
+            # step() path, so the inlined loop below is skipped.
+            step = self.step
+            while True:
+                if self.peek() >= stop_at:
+                    break
+                step()
+        elif q is not None:
             # The heap main loop inlines step(): at millions of events per
             # run the per-event call overhead is measurable.  Keep the two
             # bodies in sync (step() remains the single-event API).

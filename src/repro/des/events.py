@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterable, List
 
-from .core import Event, Environment, NORMAL, PENDING
+from .core import Event, Environment, PENDING
 
 __all__ = ["Condition", "AllOf", "AnyOf", "ConditionValue"]
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import itertools
 from collections import deque
-from typing import Any, Deque, List, Optional
+from typing import Deque, List, Optional
 
 from .core import Environment, Event, PENDING
 

@@ -54,7 +54,7 @@ def render_series(
 
     ``series`` maps a name to a sequence aligned with ``x_values``.
     """
-    headers = [x_label] + list(series.keys())
+    headers = [x_label] + list(series)
     rows = []
     for i, x in enumerate(x_values):
         rows.append([x] + [series[name][i] for name in series])

@@ -54,6 +54,7 @@ class Simulation:
         faults: Optional[FaultSchedule] = None,
         retry: Optional[RetryPolicy] = None,
         timeline_interval_s: Optional[float] = None,
+        sanitize: Optional[bool] = None,
     ):
         if len(trace) == 0:
             raise ValueError("trace is empty")
@@ -81,7 +82,7 @@ class Simulation:
             prewarm_local_caches = policy.name in ("traditional", "round-robin")
         self.prewarm_local_caches = prewarm_local_caches
 
-        self.env = Environment()
+        self.env = Environment(sanitize=sanitize)
         self.cluster = Cluster(self.env, config)
         policy.bind(self.cluster)
 

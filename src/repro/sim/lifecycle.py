@@ -198,6 +198,7 @@ class _FastRequest:
         "opened",
         "misses_before",
         "_req",
+        "_san_tok",
     )
 
     def __init__(
@@ -223,6 +224,12 @@ class _FastRequest:
         self.initial: Optional[int] = None
         self.opened = False
         self._req = None
+        # Sanitized runs track each chain as one in-flight operation so
+        # a stalled request (no pending event to leak) is still reported.
+        san = self.env._san
+        self._san_tok = None if san is None else san.op_begin(
+            "fast-request", f"request #{index}, file {file_id}"
+        )
         # The urgent zero-delay kick mirrors the Initialize event that
         # starts a generator process, keeping both paths' first actions
         # at the same point in the event order.
@@ -239,6 +246,9 @@ class _FastRequest:
         return node.failed or node.incarnation != self.service_inc
 
     def _abort(self) -> None:
+        if self._san_tok is not None:
+            self.env._san.op_end(self._san_tok)
+            self._san_tok = None
         if self.initial is not None:
             self.policy.on_request_aborted(self.initial, self.opened)
         if self.on_failed is None:
@@ -400,6 +410,9 @@ class _FastRequest:
     def _route_out_done(self, _e) -> None:
         self.cluster.net.router.free(self._req)
         self._close_connection()
+        if self._san_tok is not None:
+            self.env._san.op_end(self._san_tok)
+            self._san_tok = None
         if self.on_done is not None:
             was_miss = self.service_node.cache.misses > self.misses_before
             self.on_done(self.index, self.start, self.decision.forwarded, was_miss)

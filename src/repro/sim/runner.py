@@ -34,6 +34,7 @@ def run_simulation(
     passes: int = 2,
     config: Optional[ClusterConfig] = None,
     seed: int = 0,
+    sanitize: Optional[bool] = None,
     **policy_kwargs,
 ) -> SimResult:
     """Simulate one server design on one workload at saturation.
@@ -56,6 +57,11 @@ def run_simulation(
     config:
         Full :class:`~repro.cluster.ClusterConfig` override; ``nodes`` and
         ``cache_bytes`` are ignored when given.
+    sanitize:
+        Run under the DES sanitizer (see :mod:`repro.des.sanitize`).
+        ``None`` defers to the ``REPRO_DES_SANITIZE`` environment
+        variable.  Results are identical either way; sanitized runs are
+        a few times slower.
     """
     if isinstance(trace, str):
         trace = synthesize(trace, num_requests=num_requests, seed=seed)
@@ -66,7 +72,12 @@ def run_simulation(
     if config is None:
         config = ClusterConfig(nodes=nodes, cache_bytes=cache_bytes)
     sim = Simulation(
-        trace, policy, config, warmup_fraction=warmup_fraction, passes=passes
+        trace,
+        policy,
+        config,
+        warmup_fraction=warmup_fraction,
+        passes=passes,
+        sanitize=sanitize,
     )
     return sim.run()
 

@@ -89,7 +89,7 @@ def generate_trace(
         for k in range(num_requests):
             fid = int(out[k])
             if take_recent[k] and recent:
-                keys = list(recent.keys())
+                keys = list(recent)
                 # Bias towards the top of the stack (most recent first).
                 idx = int(len(keys) * stack_pick[k] ** 2)
                 fid = keys[len(keys) - 1 - min(idx, len(keys) - 1)]

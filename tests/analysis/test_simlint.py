@@ -1,0 +1,263 @@
+"""simlint fixture tests: one positive and one negative per rule, the
+suppression syntax, rule scoping by path, and the CLI surface.
+
+The linting entry point is :func:`repro.analysis.lint_source`; ``path``
+controls which rules are active (REP001 only fires in simulation
+packages, REP003 only in kernel packages).
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import RULES, lint_paths, lint_source
+from repro.analysis.simlint import main as lint_main
+
+SIM_PATH = "src/repro/sim/fixture.py"
+KERNEL_PATH = "src/repro/des/fixture.py"
+NEUTRAL_PATH = "tools/fixture.py"
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+# -- REP001: unseeded global RNG ------------------------------------------
+
+
+def test_rep001_flags_global_random_module():
+    src = "import random\nx = random.random()\n"
+    assert rules_of(lint_source(src, SIM_PATH)) == ["REP001"]
+
+
+def test_rep001_flags_from_import_draws():
+    src = "from random import choice\nx = choice([1, 2])\n"
+    assert rules_of(lint_source(src, SIM_PATH)) == ["REP001"]
+
+
+def test_rep001_flags_numpy_global_rng():
+    src = "import numpy as np\nx = np.random.rand(3)\n"
+    assert rules_of(lint_source(src, SIM_PATH)) == ["REP001"]
+
+
+def test_rep001_allows_seeded_instances():
+    src = (
+        "import random\nimport numpy as np\n"
+        "rng = random.Random(42)\nx = rng.random()\n"
+        "g = np.random.default_rng(42)\ny = g.normal()\n"
+    )
+    assert lint_source(src, SIM_PATH) == []
+
+
+def test_rep001_scoped_to_simulation_packages():
+    src = "import random\nx = random.random()\n"
+    assert lint_source(src, NEUTRAL_PATH) == []
+
+
+# -- REP002: unordered iteration ------------------------------------------
+
+
+def test_rep002_flags_for_loop_over_set():
+    src = "s = {1, 2, 3}\nfor x in s:\n    print(x)\n"
+    assert rules_of(lint_source(src, NEUTRAL_PATH)) == ["REP002"]
+
+
+def test_rep002_flags_list_over_dict_keys():
+    src = "d = {}\nxs = list(d.keys())\n"
+    assert rules_of(lint_source(src, NEUTRAL_PATH)) == ["REP002"]
+
+
+def test_rep002_flags_comprehension_and_min_key():
+    src = (
+        "s = set()\n"
+        "xs = [x for x in s]\n"
+        "m = min(s, key=lambda x: x)\n"
+    )
+    assert rules_of(lint_source(src, NEUTRAL_PATH)) == ["REP002", "REP002"]
+
+
+def test_rep002_allows_sorted_sets_and_ordered_structures():
+    src = (
+        "s = {1, 2, 3}\n"
+        "for x in sorted(s):\n    print(x)\n"
+        "d = {}\n"
+        "for k in d:\n    print(k)\n"
+        "xs = list(d)\n"
+        "m = min(s)\n"  # plain min of a set is order-independent
+    )
+    assert lint_source(src, NEUTRAL_PATH) == []
+
+
+# -- REP003: wall-clock reads ---------------------------------------------
+
+
+def test_rep003_flags_time_time_in_kernel():
+    src = "import time\nt = time.time()\n"
+    assert rules_of(lint_source(src, KERNEL_PATH)) == ["REP003"]
+
+
+def test_rep003_flags_datetime_now_in_kernel():
+    src = "from datetime import datetime\nt = datetime.now()\n"
+    assert rules_of(lint_source(src, KERNEL_PATH)) == ["REP003"]
+
+
+def test_rep003_allows_wall_clock_outside_kernel():
+    # The workload package may timestamp artifacts; only the kernel and
+    # the simulation layers are forbidden the wall clock.
+    src = "import time\nt = time.time()\n"
+    assert lint_source(src, "src/repro/workload/fixture.py") == []
+
+
+def test_rep003_allows_time_module_constants():
+    src = "import time\nz = time.struct_time\n"
+    assert lint_source(src, KERNEL_PATH) == []
+
+
+# -- REP004: id()-based ordering ------------------------------------------
+
+
+def test_rep004_flags_sort_key_id():
+    src = "xs = []\nxs.sort(key=id)\n"
+    assert rules_of(lint_source(src, NEUTRAL_PATH)) == ["REP004"]
+
+
+def test_rep004_flags_id_comparison_and_lambda_key():
+    src = (
+        "a, b, xs = object(), object(), []\n"
+        "flag = id(a) < id(b)\n"
+        "ys = sorted(xs, key=lambda o: id(o))\n"
+    )
+    assert rules_of(lint_source(src, NEUTRAL_PATH)) == ["REP004", "REP004"]
+
+
+def test_rep004_allows_id_equality_and_plain_keys():
+    src = (
+        "a, b, xs = object(), object(), []\n"
+        "same = id(a) == id(b)\n"  # identity check, not an ordering
+        "ys = sorted(xs, key=len)\n"
+    )
+    assert lint_source(src, NEUTRAL_PATH) == []
+
+
+# -- REP005: mutable defaults ---------------------------------------------
+
+
+def test_rep005_flags_mutable_defaults():
+    src = "def f(x=[]):\n    return x\n\ndef g(y=dict()):\n    return y\n"
+    assert rules_of(lint_source(src, NEUTRAL_PATH)) == ["REP005", "REP005"]
+
+
+def test_rep005_allows_none_and_immutable_defaults():
+    src = "def f(x=None, y=(), z=0):\n    return x, y, z\n"
+    assert lint_source(src, NEUTRAL_PATH) == []
+
+
+# -- REP006: swallowed exceptions -----------------------------------------
+
+
+def test_rep006_flags_bare_except():
+    src = "try:\n    pass\nexcept:\n    pass\n"
+    assert rules_of(lint_source(src, NEUTRAL_PATH)) == ["REP006"]
+
+
+def test_rep006_flags_blanket_pass_handler():
+    src = "try:\n    pass\nexcept Exception:\n    pass\n"
+    assert rules_of(lint_source(src, NEUTRAL_PATH)) == ["REP006"]
+
+
+def test_rep006_allows_named_and_handled_exceptions():
+    src = (
+        "try:\n    pass\nexcept ValueError:\n    pass\n"
+        "try:\n    pass\nexcept Exception:\n    raise\n"
+    )
+    assert lint_source(src, NEUTRAL_PATH) == []
+
+
+# -- suppression -----------------------------------------------------------
+
+
+def test_suppression_by_rule():
+    src = "s = {1}\nfor x in s:  # simlint: disable=REP002\n    print(x)\n"
+    assert lint_source(src, NEUTRAL_PATH) == []
+
+
+def test_suppression_blanket():
+    src = "s = {1}\nfor x in s:  # simlint: disable\n    print(x)\n"
+    assert lint_source(src, NEUTRAL_PATH) == []
+
+
+def test_suppression_of_other_rule_does_not_apply():
+    src = "s = {1}\nfor x in s:  # simlint: disable=REP001\n    print(x)\n"
+    assert rules_of(lint_source(src, NEUTRAL_PATH)) == ["REP002"]
+
+
+# -- select / syntax errors / sorting --------------------------------------
+
+
+def test_select_restricts_rules():
+    src = "def f(x=[]):\n    s = {1}\n    return [y for y in s]\n"
+    assert rules_of(lint_source(src, NEUTRAL_PATH, select={"REP005"})) == [
+        "REP005"
+    ]
+
+
+def test_syntax_error_reported_as_rep000():
+    findings = lint_source("def f(:\n", NEUTRAL_PATH)
+    assert [f.rule for f in findings] == ["REP000"]
+
+
+def test_findings_sorted_by_location():
+    src = "def f(x=[]):\n    return x\n\ns = {1}\nfor y in s:\n    print(y)\n"
+    findings = lint_source(src, NEUTRAL_PATH)
+    assert [f.line for f in findings] == sorted(f.line for f in findings)
+
+
+# -- the repo itself + CLI -------------------------------------------------
+
+
+def test_repo_src_is_lint_clean():
+    """The CI gate: simlint has no findings on the shipped sources."""
+    findings, files = lint_paths(["src"])
+    assert findings == []
+    assert files > 40
+
+
+def test_cli_exit_codes_and_json(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("s = {1}\nfor x in s:\n    pass\n")
+    good = tmp_path / "good.py"
+    good.write_text("x = 1\n")
+
+    assert lint_main([str(good)]) == 0
+    capsys.readouterr()
+
+    assert lint_main([str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "REP002" in out and "FAIL" in out
+
+    assert lint_main([str(bad), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["counts"] == {"REP002": 1}
+    assert payload["files_checked"] == 1
+    assert payload["findings"][0]["rule"] == "REP002"
+
+
+def test_cli_list_rules_and_unknown_select(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in RULES:
+        assert rule in out
+    assert lint_main(["--select", "REP999"]) == 2
+
+
+def test_cli_statistics(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("s = {1}\nfor x in s:\n    pass\nxs = list(s)\n")
+    assert lint_main([str(bad), "--statistics"]) == 1
+    out = capsys.readouterr().out
+    assert "REP002: 2" in out
+
+
+@pytest.mark.parametrize("rule", sorted(RULES))
+def test_every_rule_has_a_catalog_entry(rule):
+    assert RULES[rule]

@@ -31,6 +31,13 @@ that guarantee *before* they reach a run:
     Bare ``except:`` or blanket ``except Exception: pass`` handlers.  In
     event callbacks these silently eat generator/callback failures the
     kernel relies on to surface broken runs.
+``REP007`` unseeded-instance-rng
+    Zero-argument RNG constructors (``random.Random()``,
+    ``numpy.random.default_rng()``, ``numpy.random.RandomState()``) inside
+    the fault-injection packages (``repro.faults``, ``repro.netfaults``).
+    An instance seeded from OS entropy makes every fault/loss schedule
+    differ run to run; pass an explicit seed so injected failures are
+    replayable.
 
 Suppression
 -----------
@@ -70,12 +77,20 @@ RULES: Dict[str, str] = {
     "REP004": "id-ordering: ordering or hashing derived from id()",
     "REP005": "mutable-default: mutable default argument",
     "REP006": "swallowed-exception: bare or blanket exception handler",
+    "REP007": "unseeded-instance-rng: zero-argument RNG constructor in "
+    "fault-injection code",
 }
 
 #: Package directories whose files count as "simulation code" (REP001).
-SIM_SCOPE = frozenset({"des", "sim", "servers", "cluster", "faults", "workload"})
+SIM_SCOPE = frozenset(
+    {"des", "sim", "servers", "cluster", "faults", "netfaults", "workload"}
+)
 #: Package directories where wall-clock reads are forbidden (REP003).
-KERNEL_SCOPE = frozenset({"des", "sim", "servers", "cluster", "faults"})
+KERNEL_SCOPE = frozenset({"des", "sim", "servers", "cluster", "faults",
+                          "netfaults"})
+#: Fault-injection packages where unseeded RNG instances are forbidden
+#: (REP007): injected failures must replay exactly for a fixed seed.
+FAULT_SCOPE = frozenset({"faults", "netfaults"})
 
 #: random-module attributes that are safe to call (seeded constructors and
 #: state plumbing, not draws from the global generator).
@@ -97,6 +112,9 @@ _DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
 _SET_OP_METHODS = frozenset(
     {"intersection", "union", "difference", "symmetric_difference"}
 )
+#: numpy.random constructors that take a seed as their first argument —
+#: called with zero arguments they seed from OS entropy (REP007).
+_SEEDABLE_NP_CTORS = frozenset({"default_rng", "RandomState"})
 #: Callables for which a mutable result as a default argument is shared.
 _MUTABLE_FACTORIES = frozenset(
     {"list", "dict", "set", "defaultdict", "OrderedDict", "Counter", "deque"}
@@ -227,6 +245,10 @@ class _Checker(ast.NodeVisitor):
         self._time_funcs: Set[str] = set()
         #: Names bound to datetime classes/module (datetime, date).
         self._datetime_names: Set[str] = set()
+        #: Names bound to seedable RNG constructors (``from random import
+        #: Random``, ``from numpy.random import default_rng``) — REP007
+        #: flags zero-argument calls to these in fault-injection code.
+        self._rng_ctors: Set[str] = set()
 
     # -- bookkeeping -------------------------------------------------------
 
@@ -262,12 +284,18 @@ class _Checker(ast.NodeVisitor):
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
         if node.module == "random":
             for alias in node.names:
-                if alias.name not in _SAFE_RANDOM_ATTRS:
+                if alias.name == "Random":
+                    self._rng_ctors.add(alias.asname or alias.name)
+                elif alias.name not in _SAFE_RANDOM_ATTRS:
                     self._random_funcs.add(alias.asname or alias.name)
         elif node.module == "numpy":
             for alias in node.names:
                 if alias.name == "random":
                     self._np_random_mods.add(alias.asname or alias.name)
+        elif node.module == "numpy.random":
+            for alias in node.names:
+                if alias.name in _SEEDABLE_NP_CTORS:
+                    self._rng_ctors.add(alias.asname or alias.name)
         elif node.module == "time":
             for alias in node.names:
                 if alias.name in _TIME_ATTRS:
@@ -313,6 +341,9 @@ class _Checker(ast.NodeVisitor):
                 "use a seeded random.Random(seed) instance",
             )
 
+        # REP007 — zero-argument seedable RNG constructors.
+        self._check_unseeded_ctor(node)
+
         # REP003 — wall-clock reads.
         self._check_wall_clock(node)
 
@@ -341,6 +372,35 @@ class _Checker(ast.NodeVisitor):
             and isinstance(value.value, ast.Name)
             and value.value.id in self._numpy_mods
         )
+
+    def _check_unseeded_ctor(self, node: ast.Call) -> None:
+        """REP007: a seedable RNG constructor called with no seed."""
+        if node.args or node.keywords:
+            return
+        func = node.func
+        name = None
+        if isinstance(func, ast.Attribute):
+            value = func.value
+            if (
+                isinstance(value, ast.Name)
+                and value.id in self._random_mods
+                and func.attr == "Random"
+            ):
+                name = "random.Random"
+            elif self._is_np_random(value) and (
+                func.attr in _SEEDABLE_NP_CTORS
+            ):
+                name = f"numpy.random.{func.attr}"
+        elif isinstance(func, ast.Name) and func.id in self._rng_ctors:
+            name = func.id
+        if name is not None:
+            self._emit(
+                node,
+                "REP007",
+                f"{name}() with no seed draws entropy from the OS; "
+                "fault-injection schedules must replay for a fixed seed — "
+                "pass an explicit seed",
+            )
 
     def _check_wall_clock(self, node: ast.Call) -> None:
         func = node.func
@@ -591,6 +651,8 @@ def _active_rules(path: str, select: Optional[Set[str]]) -> Set[str]:
         active.discard("REP001")
     if not dirs & KERNEL_SCOPE:
         active.discard("REP003")
+    if not dirs & FAULT_SCOPE:
+        active.discard("REP007")
     return active
 
 

@@ -13,6 +13,11 @@ Commands
 ``repro faults TRACE POLICY [--schedule SPEC | --mtbf S --mttr S | --crash-node I]``
     Fault-injection run: crash/recover/slow nodes on a schedule, retry
     aborted requests, and print the availability timeline.
+``repro netfaults TRACE [--policies P1,P2] [--loss R] [--schedule SPEC]``
+    Unreliable-interconnect run: seeded message loss / duplication /
+    delay and timed link-down or partition schedules, with the
+    message-reliability protocol on, reported as a deterministic
+    policy-comparison table (``--sweep`` runs the full A3 loss sweep).
 ``repro bound TRACE [--nodes N] [--memory MB]``
     The analytic locality-conscious bound for a trace.
 ``repro analyze TRACE [--requests K] [--memories 8,32,128]``
@@ -151,6 +156,59 @@ def build_parser() -> argparse.ArgumentParser:
     p_flt.add_argument(
         "--csv", default=None, metavar="PATH",
         help="also write the raw timeline samples as CSV",
+    )
+
+    p_net = sub.add_parser(
+        "netfaults",
+        help="unreliable-interconnect run (loss/dup/delay/partition)",
+    )
+    p_net.add_argument("trace", help="calgary|clarknet|nasa|rutgers")
+    p_net.add_argument(
+        "--policies", default="traditional,lard,lard-ng,l2s",
+        help="comma-separated policy names (default: the paper's four)",
+    )
+    p_net.add_argument("--nodes", type=int, default=16)
+    p_net.add_argument("--requests", type=int, default=None)
+    p_net.add_argument("--memory", type=int, default=32, help="MB per node")
+    p_net.add_argument("--seed", type=int, default=0)
+    p_net.add_argument(
+        "--loss", type=float, default=0.01,
+        help="global message-loss probability (default 0.01)",
+    )
+    p_net.add_argument(
+        "--dup", type=float, default=0.0,
+        help="message duplication probability",
+    )
+    p_net.add_argument(
+        "--delay", type=float, default=0.0, metavar="S",
+        help="fixed extra switch delay per message (s)",
+    )
+    p_net.add_argument(
+        "--jitter", type=float, default=0.0, metavar="S",
+        help="uniform random extra delay in [0, S) per message",
+    )
+    p_net.add_argument(
+        "--schedule", default=None, metavar="SPEC",
+        help=(
+            "timed fabric events, e.g. 'link:0-3@0.5..1.5' or "
+            "'partition:0+1@0.8..1.2' (seconds of simulated time; "
+            "omit ..END for an event that never heals)"
+        ),
+    )
+    p_net.add_argument(
+        "--view-max-age", type=float, default=0.5, metavar="S",
+        help="l2s only: ignore load-view entries older than S seconds "
+        "(0 disables staleness detection)",
+    )
+    p_net.add_argument(
+        "--sweep", action="store_true",
+        help="run the full A3 experiment (loss sweep + timed partition) "
+        "instead of the single scenario",
+    )
+    p_net.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the report to PATH (byte-identical across runs "
+        "with the same seed)",
     )
 
     p_bound = sub.add_parser("bound", help="analytic bound for a trace")
@@ -355,6 +413,81 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_netfaults(args: argparse.Namespace) -> int:
+    from .cluster import ClusterConfig
+    from .experiments.netfault import (
+        NetFaultReport,
+        summarize_run,
+        netfault_experiment,
+        run_netfault_simulation,
+    )
+    from .model import MB
+    from .netfaults import NetFaultConfig, NetFaultSchedule
+    from .workload import synthesize
+
+    policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    if not policies:
+        print("--policies must name at least one policy", file=sys.stderr)
+        return 2
+    view_max_age = args.view_max_age if args.view_max_age > 0 else None
+    trace = synthesize(args.trace, num_requests=args.requests, seed=args.seed)
+
+    if args.sweep:
+        report = netfault_experiment(
+            trace=trace,
+            nodes=args.nodes,
+            policies=policies,
+            seed=args.seed,
+            view_max_age_s=view_max_age,
+            dup_rate=args.dup,
+            extra_delay_s=args.delay,
+            jitter_s=args.jitter,
+        )
+    else:
+        schedule = (
+            NetFaultSchedule.parse(args.schedule)
+            if args.schedule is not None
+            else None
+        )
+        nf = NetFaultConfig(
+            loss_rate=args.loss,
+            dup_rate=args.dup,
+            extra_delay_s=args.delay,
+            jitter_s=args.jitter,
+            schedule=schedule,
+            seed=args.seed,
+        )
+        if not nf.active:
+            nf = NetFaultConfig(seed=args.seed, always_on=True)
+        config = ClusterConfig(
+            nodes=args.nodes,
+            cache_bytes=args.memory * MB,
+            net_faults=nf,
+        )
+        cells = []
+        for policy_name in policies:
+            sim = run_netfault_simulation(
+                trace, policy_name, config, view_max_age_s=view_max_age
+            )
+            cells.append(summarize_run(sim, policy_name, args.loss, "loss"))
+        report = NetFaultReport(
+            trace=trace.name,
+            nodes=args.nodes,
+            requests=len(trace),
+            seed=args.seed,
+            loss_rates=(args.loss,),
+            partition=None,
+            cells=cells,
+        )
+    text = report.render()
+    print(text)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+        print(f"\nwrote {args.out}")
+    return 0
+
+
 def _cmd_faults(args: argparse.Namespace) -> int:
     from .cluster import ClusterConfig
     from .experiments import fault_recovery_experiment, run_fault_simulation
@@ -483,6 +616,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_figure(args)
     if args.command == "faults":
         return _cmd_faults(args)
+    if args.command == "netfaults":
+        return _cmd_netfaults(args)
     if args.command == "bound":
         return _cmd_bound(args)
     if args.command == "analyze":

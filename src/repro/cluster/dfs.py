@@ -9,6 +9,13 @@ via a distributed file system".  Two layouts are provided:
   file homed elsewhere pays a request/response message pair around the
   remote node's disk read.  This is the DFS ablation — it quantifies how
   much the "local replica" assumption is worth.
+
+Under an unreliable interconnect (``config.net_faults``) either leg of a
+remote fetch can be lost; both ride the reliability protocol when it
+covers their kinds (``dfs_req``/``dfs_data``), and an exhausted fetch
+either falls back to a degraded local-disk replica
+(``NetFaultConfig.dfs_local_fallback``, the default) or surfaces to the
+client as a :class:`RemoteFetchFailed` error.
 """
 
 from __future__ import annotations
@@ -20,7 +27,17 @@ from .config import ClusterConfig
 from .network import Interconnect
 from .node import Node
 
-__all__ = ["DistributedFS"]
+__all__ = ["DistributedFS", "RemoteFetchFailed"]
+
+
+class RemoteFetchFailed(Exception):
+    """A partitioned-DFS remote fetch exhausted its retries with local
+    fallback disabled; the request fails with a client-visible error."""
+
+    def __init__(self, node_id: int, home: int):
+        super().__init__(f"remote fetch from node {home} failed at node {node_id}")
+        self.node_id = node_id
+        self.home = home
 
 
 class DistributedFS:
@@ -39,6 +56,10 @@ class DistributedFS:
         self.net = interconnect
         self.remote_reads = 0
         self.local_reads = 0
+        #: Remote fetches whose messaging exhausted its retries.
+        self.remote_failures = 0
+        #: Of those, fetches served from the degraded local replica.
+        self.local_fallbacks = 0
 
     def home_of(self, file_id: int) -> int:
         """The node whose disk holds ``file_id`` in partitioned layout."""
@@ -63,13 +84,40 @@ class DistributedFS:
             yield from reader.read_from_disk(size_kb)
             return
         self.remote_reads += 1
-        # Ask the home node...
-        yield from self.net.send_control(node_id, home, kind="dfs_req")
-        # ...it reads from its disk...
-        yield from self.nodes[home].read_from_disk(size_kb)
-        # ...and streams the file back.
-        yield from self.net.send_message(home, node_id, size_kb, kind="dfs_data")
+        proto = self.net.protocol
+        if proto is not None and proto.covers("dfs_req"):
+            ok = yield from proto.request_gen(
+                node_id,
+                home,
+                self.config.control_kb,
+                "dfs_req",
+                ni_time_s=self.config.ni_control_time(),
+            )
+        else:
+            ok = yield from self.net.send_control(node_id, home, kind="dfs_req")
+        if ok:
+            # The home node reads from its disk...
+            yield from self.nodes[home].read_from_disk(size_kb)
+            # ...and streams the file back.
+            if proto is not None and proto.covers("dfs_data"):
+                ok = yield from proto.request_gen(home, node_id, size_kb, "dfs_data")
+            else:
+                ok = yield from self.net.send_message(
+                    home, node_id, size_kb, kind="dfs_data"
+                )
+        if ok:
+            return
+        # Both retries and (if any) the protocol gave up: degrade.
+        self.remote_failures += 1
+        nf = self.net.netfaults
+        if nf is not None and nf.config.dfs_local_fallback:
+            self.local_fallbacks += 1
+            yield from reader.read_from_disk(size_kb)
+            return
+        raise RemoteFetchFailed(node_id, home)
 
     def reset_accounting(self) -> None:
         self.remote_reads = 0
         self.local_reads = 0
+        self.remote_failures = 0
+        self.local_fallbacks = 0

@@ -10,11 +10,25 @@ network"); contention appears at the NIs and CPUs instead.
 3 us CPU at the sender, NI-out occupancy, switch latency, NI-in occupancy
 at the receiver, and 3 us CPU at the receiver — 19 us end to end for a
 4-byte payload, matching the measurement the paper quotes.
+
+Delivery is not guaranteed.  Two things can kill a message in flight:
+
+* the receiver crashes (or crashes and recovers — a new incarnation must
+  not see the old incarnation's bytes), checked at every receiver-side
+  stage boundary; and
+* an active :class:`~repro.netfaults.layer.NetFaultLayer`
+  (``config.net_faults``) drops, delays, duplicates, or partitions it at
+  the switch.
+
+Both delivery paths therefore report an outcome: the generator form
+returns True/False, the callback form fires ``done`` on delivery or
+``on_drop`` on a drop.  Per-kind sent/delivered/dropped/duplicate
+counters reconcile as ``sent == delivered + dropped + in_flight``.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Generator, List, Optional
+from typing import Callable, Dict, Generator, List, Optional
 
 from ..des import Environment, Resource
 from ..des.core import URGENT
@@ -44,7 +58,12 @@ class _MessageChain:
         "ni_time",
         "kind",
         "done",
+        "on_drop",
         "_req",
+        "_rinc",
+        "_extra_delay",
+        "_dup",
+        "_tok",
     )
 
     def __init__(
@@ -56,6 +75,8 @@ class _MessageChain:
         ni_time: float,
         kind: str,
         done: Optional[Callable[[], None]],
+        on_drop: Optional[Callable[[], None]] = None,
+        tok: Optional[int] = None,
     ):
         self.net = net
         self.env = net.env
@@ -65,18 +86,18 @@ class _MessageChain:
         self.ni_time = ni_time
         self.kind = kind
         self.done = done
+        self.on_drop = on_drop
         self._req = None
+        self._rinc = receiver.incarnation
+        self._extra_delay = 0.0
+        self._dup = False
+        self._tok = tok
         # The urgent zero-delay kick stands in for the Initialize event
         # that used to start the equivalent message process, keeping
-        # resource-queue arrival order (and counter timing) bit-identical
-        # to the process-based path.
+        # resource-queue arrival order bit-identical to the process path.
         self.env.call_later(0.0, self._start, priority=URGENT)
 
     def _start(self, _e) -> None:
-        net = self.net
-        net.messages_sent += 1
-        counts = net.message_counts
-        counts[self.kind] = counts.get(self.kind, 0) + 1
         req = self._req = self.sender.cpu.request(CPU_PROMPT)
         req.callbacks.append(self._cpu_out_held)
 
@@ -98,18 +119,28 @@ class _MessageChain:
         self.sender.ni_out.free(self._req)
         net = self.net
         cfg = net.config
+        nf = net.netfaults
+        if nf is not None:
+            cause, delay, dup = nf.judge(self.sender.id, self.receiver.id, self.kind)
+            if cause is not None:
+                self._drop(cause)
+                return
+            self._extra_delay = delay
+            self._dup = dup
         if net.switch_ports is not None:
             # Output-queued fabric: the destination port serializes
             # transfers headed to the same node.
             req = self._req = net.switch_ports[self.receiver.id].request()
             req.callbacks.append(self._port_held)
         else:
-            self.env.call_later(cfg.switch_latency_s, self._switched)
+            self.env.call_later(cfg.switch_latency_s + self._extra_delay, self._switched)
 
     def _port_held(self, _e) -> None:
         cfg = self.net.config
         self.env.call_later(
-            cfg.switch_latency_s + self.size_kb / cfg.hardware.ni_kb_per_s,
+            cfg.switch_latency_s
+            + self.size_kb / cfg.hardware.ni_kb_per_s
+            + self._extra_delay,
             self._port_done,
         )
 
@@ -118,15 +149,23 @@ class _MessageChain:
         self._switched(_e)
 
     def _switched(self, _e) -> None:
-        req = self._req = self.receiver.ni_in.request()
+        receiver = self.receiver
+        if receiver.failed or receiver.incarnation != self._rinc:
+            self._drop("crash")
+            return
+        req = self._req = receiver.ni_in.request()
         req.callbacks.append(self._ni_in_held)
 
     def _ni_in_held(self, _e) -> None:
         self.env.call_later(self.ni_time, self._ni_in_done)
 
     def _ni_in_done(self, _e) -> None:
-        self.receiver.ni_in.free(self._req)
-        req = self._req = self.receiver.cpu.request(CPU_PROMPT)
+        receiver = self.receiver
+        receiver.ni_in.free(self._req)
+        if receiver.failed or receiver.incarnation != self._rinc:
+            self._drop("crash")
+            return
+        req = self._req = receiver.cpu.request(CPU_PROMPT)
         req.callbacks.append(self._cpu_in_held)
 
     def _cpu_in_held(self, _e) -> None:
@@ -136,10 +175,69 @@ class _MessageChain:
         )
 
     def _cpu_in_done(self, _e) -> None:
-        self.receiver.cpu.free(self._req)
+        receiver = self.receiver
+        receiver.cpu.free(self._req)
         self._req = None
+        if receiver.failed or receiver.incarnation != self._rinc:
+            self._drop("crash")
+            return
+        net = self.net
+        net._record_delivered(self.kind, self._tok)
+        self._tok = None
+        if self._dup:
+            # A duplicate copy arrives right behind the original: it
+            # charges the receiver's NI and CPU again but carries no
+            # effect (and no counters beyond the dup tally).
+            net._record_dup(self.kind)
+            _DupDelivery(net, receiver, self.ni_time)
         if self.done is not None:
             self.done()
+
+    def _drop(self, cause: str) -> None:
+        self._req = None
+        self.net._record_dropped(self.kind, cause, self._tok)
+        self._tok = None
+        if self.on_drop is not None:
+            self.on_drop()
+
+
+class _DupDelivery:
+    """Receiver-side charges of one duplicated message copy.
+
+    Used by both delivery paths: the copy occupies the receiver's NI-in
+    and CPU like the original but fires no completion and moves no
+    counters (the dup tally was recorded when it was spawned).
+    """
+
+    __slots__ = ("net", "env", "receiver", "ni_time", "_req")
+
+    def __init__(self, net: "Interconnect", receiver: Node, ni_time: float):
+        self.net = net
+        self.env = net.env
+        self.receiver = receiver
+        self.ni_time = ni_time
+        self._req = None
+        if not receiver.failed:
+            req = self._req = receiver.ni_in.request()
+            req.callbacks.append(self._ni_held)
+
+    def _ni_held(self, _e) -> None:
+        self.env.call_later(self.ni_time, self._ni_done)
+
+    def _ni_done(self, _e) -> None:
+        self.receiver.ni_in.free(self._req)
+        req = self._req = self.receiver.cpu.request(CPU_PROMPT)
+        req.callbacks.append(self._cpu_held)
+
+    def _cpu_held(self, _e) -> None:
+        self.env.call_later(
+            self.net.config.cpu_msg_overhead_s / self.receiver.speed,
+            self._cpu_done,
+        )
+
+    def _cpu_done(self, _e) -> None:
+        self.receiver.cpu.free(self._req)
+        self._req = None
 
 
 class Interconnect:
@@ -152,8 +250,17 @@ class Interconnect:
         self.router = Resource(env, capacity=1, name="router")
         #: Count of intra-cluster messages sent (for overhead accounting).
         self.messages_sent = 0
-        #: Total control-message payload count by kind, for reporting.
+        #: Message counts by kind: sent, delivered, dropped, duplicated.
+        #: ``in_flight_counts`` is a level, not a meter: it survives
+        #: :meth:`reset_accounting` so the reconciliation
+        #: ``sent == delivered + dropped + in_flight-delta`` holds across
+        #: the warmup boundary.
         self.message_counts: dict = {}
+        self.delivered_counts: Dict[str, int] = {}
+        self.dropped_counts: Dict[str, int] = {}
+        self.drop_causes: Dict[str, int] = {}
+        self.dup_counts: Dict[str, int] = {}
+        self.in_flight_counts: Dict[str, int] = {}
         #: Output-queued switch ports (one per destination node), present
         #: only when the config asks for fabric contention.
         self.switch_ports: Optional[List[Resource]] = None
@@ -161,6 +268,18 @@ class Interconnect:
             self.switch_ports = [
                 Resource(env, capacity=1, name=f"swport{n.id}") for n in nodes
             ]
+        #: Unreliable-fabric layer; None when ``config.net_faults`` is
+        #: absent or inert, in which case the legacy perfect-delivery
+        #: paths run unchanged (crash drops excepted).
+        self.netfaults = None
+        #: Ack/retry protocol engine; present only with an active layer.
+        self.protocol = None
+        if config.net_faults is not None and config.net_faults.active:
+            from ..netfaults.layer import NetFaultLayer
+            from ..netfaults.protocol import ReliableMessenger
+
+            self.netfaults = NetFaultLayer(env, config.net_faults, len(nodes))
+            self.protocol = ReliableMessenger(self, config.net_faults)
 
     # -- router (Internet side) ---------------------------------------------
 
@@ -169,6 +288,46 @@ class Interconnect:
         with self.router.request() as req:
             yield req
             yield self.env.timeout(self.config.hardware.route_time(size_kb))
+
+    # -- message accounting ---------------------------------------------------
+
+    def _record_send(self, kind: str) -> Optional[int]:
+        """Count one message at send time; returns a sanitizer token.
+
+        Both delivery variants call this synchronously from the send call
+        itself — *before* any event is scheduled — so the counters can
+        never straddle a same-timestep :meth:`reset_accounting` differently
+        between the generator and callback paths.
+        """
+        self.messages_sent += 1
+        counts = self.message_counts
+        counts[kind] = counts.get(kind, 0) + 1
+        inflight = self.in_flight_counts
+        inflight[kind] = inflight.get(kind, 0) + 1
+        san = self.env._san
+        if san is None:
+            return None
+        return san.op_begin("interconnect-message", kind)
+
+    def _record_delivered(self, kind: str, tok: Optional[int]) -> None:
+        counts = self.delivered_counts
+        counts[kind] = counts.get(kind, 0) + 1
+        self.in_flight_counts[kind] -= 1
+        if tok is not None:
+            self.env._san.op_end(tok)
+
+    def _record_dropped(self, kind: str, cause: str, tok: Optional[int]) -> None:
+        counts = self.dropped_counts
+        counts[kind] = counts.get(kind, 0) + 1
+        causes = self.drop_causes
+        causes[cause] = causes.get(cause, 0) + 1
+        self.in_flight_counts[kind] -= 1
+        if tok is not None:
+            self.env._san.op_end(tok)
+
+    def _record_dup(self, kind: str) -> None:
+        counts = self.dup_counts
+        counts[kind] = counts.get(kind, 0) + 1
 
     # -- intra-cluster messaging ----------------------------------------------
 
@@ -183,37 +342,81 @@ class Interconnect:
         """Deliver one message from node ``src`` to node ``dst``.
 
         Yields until the message has been fully received (the receiver's
-        CPU overhead included).  Charges, in order: sender CPU overhead,
-        sender NI-out, switch latency, receiver NI-in, receiver CPU
-        overhead.  ``ni_time_s`` overrides the per-side NI occupancy
-        (used for control messages).  A zero-latency shortcut applies
-        when src == dst.
+        CPU overhead included) or dropped; the generator's return value
+        is True on delivery, False on a drop (receiver crash, fabric
+        loss, downed link, partition).  Charges, in order: sender CPU
+        overhead, sender NI-out, switch latency, receiver NI-in, receiver
+        CPU overhead; a dropped message still costs the sender side.
+        ``ni_time_s`` overrides the per-side NI occupancy (used for
+        control messages).  A zero-latency shortcut applies when
+        src == dst (a local "message" never touches the network and is
+        not counted).
+
+        Validation and the send counters run eagerly at call time, not at
+        first advance, matching :meth:`send_message_cb`.
         """
         if not (0 <= src < len(self.nodes) and 0 <= dst < len(self.nodes)):
             raise ValueError(f"message endpoints out of range: {src} -> {dst}")
         if size_kb <= 0:
             raise ValueError(f"size_kb must be positive, got {size_kb}")
         if src == dst:
-            return
-        self.messages_sent += 1
-        self.message_counts[kind] = self.message_counts.get(kind, 0) + 1
+            return self._local_delivery()
+        tok = self._record_send(kind)
+        ni_time = ni_time_s if ni_time_s is not None else self.config.hardware.ni_message_time(size_kb)
+        return self._deliver(self.nodes[src], self.nodes[dst], size_kb, ni_time, kind, tok)
+
+    def _local_delivery(self) -> Generator:
+        """The src == dst shortcut: instant, uncounted, always delivered."""
+        return True
+        yield  # pragma: no cover - makes this a generator function
+
+    def _deliver(
+        self,
+        sender: Node,
+        receiver: Node,
+        size_kb: float,
+        ni_time: float,
+        kind: str,
+        tok: Optional[int],
+    ) -> Generator:
         cfg = self.config
-        ni_time = ni_time_s if ni_time_s is not None else cfg.hardware.ni_message_time(size_kb)
-        sender, receiver = self.nodes[src], self.nodes[dst]
+        rinc = receiver.incarnation
         yield from sender.use_cpu(cfg.cpu_msg_overhead_s)
         yield from sender.use_ni_out(ni_time)
+        extra = 0.0
+        dup = False
+        nf = self.netfaults
+        if nf is not None:
+            cause, extra, dup = nf.judge(sender.id, receiver.id, kind)
+            if cause is not None:
+                self._record_dropped(kind, cause, tok)
+                return False
         if self.switch_ports is not None:
             # Output-queued fabric: the destination port serializes
             # transfers headed to the same node.
-            with self.switch_ports[dst].request() as port:
+            with self.switch_ports[receiver.id].request() as port:
                 yield port
                 yield self.env.timeout(
-                    cfg.switch_latency_s + size_kb / cfg.hardware.ni_kb_per_s
+                    cfg.switch_latency_s + size_kb / cfg.hardware.ni_kb_per_s + extra
                 )
         else:
-            yield self.env.timeout(cfg.switch_latency_s)
+            yield self.env.timeout(cfg.switch_latency_s + extra)
+        if receiver.failed or receiver.incarnation != rinc:
+            self._record_dropped(kind, "crash", tok)
+            return False
         yield from receiver.use_ni_in(ni_time)
+        if receiver.failed or receiver.incarnation != rinc:
+            self._record_dropped(kind, "crash", tok)
+            return False
         yield from receiver.use_cpu(cfg.cpu_msg_overhead_s)
+        if receiver.failed or receiver.incarnation != rinc:
+            self._record_dropped(kind, "crash", tok)
+            return False
+        self._record_delivered(kind, tok)
+        if dup:
+            self._record_dup(kind)
+            _DupDelivery(self, receiver, ni_time)
+        return True
 
     def send_message_cb(
         self,
@@ -223,20 +426,25 @@ class Interconnect:
         kind: str = "msg",
         ni_time_s: Optional[float] = None,
         done: Optional[Callable[[], None]] = None,
+        on_drop: Optional[Callable[[], None]] = None,
     ) -> None:
         """Deliver one message via the callback-chain fast path.
 
         Same charges and ordering as :meth:`send_message`, but driven by
         event callbacks (no generator, no process): the per-message cost
         drops from a process plus ~16 scheduled events to ~9 pooled ones.
-        ``done()`` fires when the receiver's CPU overhead completes; with
-        ``src == dst`` it fires after the urgent kick (the zero-latency
-        shortcut).
+        ``done()`` fires when the receiver's CPU overhead completes;
+        ``on_drop()`` fires instead if the message is dropped (receiver
+        crash or fabric fault).  With ``src == dst`` the uncounted
+        zero-latency shortcut applies and ``done`` fires after the urgent
+        kick.
 
         The chain does not start synchronously: an urgent zero-delay
         event stands in for the Initialize event that used to start the
-        equivalent message process, so resource-queue arrival order (and
-        counter timing) is bit-identical to the process-based path.
+        equivalent message process, so resource-queue arrival order is
+        bit-identical to the process-based path.  The send *counters*,
+        however, move synchronously here, exactly as in
+        :meth:`send_message`.
         """
         if not (0 <= src < len(self.nodes) and 0 <= dst < len(self.nodes)):
             raise ValueError(f"message endpoints out of range: {src} -> {dst}")
@@ -246,19 +454,34 @@ class Interconnect:
             if done is not None:
                 self.env.call_later(0.0, lambda _e: done(), priority=URGENT)
             return
+        tok = self._record_send(kind)
         ni_time = (
             ni_time_s
             if ni_time_s is not None
             else self.config.hardware.ni_message_time(size_kb)
         )
         _MessageChain(
-            self, self.nodes[src], self.nodes[dst], size_kb, ni_time, kind, done
+            self,
+            self.nodes[src],
+            self.nodes[dst],
+            size_kb,
+            ni_time,
+            kind,
+            done,
+            on_drop,
+            tok,
         )
 
     def send_control(self, src: int, dst: int, kind: str = "control") -> Generator:
-        """A small (4-byte payload) control message: 19 us one-way."""
-        yield from self.send_message(
-            src, dst, self.config.control_kb, kind, ni_time_s=self.config.ni_control_time()
+        """A small (4-byte payload) control message: 19 us one-way.
+
+        Returns True on delivery, False on a drop, like
+        :meth:`send_message`.
+        """
+        return (
+            yield from self.send_message(
+                src, dst, self.config.control_kb, kind, ni_time_s=self.config.ni_control_time()
+            )
         )
 
     def send_control_cb(
@@ -267,6 +490,7 @@ class Interconnect:
         dst: int,
         kind: str = "control",
         done: Optional[Callable[[], None]] = None,
+        on_drop: Optional[Callable[[], None]] = None,
     ) -> None:
         """Callback-chain twin of :meth:`send_control`."""
         self.send_message_cb(
@@ -276,6 +500,7 @@ class Interconnect:
             kind,
             ni_time_s=self.config.ni_control_time(),
             done=done,
+            on_drop=on_drop,
         )
 
     def broadcast_control(
@@ -295,7 +520,20 @@ class Interconnect:
                 continue
             self.send_control_cb(src, node.id, kind)
 
+    def in_flight_total(self) -> int:
+        """Messages sent but not yet delivered or dropped."""
+        return sum(self.in_flight_counts.values())
+
     def reset_accounting(self) -> None:
         self.router.reset_accounting()
         self.messages_sent = 0
         self.message_counts.clear()
+        self.delivered_counts.clear()
+        self.dropped_counts.clear()
+        self.drop_causes.clear()
+        self.dup_counts.clear()
+        # in_flight_counts is intentionally NOT cleared: it tracks live
+        # messages, and clearing it mid-flight would corrupt the
+        # sent/delivered/dropped reconciliation.
+        if self.protocol is not None:
+            self.protocol.reset_accounting()

@@ -47,6 +47,10 @@ class Node:
         self.completed = 0
         #: Requests this node forwarded elsewhere.
         self.forwarded = 0
+        #: Requests rejected by admission control (connection queue over
+        #: ``config.admission_threshold``); the client backs off and
+        #: retries, so a shed is load shedding, not a crash.
+        self.shed = 0
         #: True once the node has crashed (failure-injection runs).  The
         #: request lifecycle checks this at stage boundaries and aborts.
         self.failed = False
@@ -192,6 +196,7 @@ class Node:
         self.connections.reset()
         self.completed = 0
         self.forwarded = 0
+        self.shed = 0
 
     def cpu_utilization(self, elapsed: float) -> float:
         return self.cpu.utilization(elapsed)

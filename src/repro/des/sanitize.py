@@ -24,9 +24,10 @@ Checks
   (the failure mode of a buggy pool reset).
 * **Leak report** — :meth:`DESSanitizer.finish` reports events created but
   never triggered, events triggered but stranded in the queue, processes
-  that never terminated, and in-flight operations (callback-chain
-  requests registered through :meth:`DESSanitizer.op_begin`) that never
-  completed, each with provenance.
+  that never terminated, in-flight operations (callback-chain requests
+  registered through :meth:`DESSanitizer.op_begin`) that never completed,
+  and interconnect messages sent but never delivered or dropped (the
+  blind spot netfault injection opens), each with provenance.
 
 A sanitized run is behaviourally identical to an unsanitized one: the
 sanitizer only observes (the equivalence test asserts SimResult equality).
@@ -125,7 +126,7 @@ class LeakReport:
     """End-of-run accounting of events that never completed their life."""
 
     __slots__ = ("never_triggered", "stranded", "orphaned_processes",
-                 "stalled_ops", "events_tracked")
+                 "stalled_ops", "undelivered_messages", "events_tracked")
 
     def __init__(
         self,
@@ -134,6 +135,7 @@ class LeakReport:
         orphaned_processes: List[str],
         stalled_ops: List[str],
         events_tracked: int,
+        undelivered_messages: Optional[List[str]] = None,
     ):
         #: Provenance of events created but never succeeded/failed.
         self.never_triggered = never_triggered
@@ -145,6 +147,14 @@ class LeakReport:
         #: Descriptions of registered in-flight operations (callback-chain
         #: requests) that never reached completion or abort.
         self.stalled_ops = stalled_ops
+        #: Interconnect messages sent but neither delivered nor recorded
+        #: as dropped by the end of the run.  Counted messages dangling
+        #: here mean the interconnect's bookkeeping lost track of a
+        #: message — the failure mode dropped-message fault injection is
+        #: most likely to introduce.
+        self.undelivered_messages = (
+            undelivered_messages if undelivered_messages is not None else []
+        )
         self.events_tracked = events_tracked
 
     @property
@@ -154,6 +164,7 @@ class LeakReport:
             or self.stranded
             or self.orphaned_processes
             or self.stalled_ops
+            or self.undelivered_messages
         )
 
     def render(self) -> str:
@@ -166,6 +177,7 @@ class LeakReport:
             ("triggered but unprocessed events", self.stranded),
             ("orphaned processes", self.orphaned_processes),
             ("stalled in-flight operations", self.stalled_ops),
+            ("undelivered interconnect messages", self.undelivered_messages),
         ):
             if entries:
                 lines.append(f"  {title} ({len(entries)}):")
@@ -407,13 +419,23 @@ class DESSanitizer:
                 never.append(rec.provenance())
             elif key in self._scheduled:
                 stranded.append(rec.provenance())
-        stalled = [
-            f"{label} ({detail}) begun at t={begun:g}" if detail
-            else f"{label} begun at t={begun:g}"
-            for label, detail, begun in self._ops.values()
-        ]
+        stalled: List[str] = []
+        undelivered: List[str] = []
+        for label, detail, begun in self._ops.values():
+            text = (
+                f"{label} ({detail}) begun at t={begun:g}" if detail
+                else f"{label} begun at t={begun:g}"
+            )
+            # The interconnect registers every counted message as an
+            # operation at send time and ends it at delivery or drop;
+            # anything left is a message its accounting lost.
+            if label == "interconnect-message":
+                undelivered.append(text)
+            else:
+                stalled.append(text)
         return LeakReport(never, stranded, orphans, stalled,
-                          self.events_tracked)
+                          self.events_tracked,
+                          undelivered_messages=undelivered)
 
 
 def force_recycle(env: Any, event: Any) -> None:

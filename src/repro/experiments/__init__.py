@@ -20,6 +20,12 @@ from .flashcrowd import (
     pick_hot_rank,
 )
 from .latency import LoadPoint, latency_vs_load, model_latency_validation
+from .netfault import (
+    NetFaultCell,
+    NetFaultReport,
+    netfault_experiment,
+    run_netfault_simulation,
+)
 from .sensitivity import (
     broadcast_frequency_sweep,
     message_overhead_sweep,
@@ -58,6 +64,10 @@ __all__ = [
     "LoadPoint",
     "latency_vs_load",
     "model_latency_validation",
+    "NetFaultCell",
+    "NetFaultReport",
+    "netfault_experiment",
+    "run_netfault_simulation",
     "FlashCrowdResult",
     "flash_crowd_experiment",
     "flash_crowd_trace",

@@ -1,0 +1,31 @@
+"""Unreliable-interconnect modeling: fault layer, schedules, reliability.
+
+The paper assumes a perfect intra-cluster fabric.  This package makes it
+unreliable — seeded message loss, duplication, delay/jitter, link
+outages, partitions — and supplies the ack/retry protocol the policies
+use to survive it.  See ``docs/NETFAULTS.md``.
+"""
+
+from .injector import NetFaultInjector
+from .layer import NetFaultLayer
+from .model import (
+    DEFAULT_RELIABLE_KINDS,
+    NETFAULT_KINDS,
+    NetFaultConfig,
+    NetFaultEvent,
+    NetFaultSchedule,
+    RetrySpec,
+)
+from .protocol import ReliableMessenger
+
+__all__ = [
+    "DEFAULT_RELIABLE_KINDS",
+    "NETFAULT_KINDS",
+    "NetFaultConfig",
+    "NetFaultEvent",
+    "NetFaultInjector",
+    "NetFaultLayer",
+    "NetFaultSchedule",
+    "ReliableMessenger",
+    "RetrySpec",
+]

@@ -1,0 +1,58 @@
+"""Drives a :class:`NetFaultSchedule` against a running simulation.
+
+The timed twin of :class:`repro.faults.injector.FaultInjector`: a single
+process walks the schedule, flips link/partition state on the
+:class:`~repro.netfaults.layer.NetFaultLayer`, and tells the
+distribution policy when a partition heals so it can re-announce
+soft state (see ``DistributionPolicy.on_partition_healed``).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Tuple
+
+from .model import NetFaultEvent
+
+__all__ = ["NetFaultInjector"]
+
+
+class NetFaultInjector:
+    """Applies scheduled fabric events to one simulation."""
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.layer = sim.cluster.net.netfaults
+        schedule = self.layer.config.schedule if self.layer is not None else None
+        self.events: Tuple[NetFaultEvent, ...] = (
+            schedule.events if schedule is not None else ()
+        )
+        #: (time, kind) pairs of events applied so far.
+        self.log: List[Tuple[float, str]] = []
+
+    def start(self) -> None:
+        if self.events:
+            self.sim.env.process(self._run(), name="netfault-injector")
+
+    def _run(self) -> Generator:
+        env = self.sim.env
+        for event in self.events:
+            delay = event.at - env.now
+            if delay > 0:
+                yield env.timeout(delay)
+            self._apply(event)
+
+    def _apply(self, event: NetFaultEvent) -> None:
+        layer = self.layer
+        if event.kind == "link_down":
+            layer.link_down(event.src, event.dst)
+        elif event.kind == "link_up":
+            layer.link_up(event.src, event.dst)
+        elif event.kind == "partition":
+            layer.start_partition(event.group)
+        elif event.kind == "heal":
+            layer.heal_partition()
+            # Soft state diverged while the sides were apart; give the
+            # policy a chance to re-announce (L2S re-broadcasts server
+            # sets and load vectors).
+            self.sim.policy.on_partition_healed()
+        self.log.append((self.sim.env.now, event.kind))

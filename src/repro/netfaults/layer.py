@@ -1,0 +1,109 @@
+"""Runtime state of the unreliable fabric.
+
+One :class:`NetFaultLayer` hangs off an active
+:class:`~repro.cluster.network.Interconnect` and answers a single
+question at the switch stage of every message: *what happens to this
+one?* — dropped (and why), delayed by how much, duplicated or not.
+
+All randomness flows through one ``random.Random`` seeded from the
+config, and a rate of zero never touches the RNG, so turning one knob
+on cannot perturb the sample path of another.  Draws happen in event
+order, which the kernel keeps deterministic, so a given seed yields a
+byte-identical fault pattern across runs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from .model import NetFaultConfig, _pair
+
+__all__ = ["NetFaultLayer"]
+
+
+class NetFaultLayer:
+    """Interprets a :class:`NetFaultConfig` against live traffic."""
+
+    def __init__(self, env, config: NetFaultConfig, num_nodes: int):
+        self.env = env
+        self.config = config
+        self.num_nodes = num_nodes
+        if config.schedule is not None:
+            config.schedule.validate(num_nodes)
+        self.rng = random.Random((config.seed << 16) ^ 0x5EEDFA11)
+        #: Undirected link -> extra loss rate.
+        self._link_loss: Dict[Tuple[int, int], float] = {}
+        for a, b, rate in config.link_loss:
+            key = _pair(a, b)
+            prior = self._link_loss.get(key, 0.0)
+            # Independent loss processes compose.
+            self._link_loss[key] = prior + rate - prior * rate
+        #: Links currently down (undirected pairs).
+        self._links_down: Set[Tuple[int, int]] = set()
+        #: Nodes on the minority side of the active partition, if any.
+        self._partition: Optional[FrozenSet[int]] = None
+        # Event log and counters (reporting only; never consulted by the
+        # fault decisions themselves).
+        self.link_downs = 0
+        self.partitions = 0
+        self.heals = 0
+        self.event_log: List[Tuple[float, str]] = []
+
+    # -- fabric state changes (driven by NetFaultInjector) -----------------
+
+    def link_down(self, a: int, b: int) -> None:
+        self._links_down.add(_pair(a, b))
+        self.link_downs += 1
+        self.event_log.append((self.env.now, f"link_down {a}-{b}"))
+
+    def link_up(self, a: int, b: int) -> None:
+        self._links_down.discard(_pair(a, b))
+        self.event_log.append((self.env.now, f"link_up {a}-{b}"))
+
+    def start_partition(self, group) -> None:
+        self._partition = frozenset(group)
+        self.partitions += 1
+        self.event_log.append(
+            (self.env.now, "partition " + "+".join(str(n) for n in sorted(group)))
+        )
+
+    def heal_partition(self) -> None:
+        self._partition = None
+        self.heals += 1
+        self.event_log.append((self.env.now, "heal"))
+
+    # -- per-message judgement ---------------------------------------------
+
+    def blocked(self, src: int, dst: int) -> Optional[str]:
+        """Why no message can currently cross ``src -> dst`` (or None)."""
+        part = self._partition
+        if part is not None and (src in part) != (dst in part):
+            return "partition"
+        if self._links_down and _pair(src, dst) in self._links_down:
+            return "link"
+        return None
+
+    def judge(self, src: int, dst: int, kind: str):
+        """Fate of one message at the switch: ``(drop_cause, delay, dup)``.
+
+        ``drop_cause`` is ``"partition"``/``"link"``/``"loss"`` or None;
+        ``delay`` is the extra fabric delay to add to the switch latency;
+        ``dup`` says whether a duplicate copy arrives at the receiver.
+        """
+        cause = self.blocked(src, dst)
+        if cause is not None:
+            return cause, 0.0, False
+        cfg = self.config
+        rate = cfg.loss_rate
+        if self._link_loss:
+            extra = self._link_loss.get(_pair(src, dst))
+            if extra:
+                rate = rate + extra - rate * extra
+        if rate > 0.0 and self.rng.random() < rate:
+            return "loss", 0.0, False
+        delay = cfg.extra_delay_s
+        if cfg.jitter_s > 0.0:
+            delay += self.rng.random() * cfg.jitter_s
+        dup = cfg.dup_rate > 0.0 and self.rng.random() < cfg.dup_rate
+        return None, delay, dup

@@ -170,6 +170,24 @@ class DistributionPolicy(ABC):
         request died before opening a connection.
         """
 
+    def on_handoff_failed(self, initial: int, target: int) -> None:
+        """A hand-off from ``initial`` to ``target`` was abandoned — the
+        message (and its retries, if a reliability protocol is active)
+        never arrived.  Policies that optimistically charged ``target``
+        in a load view at decide time roll that charge back here; the
+        lifecycle then either re-runs :meth:`decide` (bounded by
+        ``NetFaultConfig.handoff_redispatch``) or aborts the request.
+        """
+
+    def on_partition_healed(self) -> None:
+        """The network partition just healed (all links restored).
+
+        Soft state exchanged over the fabric diverged while the sides
+        were apart; policies that gossip state (L2S) re-announce their
+        server sets and load vectors here.  Fired by the
+        :class:`~repro.netfaults.injector.NetFaultInjector`.
+        """
+
     def _next_alive(self, node_id: int) -> int:
         """The given node, or the next alive one after it (wrap-around)."""
         cluster = self._require_cluster()

@@ -49,6 +49,7 @@ class L2SPolicy(DistributionPolicy):
         broadcast_delta: int = 4,
         set_age_s: float = 20.0,
         eager_local_replication: bool = True,
+        view_max_age_s: Optional[float] = None,
     ):
         super().__init__()
         if overload_threshold <= 0 or underload_threshold <= 0:
@@ -75,12 +76,23 @@ class L2SPolicy(DistributionPolicy):
         #: overloaded *initial* node and hot files never replicate,
         #: contradicting the measured L2S behaviour (see DESIGN.md).
         self.eager_local_replication = eager_local_replication
+        if view_max_age_s is not None and view_max_age_s <= 0:
+            raise ValueError("view_max_age_s must be positive (or None)")
+        #: Staleness bound on remote load-view entries (unreliable-fabric
+        #: hardening): an entry not refreshed within this many seconds is
+        #: distrusted — excluded from least-loaded selection — and when a
+        #: file's entire server set has gone stale the request is served
+        #: locally instead of handed off on fossil data.  None (default)
+        #: trusts every entry forever, the paper's behaviour.
+        self.view_max_age_s = view_max_age_s
         # Statistics.
         self.replications = 0
         self.shrinks = 0
         self.load_broadcasts = 0
         self.set_broadcasts = 0
         self.rejoins = 0
+        self.stale_local_dispatches = 0
+        self.heal_reannounces = 0
 
     def _setup(self) -> None:
         cluster = self._require_cluster()
@@ -92,6 +104,8 @@ class L2SPolicy(DistributionPolicy):
         self._set_modified: Dict[int, float] = {}
         #: views[i][j] — node i's estimate of node j's open connections.
         self._views: List[List[int]] = [[0] * n for _ in range(n)]
+        #: view_age[i][j] — when node i's estimate of j last updated.
+        self._view_age: List[List[float]] = [[0.0] * n for _ in range(n)]
         #: Connection count each node last broadcast.
         self._last_broadcast: List[int] = [0] * n
 
@@ -117,17 +131,34 @@ class L2SPolicy(DistributionPolicy):
         if initial not in failed:
             view[initial] = cluster.node(initial).open_connections
         t_high = self.overload_threshold
+        max_age = self.view_max_age_s
+        ages = self._view_age[initial] if max_age is not None else None
+
+        def fresh(node: int) -> bool:
+            # A node's estimate of itself is always current; with no
+            # staleness bound configured everything counts as fresh.
+            return ages is None or node == initial or now - ages[node] <= max_age
 
         def overloaded(node: int) -> bool:
             return node in failed or view[node] > t_high
 
         def least_loaded_globally() -> int:
             alive = [i for i in range(len(view)) if i not in failed]
+            if ages is not None:
+                usable = [i for i in alive if fresh(i)]
+                if usable:
+                    alive = usable
+                elif initial not in failed:
+                    # Every remote estimate is fossil data: serve locally
+                    # rather than hand off on it.
+                    self.stale_local_dispatches += 1
+                    return initial
             return min(alive, key=lambda i: (view[i], i))
 
         sset = self._server_sets.get(file_id)
         replicated = False
         modified = False
+        target: Optional[int] = None
 
         if not sset:
             # First request for this file.
@@ -138,24 +169,41 @@ class L2SPolicy(DistributionPolicy):
         elif initial in sset and not overloaded(initial):
             target = initial
         else:
-            least_in_set = min(sset, key=lambda i: (view[i], i))
-            if not overloaded(least_in_set):
-                target = least_in_set
-            else:
-                # The file's whole server set is overloaded: replicate.
-                if self.eager_local_replication and not overloaded(initial):
+            members = sset
+            if ages is not None:
+                usable = [i for i in sset if i not in failed and fresh(i)]
+                if usable:
+                    members = usable
+                elif initial not in failed:
+                    # The whole server set is stale (or dead): fall back
+                    # to local dispatch, joining the set so the file's
+                    # bytes are actually here next time.
+                    self.stale_local_dispatches += 1
                     target = initial
-                elif overloaded(initial) or self.eager_local_replication:
-                    target = least_loaded_globally()
-                else:
-                    # Strict reading: replication needs the initial node
-                    # overloaded too; queue on the set's least member.
+                    if initial not in sset:
+                        sset.append(initial)
+                        replicated = True
+                        modified = True
+                        self.replications += 1
+            if target is None:
+                least_in_set = min(members, key=lambda i: (view[i], i))
+                if not overloaded(least_in_set):
                     target = least_in_set
-                if target not in sset:
-                    sset.append(target)
-                    replicated = True
-                    modified = True
-                    self.replications += 1
+                else:
+                    # The file's whole server set is overloaded: replicate.
+                    if self.eager_local_replication and not overloaded(initial):
+                        target = initial
+                    elif overloaded(initial) or self.eager_local_replication:
+                        target = least_loaded_globally()
+                    else:
+                        # Strict reading: replication needs the initial node
+                        # overloaded too; queue on the set's least member.
+                        target = least_in_set
+                    if target not in sset:
+                        sset.append(target)
+                        replicated = True
+                        modified = True
+                        self.replications += 1
 
         # Replication control: shrink old, multi-member sets whose chosen
         # node is underloaded.  A set modified by this very decision is by
@@ -221,6 +269,7 @@ class L2SPolicy(DistributionPolicy):
         cluster = self._require_cluster()
         n = cluster.num_nodes
         self._views[node_id] = [0] * n
+        self._view_age[node_id] = [cluster.env.now] * n
         self._last_broadcast[node_id] = 0
         self.rejoins += 1
         self.load_broadcasts += 1
@@ -254,17 +303,61 @@ class L2SPolicy(DistributionPolicy):
         drift), so not paying a process per message matters.
         """
         cluster = self._require_cluster()
+        env = cluster.env
         views = self._views
+        ages = self._view_age
 
         def apply() -> None:
             views[dst][src] = value
+            ages[dst][src] = env.now
 
         cluster.net.send_control_cb(src, dst, kind, done=apply)
 
     def _broadcast_set_change(self, src: int) -> None:
-        """Charge the (rare) server-set modification broadcast."""
+        """Charge the (rare) server-set modification broadcast.
+
+        Set updates are hard state compared to load samples, so they opt
+        into the ack/retry protocol when one is active; load broadcasts
+        never do — staleness detection (``view_max_age_s``) is the
+        defense there.
+        """
         self.set_broadcasts += 1
-        self._require_cluster().net.broadcast_control(src, kind="l2s_set")
+        cluster = self._require_cluster()
+        net = cluster.net
+        proto = net.protocol
+        if proto is not None and proto.covers("l2s_set"):
+            for other in range(cluster.num_nodes):
+                if other != src:
+                    proto.send_control_cb(src, other, "l2s_set")
+        else:
+            net.broadcast_control(src, kind="l2s_set")
+
+    def on_handoff_failed(self, initial: int, target: int) -> None:
+        """Roll back the optimistic view charge of an abandoned hand-off."""
+        self._views[initial][target] -= 1
+
+    def on_partition_healed(self) -> None:
+        """Re-announce soft state once the partition heals.
+
+        Each side kept gossiping internally while cross-partition
+        messages died, so the survivors' views of the far side are
+        fossils.  Every alive node re-broadcasts its server-set table
+        and its current load — all charged as real messages.
+        """
+        cluster = self._require_cluster()
+        n = cluster.num_nodes
+        self.heal_reannounces += 1
+        for node in range(n):
+            if node in self.failed_nodes:
+                continue
+            self._broadcast_set_change(node)
+            actual = cluster.node(node).open_connections
+            self._last_broadcast[node] = actual
+            self.load_broadcasts += 1
+            for other in range(n):
+                if other == node or other in self.failed_nodes:
+                    continue
+                self._deliver_load(node, other, actual)
 
     # -- reporting ----------------------------------------------------------------
 
@@ -283,6 +376,8 @@ class L2SPolicy(DistributionPolicy):
         self.load_broadcasts = 0
         self.set_broadcasts = 0
         self.rejoins = 0
+        self.stale_local_dispatches = 0
+        self.heal_reannounces = 0
 
     def stats(self) -> Dict[str, Any]:
         return {
@@ -291,6 +386,8 @@ class L2SPolicy(DistributionPolicy):
             "load_broadcasts": self.load_broadcasts,
             "set_broadcasts": self.set_broadcasts,
             "rejoins": self.rejoins,
+            "stale_local_dispatches": self.stale_local_dispatches,
+            "heal_reannounces": self.heal_reannounces,
             "mean_server_set_size": self.mean_server_set_size(),
             "files_with_server_sets": len(self._server_sets),
         }

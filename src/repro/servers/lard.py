@@ -234,9 +234,24 @@ class LARDPolicy(DistributionPolicy):
             self._view[back_end] -= batch
             self.completion_notices += 1
 
-        cluster.net.send_control_cb(
-            back_end, self.front_end, kind="lard_done", done=apply
-        )
+        proto = cluster.net.protocol
+        if proto is not None and proto.covers("lard_done"):
+            # A lost notice permanently inflates the front-end's view of
+            # this back-end, so notices ride the ack/retry protocol on an
+            # unreliable fabric (the view still updates at first delivery
+            # only — at-most-once).
+            proto.send_control_cb(
+                back_end, self.front_end, "lard_done", deliver=apply
+            )
+        else:
+            cluster.net.send_control_cb(
+                back_end, self.front_end, kind="lard_done", done=apply
+            )
+
+    def on_handoff_failed(self, initial: int, target: int) -> None:
+        """Roll back the view charge of a hand-off that never arrived."""
+        if not self._single_node:
+            self._view[target] -= 1
 
     # -- reporting ----------------------------------------------------------------------
 

@@ -164,17 +164,46 @@ class DispatcherLARDPolicy(LARDPolicy):
         if self._dispatcher in self.failed_nodes:
             raise ServiceUnavailable("the dispatcher has failed")
         self.queries += 1
+        proto = cluster.net.protocol
         if initial != self._dispatcher:
-            yield from cluster.net.send_control(
-                initial, self._dispatcher, kind="lardng_query"
-            )
+            if proto is not None and proto.covers("lardng_query"):
+                ok = yield from proto.request_gen(
+                    initial,
+                    self._dispatcher,
+                    cluster.config.control_kb,
+                    "lardng_query",
+                    ni_time_s=cluster.config.ni_control_time(),
+                )
+            else:
+                ok = yield from cluster.net.send_control(
+                    initial, self._dispatcher, kind="lardng_query"
+                )
+            if not ok:
+                # The dispatcher is unreachable (lost query after
+                # retries, crash, partition): the accepting node times
+                # out and the client retries — the request aborts.
+                raise ServiceUnavailable("dispatcher query timed out")
         if self.decision_cpu_s > 0:
             yield from cluster.node(self._dispatcher).use_cpu(self.decision_cpu_s)
         decision = super().decide(initial, file_id)
         if initial != self._dispatcher:
-            yield from cluster.net.send_control(
-                self._dispatcher, initial, kind="lardng_reply"
-            )
+            if proto is not None and proto.covers("lardng_reply"):
+                ok = yield from proto.request_gen(
+                    self._dispatcher,
+                    initial,
+                    cluster.config.control_kb,
+                    "lardng_reply",
+                    ni_time_s=cluster.config.ni_control_time(),
+                )
+            else:
+                ok = yield from cluster.net.send_control(
+                    self._dispatcher, initial, kind="lardng_reply"
+                )
+            if not ok:
+                # The decision never reached the accepting node: undo
+                # the dispatcher's optimistic view charge and abort.
+                self.on_handoff_failed(initial, decision.target)
+                raise ServiceUnavailable("dispatcher reply timed out")
         return decision
 
     def decide(self, initial: int, file_id: int) -> Decision:

@@ -20,13 +20,14 @@ methodology.
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..cluster import Cluster, ClusterConfig
 from ..des import Environment, Tally
 from ..faults import AvailabilityTimeline, FaultInjector, FaultSchedule, RetryPolicy
+from ..netfaults import NetFaultInjector
 from ..servers import DistributionPolicy
 from ..workload import Trace
 from .lifecycle import client_request, start_fast_request
@@ -133,6 +134,18 @@ class Simulation:
         self._injector = (
             FaultInjector(self, faults) if faults is not None else None
         )
+        #: Timed link-down/partition events (``config.net_faults``).
+        self._net_injector = (
+            NetFaultInjector(self)
+            if self.cluster.net.netfaults is not None
+            and self.cluster.net.netfaults.config.schedule is not None
+            else None
+        )
+        #: Per-kind in-flight message levels at the warmup boundary, for
+        #: the sent/delivered/dropped reconciliation in message_stats.
+        self._inflight_at_measure: Dict[str, int] = {}
+        #: The built result, kept for callers that tolerate short runs.
+        self._result: Optional[SimResult] = None
         #: Client retry behaviour for aborted requests.  ``None`` keeps
         #: the historical semantics: an abort is a terminal failure.
         self.retry = retry
@@ -152,11 +165,15 @@ class Simulation:
         #: eligible: the chain performs the same incarnation-aware abort
         #: checks at every stage boundary.  REPRO_SIM_FASTPATH=0 forces
         #: the generator path everywhere (used by the equivalence suite).
+        #: Netfault runs force the generator path: reliable hand-offs
+        #: wait out protocol timeouts inline, which the callback chain
+        #: cannot express.
         self._fastpath = (
             os.environ.get("REPRO_SIM_FASTPATH", "1") != "0"
             and config.replicated_disks
             and not getattr(policy, "async_decide", False)
             and (retry is None or retry.timeout_s is None)
+            and self.cluster.net.netfaults is None
         )
 
     # -- injection -------------------------------------------------------------
@@ -309,6 +326,7 @@ class Simulation:
         self.cluster.reset_accounting()
         self.policy.reset_stats()
         self._response.reset()
+        self._inflight_at_measure = dict(self.cluster.net.in_flight_counts)
         if self.arrival_rate is not None:
             # Open loop: the measured pass is driven by Poisson arrivals.
             self.env.process(self._poisson_arrivals(), name="arrivals")
@@ -341,6 +359,8 @@ class Simulation:
             self._prewarm()
         if self._injector is not None:
             self._injector.start()
+        if self._net_injector is not None:
+            self._net_injector.start()
         if self.timeline is not None:
             self.timeline.start(lambda: self._finished >= self._total)
         if self._warmup_count == 0:
@@ -390,7 +410,7 @@ class Simulation:
             "ni_in": node_mean("ni_in"),
             "ni_out": node_mean("ni_out"),
         }
-        return SimResult(
+        self._result = SimResult(
             policy=self.policy.name,
             trace=self.trace.name,
             nodes=self.config.nodes,
@@ -414,7 +434,69 @@ class Simulation:
             requests_retried=self._retried,
             latency_percentiles=self._percentiles(),
             station_utilizations=stations,
+            requests_shed=sum(n.shed for n in cluster.nodes),
+            message_stats=self._message_stats(),
+            netfault_summary=self._netfault_summary(),
         )
+        return self._result
+
+    def _message_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-kind message accounting over the measured window.
+
+        Only populated under an active netfault layer — the legacy
+        counters stay the report of record otherwise.  ``in_flight`` is
+        the level change across the window, so the per-kind identity
+        ``sent == delivered + dropped + in_flight`` holds even though
+        the level itself is never reset.
+        """
+        net = self.cluster.net
+        if net.netfaults is None:
+            return {}
+        proto = net.protocol
+        kinds = set(net.message_counts)
+        kinds.update(net.delivered_counts, net.dropped_counts, net.dup_counts)
+        kinds.update(net.in_flight_counts, self._inflight_at_measure)
+        if proto is not None:
+            kinds.update(proto.retries, proto.acks, proto.dedups, proto.failures)
+        stats: Dict[str, Dict[str, int]] = {}
+        for kind in sorted(kinds):
+            row = {
+                "sent": net.message_counts.get(kind, 0),
+                "delivered": net.delivered_counts.get(kind, 0),
+                "dropped": net.dropped_counts.get(kind, 0),
+                "dup": net.dup_counts.get(kind, 0),
+                "in_flight": net.in_flight_counts.get(kind, 0)
+                - self._inflight_at_measure.get(kind, 0),
+            }
+            if proto is not None:
+                row["retries"] = proto.retries.get(kind, 0)
+                row["acks"] = proto.acks.get(kind, 0)
+                row["dedups"] = proto.dedups.get(kind, 0)
+                row["send_failures"] = proto.failures.get(kind, 0)
+            stats[kind] = row
+        return stats
+
+    def _netfault_summary(self) -> Dict[str, Any]:
+        net = self.cluster.net
+        nf = net.netfaults
+        if nf is None:
+            return {}
+        summary: Dict[str, Any] = {
+            "drop_causes": {
+                cause: net.drop_causes.get(cause, 0)
+                for cause in sorted(net.drop_causes)
+            },
+            "link_downs": nf.link_downs,
+            "partitions": nf.partitions,
+            "heals": nf.heals,
+            "requests_shed": sum(n.shed for n in self.cluster.nodes),
+        }
+        if net.protocol is not None:
+            summary["redispatches"] = net.protocol.redispatches
+        dfs = self.cluster.dfs
+        summary["dfs_remote_failures"] = dfs.remote_failures
+        summary["dfs_local_fallbacks"] = dfs.local_fallbacks
+        return summary
 
     def _percentiles(self) -> Dict[str, float]:
         if not self.record_latencies or not self._latencies:

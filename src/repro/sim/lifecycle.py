@@ -33,6 +33,7 @@ from __future__ import annotations
 from typing import Callable, Generator, Optional
 
 from ..cluster import Cluster
+from ..cluster.dfs import RemoteFetchFailed
 from ..cluster.node import CPU_BULK, CPU_PROMPT
 from ..des import Interrupt
 from ..des.core import URGENT
@@ -96,25 +97,57 @@ def client_request(
         if initial_dead():
             raise NodeFailedError(initial)
 
-        try:
-            if getattr(policy, "async_decide", False):
-                # Dispatcher-style policies decide through the messaging
-                # layer (e.g. lard-ng's query round-trip).
-                decision = yield from policy.decide_process(initial, file_id)
-            else:
-                decision = policy.decide(initial, file_id)
-        except ServiceUnavailable:
-            raise NodeFailedError(initial) from None
-        target = decision.target
-        if decision.forwarded:
+        proto = cluster.net.protocol
+        nf = cluster.net.netfaults
+        # On an unreliable fabric the front end may re-run the decision
+        # after a hand-off exhausts its message retries (partition
+        # tolerance); on a perfect fabric the budget is zero and the
+        # loop below runs exactly once.
+        redispatch_left = nf.config.handoff_redispatch if nf is not None else 0
+        while True:
+            try:
+                if getattr(policy, "async_decide", False):
+                    # Dispatcher-style policies decide through the
+                    # messaging layer (e.g. lard-ng's query round-trip).
+                    decision = yield from policy.decide_process(initial, file_id)
+                else:
+                    decision = policy.decide(initial, file_id)
+            except ServiceUnavailable:
+                raise NodeFailedError(initial) from None
+            target = decision.target
+            if not decision.forwarded:
+                break
             initial_node.forwarded += 1
             yield from initial_node.forward_work()
-            yield from cluster.net.send_message(
-                initial, target, hw.request_kb, kind="handoff"
-            )
+            if proto is not None and proto.covers("handoff"):
+                delivered = yield from proto.request_gen(
+                    initial, target, hw.request_kb, "handoff"
+                )
+            else:
+                delivered = yield from cluster.net.send_message(
+                    initial, target, hw.request_kb, kind="handoff"
+                )
+            if delivered:
+                break
+            # The hand-off (and all its retries) died in the fabric: let
+            # the policy roll back its optimistic view charge, then
+            # either re-dispatch or give up.
+            policy.on_handoff_failed(initial, target)
+            if redispatch_left <= 0 or initial_dead():
+                raise NodeFailedError(target)
+            redispatch_left -= 1
+            if proto is not None:
+                proto.redispatches += 1
 
         service_node = cluster.node(target)
         if service_node.failed:
+            raise NodeFailedError(target)
+        threshold = cluster.config.admission_threshold
+        if threshold is not None and service_node.open_connections >= threshold:
+            # Admission control: the connection queue is full; the node
+            # sheds the request and the client backs off and retries
+            # (the driver's RetryPolicy is the retry-after).
+            service_node.shed += 1
             raise NodeFailedError(target)
         service_inc = service_node.incarnation
 
@@ -141,7 +174,7 @@ def client_request(
             policy.on_connection_change(target)
             policy.on_complete(target, file_id)
             policy.on_connection_end(target)
-    except (NodeFailedError, Interrupt):
+    except (NodeFailedError, RemoteFetchFailed, Interrupt):
         if initial is not None:
             # Give dispatcher-style policies a chance to balance their
             # assignment counters for requests that never reached (or
@@ -339,7 +372,17 @@ class _FastRequest:
             self.hw.request_kb,
             kind="handoff",
             done=self._at_service,
+            on_drop=self._handoff_lost,
         )
+
+    def _handoff_lost(self) -> None:
+        """The hand-off died in the fabric (the target crashed while it
+        was in flight — netfault runs never use this path).  Without the
+        drop wiring the chain would simply stall and wedge the closed
+        loop; instead the policy rolls back its view charge and the
+        request aborts like any other crash casualty."""
+        self.policy.on_handoff_failed(self.initial, self.decision.target)
+        self._abort()
 
     # -- service node: fetch + reply ---------------------------------------
 
@@ -347,6 +390,11 @@ class _FastRequest:
         target = self.decision.target
         self.service_node = node = self.cluster.node(target)
         if node.failed:
+            self._abort()
+            return
+        threshold = self.cluster.config.admission_threshold
+        if threshold is not None and node.open_connections >= threshold:
+            node.shed += 1
             self._abort()
             return
         self.service_inc = node.incarnation

@@ -52,6 +52,28 @@ class SimResult:
     #: Measured utilization of every hardware station inside the window:
     #: "router" plus per-node-averaged "cpu", "disk", "ni_in", "ni_out".
     station_utilizations: Dict[str, float] = field(default_factory=dict)
+    #: Requests rejected by admission control inside the window (runs
+    #: with ``ClusterConfig.admission_threshold`` set).
+    requests_shed: int = 0
+    #: Per-message-kind delivery accounting, populated on runs with an
+    #: active netfault layer.  Each kind maps to sent / delivered /
+    #: dropped / dup / retries / acks / dedups / send_failures /
+    #: in_flight, where ``sent == delivered + dropped + in_flight``.
+    message_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: Run-wide netfault summary (drop causes, link/partition events,
+    #: DFS fallbacks, hand-off re-dispatches), same runs.
+    netfault_summary: Dict[str, Any] = field(default_factory=dict)
+
+    def message_reconciliation(self) -> Dict[str, int]:
+        """Per-kind ``sent - delivered - dropped - in_flight`` residuals.
+
+        All-zero means every counted message is accounted for; anything
+        else is a bookkeeping bug.  Empty when no netfault layer ran.
+        """
+        return {
+            kind: row["sent"] - row["delivered"] - row["dropped"] - row["in_flight"]
+            for kind, row in self.message_stats.items()
+        }
 
     def bottleneck_station(self) -> str:
         """The most utilized station type (empty string if unknown)."""

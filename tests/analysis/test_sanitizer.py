@@ -248,6 +248,49 @@ def test_leak_report_stalled_operation():
     assert tok != done_tok
 
 
+def test_leak_report_separates_undelivered_messages():
+    env = make_env()
+    san = env.sanitizer
+    san.op_begin("interconnect-message", "handoff")
+    san.op_begin("fast-request", "request #9, file 1")
+    report = san.finish()
+    assert not report.clean
+    assert len(report.undelivered_messages) == 1
+    assert "handoff" in report.undelivered_messages[0]
+    # The message leak is not double-reported as a stalled operation.
+    assert len(report.stalled_ops) == 1
+    assert "request #9" in report.stalled_ops[0]
+    assert "undelivered interconnect messages" in report.render()
+
+
+def test_sanitized_interconnect_tracks_message_delivery():
+    from repro.cluster import Cluster, ClusterConfig
+    from repro.model import MB
+
+    env = make_env()
+    cluster = Cluster(env, ClusterConfig(nodes=2, cache_bytes=1 * MB))
+    cluster.net.send_message_cb(0, 1, 64.0, "bulk")
+    env.run(until=1e-6)  # stop mid-flight
+    report = env.sanitizer.finish()
+    assert len(report.undelivered_messages) == 1
+    assert "bulk" in report.undelivered_messages[0]
+
+
+def test_sanitized_interconnect_clean_after_delivery_and_after_drop():
+    from repro.cluster import Cluster, ClusterConfig
+    from repro.model import MB
+
+    env = make_env()
+    cluster = Cluster(env, ClusterConfig(nodes=3, cache_bytes=1 * MB))
+    cluster.net.send_message_cb(0, 1, 1.0, "ok")
+    cluster.net.send_message_cb(0, 2, 1.0, "doomed")
+    cluster.node(2).crash()  # the drop still closes the message's op
+    env.run()
+    report = env.sanitizer.finish()
+    assert report.clean
+    assert report.undelivered_messages == []
+
+
 # -- pool bookkeeping -------------------------------------------------------
 
 

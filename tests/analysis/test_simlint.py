@@ -173,6 +173,63 @@ def test_rep006_allows_named_and_handled_exceptions():
     assert lint_source(src, NEUTRAL_PATH) == []
 
 
+# -- REP007: unseeded instance RNG in fault-injection code ----------------
+
+FAULT_PATH = "src/repro/faults/fixture.py"
+NETFAULT_PATH = "src/repro/netfaults/fixture.py"
+
+
+def test_rep007_flags_zero_arg_random_instance():
+    src = "import random\nrng = random.Random()\n"
+    assert rules_of(lint_source(src, FAULT_PATH)) == ["REP007"]
+    assert rules_of(lint_source(src, NETFAULT_PATH)) == ["REP007"]
+
+
+def test_rep007_flags_from_import_constructor():
+    src = "from random import Random\nrng = Random()\n"
+    assert rules_of(lint_source(src, NETFAULT_PATH)) == ["REP007"]
+
+
+def test_rep007_flags_numpy_constructors():
+    src = (
+        "import numpy as np\nfrom numpy.random import default_rng\n"
+        "a = np.random.default_rng()\n"
+        "b = np.random.RandomState()\n"
+        "c = default_rng()\n"
+    )
+    assert rules_of(lint_source(src, NETFAULT_PATH)) == ["REP007"] * 3
+
+
+def test_rep007_allows_seeded_constructors():
+    src = (
+        "import random\nimport numpy as np\n"
+        "a = random.Random(7)\nb = random.Random(seed)\n"
+        "c = np.random.default_rng(seed=3)\n"
+    )
+    assert lint_source(src, NETFAULT_PATH) == []
+
+
+def test_rep007_only_fires_in_fault_packages():
+    src = "import random\nrng = random.Random()\n"
+    assert lint_source(src, NEUTRAL_PATH) == []
+    assert lint_source(src, SIM_PATH) == []  # sim scope: REP001 territory
+
+
+def test_rep007_netfaults_is_also_sim_and_kernel_scope():
+    # The netfaults package joined SIM_SCOPE/KERNEL_SCOPE too: global-RNG
+    # draws and wall-clock reads are flagged there like everywhere else
+    # in the simulator.
+    draws = "import random\nx = random.random()\n"
+    assert rules_of(lint_source(draws, NETFAULT_PATH)) == ["REP001"]
+    clock = "import time\nt = time.time()\n"
+    assert rules_of(lint_source(clock, NETFAULT_PATH)) == ["REP003"]
+
+
+def test_rep007_suppression():
+    src = "import random\nrng = random.Random()  # simlint: disable=REP007\n"
+    assert lint_source(src, FAULT_PATH) == []
+
+
 # -- suppression -----------------------------------------------------------
 
 

@@ -1,0 +1,107 @@
+"""Tests for the unreliable-interconnect experiment (study A3)."""
+
+import pytest
+
+from repro.experiments import netfault_experiment
+from repro.experiments.netfault import NetFaultReport
+from repro.workload import build_fileset, generate_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    fs = build_fileset(250, 15 * 1024, 12 * 1024, 0.9, seed=13, name="nfx")
+    return generate_trace(fs, 3000, seed=14, name="nfx")
+
+
+@pytest.fixture(scope="module")
+def report(trace):
+    return netfault_experiment(
+        trace=trace,
+        nodes=4,
+        policies=("traditional", "l2s"),
+        loss_rates=(0.0, 0.02),
+        partition_group=(0,),
+        partition_window=(0.3, 0.6),
+        seed=1,
+    )
+
+
+def test_validation(trace):
+    with pytest.raises(ValueError):
+        netfault_experiment(trace=trace, policies=())
+    with pytest.raises(ValueError):
+        netfault_experiment(trace=trace, loss_rates=(1.0,))
+    with pytest.raises(ValueError):
+        netfault_experiment(trace=trace, partition_window=(0.6, 0.3))
+
+
+def test_report_shape(report):
+    assert isinstance(report, NetFaultReport)
+    assert report.nodes == 4 and report.requests == 3000
+    # Per policy: the loss sweep plus the protocol and partition cells.
+    by_policy = {}
+    for cell in report.cells:
+        by_policy.setdefault(cell.policy, []).append(cell.scenario)
+    assert by_policy == {
+        "traditional": ["loss", "loss", "protocol", "partition"],
+        "l2s": ["loss", "loss", "protocol", "partition"],
+    }
+    group, start, end = report.partition
+    assert group == (0,) and 0 < start < end
+
+
+def test_cells_reconcile_and_degrade_sensibly(report):
+    for cell in report.cells:
+        assert cell.reconciliation_residual == 0
+        assert 0.0 <= cell.served_fraction <= 1.0
+    lossy = {
+        c.policy: c
+        for c in report.cells
+        if c.scenario == "loss" and c.loss_rate > 0
+    }
+    # Loss shows up in the drop causes, and the protocol pushes back.
+    assert lossy["l2s"].drop_causes.get("loss", 0) > 0
+    assert lossy["l2s"].retries > 0
+    # A perfect-fabric traditional run needs no protocol effort at all.
+    clean_trad = next(
+        c
+        for c in report.cells
+        if c.policy == "traditional" and c.scenario == "loss" and c.loss_rate == 0
+    )
+    assert clean_trad.retries == clean_trad.send_failures == 0
+    assert clean_trad.served_fraction == 1.0
+
+
+def test_partition_cell_records_the_outage(report):
+    part = {c.policy: c for c in report.cells if c.scenario == "partition"}
+    assert part["l2s"].drop_causes.get("partition", 0) > 0
+
+
+def test_render_is_deterministic(trace, report):
+    text = report.render()
+    assert "Unreliable interconnect" in text
+    assert "seed 1" in text
+    assert "partition" in text
+    assert "sent == delivered + dropped + in-flight" in text
+    again = netfault_experiment(
+        trace=trace,
+        nodes=4,
+        policies=("traditional", "l2s"),
+        loss_rates=(0.0, 0.02),
+        partition_group=(0,),
+        partition_window=(0.3, 0.6),
+        seed=1,
+    )
+    assert again.render() == text
+
+
+def test_partition_group_none_skips_partition_cells(trace):
+    report = netfault_experiment(
+        trace=trace,
+        nodes=4,
+        policies=("traditional",),
+        loss_rates=(0.0,),
+        partition_group=None,
+    )
+    assert [c.scenario for c in report.cells] == ["loss"]
+    assert report.partition is None

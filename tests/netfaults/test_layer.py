@@ -1,0 +1,106 @@
+"""Tests for the runtime fault layer: per-message judgement and state."""
+
+import pytest
+
+from repro.des import Environment
+from repro.netfaults import NetFaultConfig, NetFaultLayer, NetFaultSchedule
+
+
+def make_layer(nodes=4, **cfg):
+    env = Environment()
+    return env, NetFaultLayer(env, NetFaultConfig(**cfg), nodes)
+
+
+def test_schedule_is_validated_against_cluster_size():
+    with pytest.raises(ValueError):
+        make_layer(nodes=2, schedule=NetFaultSchedule.parse("down:0-7@1"))
+
+
+def test_perfect_fabric_judges_everything_through():
+    env, layer = make_layer()
+    for _ in range(50):
+        assert layer.judge(0, 1, "msg") == (None, 0.0, False)
+
+
+def test_judgement_is_deterministic_for_a_seed():
+    _, a = make_layer(loss_rate=0.3, dup_rate=0.2, jitter_s=1e-4, seed=9)
+    _, b = make_layer(loss_rate=0.3, dup_rate=0.2, jitter_s=1e-4, seed=9)
+    fates_a = [a.judge(0, 1, "msg") for _ in range(200)]
+    fates_b = [b.judge(0, 1, "msg") for _ in range(200)]
+    assert fates_a == fates_b
+    assert any(f[0] == "loss" for f in fates_a)
+    assert any(f[2] for f in fates_a)
+
+
+def test_zero_rate_knobs_never_touch_the_rng():
+    # With every probabilistic knob at zero the RNG is never drawn, so
+    # enabling delay (a non-random knob) cannot perturb anything.
+    _, layer = make_layer(extra_delay_s=5e-6)
+    state = layer.rng.getstate()
+    for _ in range(20):
+        assert layer.judge(0, 1, "msg") == (None, 5e-6, False)
+    assert layer.rng.getstate() == state
+
+
+def test_jitter_bounds():
+    _, layer = make_layer(extra_delay_s=1e-6, jitter_s=1e-5, seed=2)
+    for _ in range(100):
+        cause, delay, _ = layer.judge(0, 1, "msg")
+        assert cause is None
+        assert 1e-6 <= delay < 1e-6 + 1e-5
+
+
+def test_link_down_blocks_both_directions_until_up():
+    env, layer = make_layer()
+    layer.link_down(2, 0)
+    assert layer.blocked(0, 2) == "link"
+    assert layer.blocked(2, 0) == "link"
+    assert layer.blocked(0, 1) is None
+    assert layer.judge(0, 2, "msg")[0] == "link"
+    layer.link_up(0, 2)  # endpoint order does not matter
+    assert layer.blocked(0, 2) is None
+    assert layer.link_downs == 1
+
+
+def test_partition_blocks_cross_group_traffic_only():
+    env, layer = make_layer(nodes=4)
+    layer.start_partition((0, 1))
+    assert layer.blocked(0, 2) == "partition"
+    assert layer.blocked(3, 1) == "partition"
+    assert layer.blocked(0, 1) is None  # same minority side
+    assert layer.blocked(2, 3) is None  # same majority side
+    layer.heal_partition()
+    assert layer.blocked(0, 2) is None
+    assert layer.partitions == 1 and layer.heals == 1
+
+
+def test_partition_outranks_link_state_in_cause():
+    env, layer = make_layer(nodes=4)
+    layer.link_down(0, 2)
+    layer.start_partition((0,))
+    assert layer.blocked(0, 2) == "partition"
+    layer.heal_partition()
+    assert layer.blocked(0, 2) == "link"
+
+
+def test_per_link_loss_composes_with_global_loss():
+    _, layer = make_layer(loss_rate=0.5, link_loss=((0, 1, 0.5),), seed=4)
+    # Composed rate 0.75 on the hot link, 0.5 elsewhere.
+    hot = sum(layer.judge(0, 1, "msg")[0] == "loss" for _ in range(400))
+    _, layer2 = make_layer(loss_rate=0.5, link_loss=((0, 1, 0.5),), seed=4)
+    cold = sum(layer2.judge(2, 3, "msg")[0] == "loss" for _ in range(400))
+    assert hot > cold
+    assert 230 < hot < 370  # ~300 expected
+    assert 130 < cold < 270  # ~200 expected
+
+
+def test_duplicate_link_loss_entries_compose():
+    _, layer = make_layer(link_loss=((0, 1, 0.5), (1, 0, 0.5)))
+    assert layer._link_loss[(0, 1)] == pytest.approx(0.75)
+
+
+def test_event_log_records_times():
+    env, layer = make_layer()
+    env.run(until=2.5)
+    layer.link_down(0, 1)
+    assert layer.event_log == [(2.5, "link_down 0-1")]

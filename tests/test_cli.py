@@ -63,6 +63,60 @@ def test_figure_command_validates_number():
         build_parser().parse_args(["figure", "5"])  # 7-10 only
 
 
+def test_netfaults_command(tmp_path, capsys):
+    out = tmp_path / "nf.txt"
+    args = [
+        "netfaults",
+        "calgary",
+        "--policies",
+        "l2s",
+        "--nodes",
+        "2",
+        "--requests",
+        "1500",
+        "--loss",
+        "0.01",
+        "--seed",
+        "3",
+        "--out",
+        str(out),
+    ]
+    assert main(args) == 0
+    text = capsys.readouterr().out
+    assert "Unreliable interconnect" in text
+    assert "l2s" in text and "loss 1.0%" in text
+    first = out.read_text()
+    assert first == text.rstrip("\n") + "\n" or first in text
+    # Same seed, byte-identical report (the CI smoke's contract).
+    assert main(args) == 0
+    capsys.readouterr()
+    assert out.read_text() == first
+
+
+def test_netfaults_command_with_schedule(capsys):
+    assert (
+        main(
+            [
+                "netfaults",
+                "calgary",
+                "--policies",
+                "traditional",
+                "--nodes",
+                "2",
+                "--requests",
+                "1500",
+                "--loss",
+                "0",
+                "--schedule",
+                "link:0-1@0.05..0.1",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "traditional" in out
+
+
 def test_analyze_command_preset(capsys):
     assert main(["analyze", "nasa", "--requests", "4000", "--memories", "8,32"]) == 0
     out = capsys.readouterr().out

@@ -34,10 +34,17 @@ that guarantee *before* they reach a run:
 ``REP007`` unseeded-instance-rng
     Zero-argument RNG constructors (``random.Random()``,
     ``numpy.random.default_rng()``, ``numpy.random.RandomState()``) inside
-    the fault-injection packages (``repro.faults``, ``repro.netfaults``).
-    An instance seeded from OS entropy makes every fault/loss schedule
-    differ run to run; pass an explicit seed so injected failures are
-    replayable.
+    the fault-injection packages (``repro.faults``, ``repro.netfaults``,
+    ``repro.chaos``).  An instance seeded from OS entropy makes every
+    fault/loss schedule differ run to run; pass an explicit seed so
+    injected failures are replayable.
+``REP008`` fragile-oracle-check
+    In chaos/oracle code (``repro.chaos``): comparing against a float
+    literal with ``==``/``!=``, or an ``assert`` whose condition derives
+    from a wall-clock read.  Float-equality oracles pass or fail on
+    representation noise, and wall-clock asserts make a replayed
+    scenario's verdict depend on machine speed — both break the
+    "same scenario, same verdict" contract replay and shrinking rely on.
 
 Suppression
 -----------
@@ -79,18 +86,26 @@ RULES: Dict[str, str] = {
     "REP006": "swallowed-exception: bare or blanket exception handler",
     "REP007": "unseeded-instance-rng: zero-argument RNG constructor in "
     "fault-injection code",
+    "REP008": "fragile-oracle-check: float ==/!= literal comparison or "
+    "wall-clock-derived assert in chaos code",
 }
 
 #: Package directories whose files count as "simulation code" (REP001).
 SIM_SCOPE = frozenset(
-    {"des", "sim", "servers", "cluster", "faults", "netfaults", "workload"}
+    {"des", "sim", "servers", "cluster", "faults", "netfaults", "workload",
+     "chaos"}
 )
 #: Package directories where wall-clock reads are forbidden (REP003).
+#: ``chaos`` is deliberately absent: its soak mode budgets *real*
+#: minutes; REP008 polices the dangerous wall-clock use there instead.
 KERNEL_SCOPE = frozenset({"des", "sim", "servers", "cluster", "faults",
                           "netfaults"})
 #: Fault-injection packages where unseeded RNG instances are forbidden
 #: (REP007): injected failures must replay exactly for a fixed seed.
-FAULT_SCOPE = frozenset({"faults", "netfaults"})
+FAULT_SCOPE = frozenset({"faults", "netfaults", "chaos"})
+#: Chaos/oracle packages where fragile verdict checks are forbidden
+#: (REP008).
+CHAOS_SCOPE = frozenset({"chaos"})
 
 #: random-module attributes that are safe to call (seeded constructors and
 #: state plumbing, not draws from the global generator).
@@ -402,7 +417,8 @@ class _Checker(ast.NodeVisitor):
                 "pass an explicit seed",
             )
 
-    def _check_wall_clock(self, node: ast.Call) -> None:
+    def _wall_clock_name(self, node: ast.Call) -> Optional[str]:
+        """A printable name when ``node`` is a wall-clock read."""
         func = node.func
         if isinstance(func, ast.Attribute):
             value = func.value
@@ -411,13 +427,7 @@ class _Checker(ast.NodeVisitor):
                 and value.id in self._time_mods
                 and func.attr in _TIME_ATTRS
             ):
-                self._emit(
-                    node,
-                    "REP003",
-                    f"time.{func.attr}() reads the wall clock; simulation "
-                    "code must use env.now",
-                )
-                return
+                return f"time.{func.attr}"
             if func.attr in _DATETIME_ATTRS and not node.args:
                 root = value
                 while isinstance(root, ast.Attribute):
@@ -426,17 +436,18 @@ class _Checker(ast.NodeVisitor):
                     isinstance(root, ast.Name)
                     and root.id in self._datetime_names
                 ):
-                    self._emit(
-                        node,
-                        "REP003",
-                        f"{ast.unparse(func)}() reads the wall clock; "
-                        "simulation code must use env.now",
-                    )
+                    return ast.unparse(func)
         elif isinstance(func, ast.Name) and func.id in self._time_funcs:
+            return func.id
+        return None
+
+    def _check_wall_clock(self, node: ast.Call) -> None:
+        name = self._wall_clock_name(node)
+        if name is not None:
             self._emit(
                 node,
                 "REP003",
-                f"{func.id}() reads the wall clock; simulation code must "
+                f"{name}() reads the wall clock; simulation code must "
                 "use env.now",
             )
 
@@ -492,8 +503,8 @@ class _Checker(ast.NodeVisitor):
 
     def visit_Compare(self, node: ast.Compare) -> None:
         ordering = (ast.Lt, ast.LtE, ast.Gt, ast.GtE)
+        operands = [node.left, *node.comparators]
         if any(isinstance(op, ordering) for op in node.ops):
-            operands = [node.left, *node.comparators]
             if any(
                 isinstance(o, ast.Call)
                 and isinstance(o.func, ast.Name)
@@ -506,6 +517,38 @@ class _Checker(ast.NodeVisitor):
                     "comparison of id() values orders by object address; "
                     "ids vary between runs",
                 )
+        # REP008 — float-literal equality in chaos/oracle code.
+        if any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            for operand in operands:
+                if isinstance(operand, ast.Constant) and isinstance(
+                    operand.value, float
+                ):
+                    self._emit(
+                        node,
+                        "REP008",
+                        f"==/!= against the float literal "
+                        f"{operand.value!r}: oracle verdicts must not "
+                        "hinge on exact float representation; compare "
+                        "with an inequality or an explicit tolerance",
+                    )
+                    break
+        self.generic_visit(node)
+
+    # -- REP008 (wall-clock asserts) ----------------------------------------
+
+    def visit_Assert(self, node: ast.Assert) -> None:
+        for sub in ast.walk(node.test):
+            if isinstance(sub, ast.Call):
+                name = self._wall_clock_name(sub)
+                if name is not None:
+                    self._emit(
+                        node,
+                        "REP008",
+                        f"assert derives from {name}(): a wall-clock "
+                        "condition makes the verdict depend on machine "
+                        "speed; assert on simulated state instead",
+                    )
+                    break
         self.generic_visit(node)
 
     # -- REP002 ------------------------------------------------------------
@@ -653,6 +696,8 @@ def _active_rules(path: str, select: Optional[Set[str]]) -> Set[str]:
         active.discard("REP003")
     if not dirs & FAULT_SCOPE:
         active.discard("REP007")
+    if not dirs & CHAOS_SCOPE:
+        active.discard("REP008")
     return active
 
 

@@ -1,0 +1,231 @@
+"""Seeded scenario generation: sampling combined fault plans.
+
+Every trial derives its own ``random.Random`` from ``(sweep seed,
+trial index)`` — the derivation mirrors
+:meth:`repro.faults.schedule.FaultSchedule.stochastic` — so trial *k*
+of seed *S* is the same scenario forever, independent of how many
+trials run or in what order.  The generated plan mixes:
+
+* crash windows (always with a recovery inside the horizon — permanent
+  deaths are the curated A2 experiment's job, and bounded windows keep
+  the shrinker's narrowing moves meaningful);
+* fail-slow windows (CPU factor in [0.2, 0.8], later restored);
+* link outages and partitions (always healed — an unhealed partition
+  can strand requests forever, which the conservation oracle would
+  report as a true positive that no shrink can localize);
+* at most one each of the run-wide fabric rates (loss, dup, delay,
+  jitter) and one flash-crowd spike.
+
+The run horizon is *estimated analytically* from the paper's model
+bound (:func:`repro.sim.runner.model_bound_for_trace`) rather than by a
+calibration run: deterministic, costs microseconds, and only needs to
+be the right order of magnitude — fault windows are sampled inside the
+first ~70% of the estimate so they land inside the real run even when
+the estimate is generous.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from ..model import MB
+from ..sim.runner import model_bound_for_trace
+from .spec import PlanItem, Scenario
+
+__all__ = ["ScenarioGenerator", "generate_scenario", "DEFAULT_POLICIES"]
+
+#: The paper's four robustness subjects, cycled across trials so every
+#: sweep of >= 4 trials covers all of them.
+DEFAULT_POLICIES: Tuple[str, ...] = ("traditional", "lard", "lard-ng", "l2s")
+
+#: Fraction of the achievable model bound a faulted simulation run is
+#: assumed to reach when estimating its duration.  Deliberately low:
+#: underestimating throughput overestimates the horizon, which only
+#: spreads fault windows a little thinner.
+_ASSUMED_BOUND_FRACTION = 0.35
+
+
+def estimate_horizon_s(trace: str, requests: int, nodes: int,
+                       cache_mb: int) -> float:
+    """Deterministic run-duration estimate for window sampling."""
+    bound = model_bound_for_trace(
+        trace, nodes=nodes, cache_bytes=cache_mb * MB
+    )
+    rps = max(1.0, bound.throughput * _ASSUMED_BOUND_FRACTION)
+    return max(1e-3, requests / rps)
+
+
+class ScenarioGenerator:
+    """Samples :class:`Scenario` specs from a sweep seed."""
+
+    def __init__(
+        self,
+        seed: int,
+        policies: Sequence[str] = DEFAULT_POLICIES,
+        trace: str = "calgary",
+        requests: int = 1200,
+        nodes_choices: Sequence[int] = (4, 6, 8),
+        cache_mb: int = 16,
+        retries: int = 4,
+        max_items: int = 4,
+    ):
+        if not policies:
+            raise ValueError("need at least one policy")
+        self.seed = seed
+        self.policies = tuple(policies)
+        self.trace = trace
+        self.requests = requests
+        self.nodes_choices = tuple(nodes_choices)
+        self.cache_mb = cache_mb
+        self.retries = retries
+        self.max_items = max_items
+
+    def generate(self, trial: int) -> Scenario:
+        """The scenario for one trial index — a pure function of
+        ``(self.seed, trial)`` and the generator's parameters."""
+        rng = random.Random((self.seed << 24) ^ (trial * 0x9E3779B1))
+        policy = self.policies[trial % len(self.policies)]
+        nodes = rng.choice(list(self.nodes_choices))
+        horizon = estimate_horizon_s(
+            self.trace, self.requests, nodes, self.cache_mb
+        )
+        plan = _sample_plan(rng, policy, nodes, horizon, self.max_items)
+        return Scenario(
+            name=f"chaos-s{self.seed}-t{trial:04d}",
+            seed=(self.seed << 16) ^ trial,
+            trace=self.trace,
+            requests=self.requests,
+            policy=policy,
+            nodes=nodes,
+            cache_mb=self.cache_mb,
+            horizon_s=round(horizon, 6),
+            retries=self.retries,
+            failover_s=(
+                round(horizon * 0.02, 6) if policy == "lard-ng" else None
+            ),
+            view_max_age_s=(
+                round(horizon * 0.25, 6) if policy == "l2s" else None
+            ),
+            plan=tuple(plan),
+        )
+
+
+def _window(rng: random.Random, horizon: float) -> Tuple[float, float]:
+    """A fault window inside the first ~70% of the (estimated) run."""
+    start = rng.uniform(0.08, 0.45) * horizon
+    length = rng.uniform(0.05, 0.25) * horizon
+    return round(start, 6), round(start + length, 6)
+
+
+def _sample_plan(
+    rng: random.Random,
+    policy: str,
+    nodes: int,
+    horizon: float,
+    max_items: int,
+) -> List[PlanItem]:
+    """Sample a combined fault plan.
+
+    Windowed faults may repeat (several crashes, overlapping slow
+    windows); the run-wide rates and the flash spike appear at most
+    once each — two ``loss`` items would just shadow one another in
+    :meth:`Scenario.netfault_config`, leaving dead plan weight the
+    shrinker would have to discover by brute force.
+    """
+    kinds = ["crash", "crash", "slow", "link_out", "partition",
+             "loss", "dup", "jitter", "delay", "flash"]
+    count = rng.randint(1, max_items)
+    used_once = set()
+    plan: List[PlanItem] = []
+    for _ in range(count):
+        kind = rng.choice(kinds)
+        if kind in ("loss", "dup", "jitter", "delay", "flash"):
+            if kind in used_once:
+                continue
+            used_once.add(kind)
+        plan.append(_sample_item(rng, kind, policy, nodes, horizon))
+    if not plan:
+        plan.append(_sample_item(rng, "crash", policy, nodes, horizon))
+    return plan
+
+
+def _sample_item(
+    rng: random.Random,
+    kind: str,
+    policy: str,
+    nodes: int,
+    horizon: float,
+) -> PlanItem:
+    if kind == "crash":
+        start, end = _window(rng, horizon)
+        return PlanItem(
+            kind="crash", node=rng.randrange(nodes), start=start, end=end
+        )
+    if kind == "slow":
+        start, end = _window(rng, horizon)
+        return PlanItem(
+            kind="slow",
+            node=rng.randrange(nodes),
+            start=start,
+            end=end,
+            factor=round(rng.uniform(0.2, 0.8), 3),
+        )
+    if kind == "link_out":
+        start, end = _window(rng, horizon)
+        a = rng.randrange(nodes)
+        b = rng.randrange(nodes - 1)
+        if b >= a:
+            b += 1
+        return PlanItem(kind="link_out", src=a, dst=b, start=start, end=end)
+    if kind == "partition":
+        start, end = _window(rng, horizon)
+        size = rng.randint(1, max(1, nodes // 2))
+        group = tuple(sorted(rng.sample(range(nodes), size)))
+        return PlanItem(kind="partition", group=group, start=start, end=end)
+    if kind == "loss":
+        return PlanItem(kind="loss", rate=round(rng.uniform(0.001, 0.03), 5))
+    if kind == "dup":
+        return PlanItem(kind="dup", rate=round(rng.uniform(0.001, 0.02), 5))
+    if kind == "jitter":
+        return PlanItem(
+            kind="jitter", seconds=round(rng.uniform(5e-6, 2e-4), 8)
+        )
+    if kind == "delay":
+        return PlanItem(
+            kind="delay", seconds=round(rng.uniform(5e-6, 1e-4), 8)
+        )
+    if kind == "flash":
+        start = round(rng.uniform(0.2, 0.5), 3)
+        length = round(rng.uniform(0.1, 0.3), 3)
+        return PlanItem(
+            kind="flash",
+            start=start,
+            end=round(start + length, 3),
+            share=round(rng.uniform(0.3, 0.7), 3),
+        )
+    raise ValueError(f"unknown sample kind {kind!r}")
+
+
+def generate_scenario(
+    trial: int,
+    seed: int,
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    trace: str = "calgary",
+    requests: int = 1200,
+    nodes_choices: Sequence[int] = (4, 6, 8),
+    cache_mb: int = 16,
+    retries: int = 4,
+    max_items: int = 4,
+) -> Scenario:
+    """One-call form of :meth:`ScenarioGenerator.generate`."""
+    return ScenarioGenerator(
+        seed,
+        policies=policies,
+        trace=trace,
+        requests=requests,
+        nodes_choices=nodes_choices,
+        cache_mb=cache_mb,
+        retries=retries,
+        max_items=max_items,
+    ).generate(trial)

@@ -1,0 +1,156 @@
+"""Scenario execution: spec -> simulation -> verdict.
+
+:func:`run_scenario` is the single execution path shared by ``repro
+chaos run`` (fresh scenarios), ``repro chaos replay`` (a scenario file),
+and the shrinker's predicate (candidate scenarios).  Everything the run
+does derives from the :class:`~repro.chaos.spec.Scenario` alone, so the
+same spec always produces the same :class:`~repro.sim.results.SimResult`
+and the same violations — byte-identical replay reports are what the CI
+chaos-smoke job diffs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from ..cluster import ClusterConfig
+from ..experiments.flashcrowd import flash_crowd_trace
+from ..faults import RetryPolicy
+from ..model import MB
+from ..servers import make_policy
+from ..sim import SimResult, Simulation
+from ..workload import Trace, synthesize
+from .oracle import ChaosOracle, OracleConfig, Violation
+from .spec import Scenario
+
+__all__ = ["ChaosOutcome", "run_scenario", "build_trace", "render_report"]
+
+
+@dataclass(frozen=True)
+class ChaosOutcome:
+    """One scenario's run: results, oracle verdicts, bookkeeping."""
+
+    scenario: Scenario
+    #: None when the run ended early (stranded requests — itself a
+    #: conservation violation, so ``violations`` is never empty then).
+    result: Optional[SimResult]
+    violations: List[Violation]
+    #: The driver's early-end error message, if any.
+    early_error: Optional[str]
+    #: Whole-run served fraction (completed / generated).
+    served_fraction: float
+    requests_failed: int
+    requests_retried: int
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+
+def build_trace(scenario: Scenario) -> Trace:
+    """The workload for a scenario: preset synthesis + flash rewrite."""
+    trace = synthesize(
+        scenario.trace, num_requests=scenario.requests, seed=scenario.seed
+    )
+    flash = scenario.flash_item()
+    if flash is not None:
+        trace = flash_crowd_trace(
+            trace,
+            spike_start=flash.start,
+            spike_length=flash.end - flash.start,
+            hot_share=flash.share,
+            hot_rank=flash.rank,
+            seed=scenario.seed,
+        )
+    return trace
+
+
+def _build_policy(scenario: Scenario):
+    kwargs: Dict[str, Any] = {}
+    if scenario.policy == "l2s" and scenario.view_max_age_s is not None:
+        kwargs["view_max_age_s"] = scenario.view_max_age_s
+    if scenario.policy == "lard-ng" and scenario.failover_s is not None:
+        kwargs["failover_s"] = scenario.failover_s
+    return make_policy(scenario.policy, **kwargs)
+
+
+def run_scenario(
+    scenario: Scenario,
+    oracle_config: Optional[OracleConfig] = None,
+    sanitize: Optional[bool] = None,
+) -> ChaosOutcome:
+    """Execute one scenario under the full oracle catalog."""
+    trace = build_trace(scenario)
+    config = ClusterConfig(
+        nodes=scenario.nodes,
+        cache_bytes=scenario.cache_mb * MB,
+        net_faults=scenario.netfault_config(),
+    )
+    sim = Simulation(
+        trace,
+        _build_policy(scenario),
+        config,
+        warmup_fraction=0.1,
+        passes=1,
+        seed=scenario.seed,
+        faults=scenario.fault_schedule(),
+        retry=RetryPolicy(max_retries=scenario.retries),
+        sanitize=sanitize,
+    )
+    oracle = ChaosOracle(scenario, oracle_config)
+    oracle.attach(sim)
+    result: Optional[SimResult] = None
+    early: Optional[str] = None
+    try:
+        result = sim.run()
+    except RuntimeError as exc:
+        early = str(exc)
+    violations = oracle.finish(early)
+    generated = max(1, sim._next)
+    return ChaosOutcome(
+        scenario=scenario,
+        result=result,
+        violations=violations,
+        early_error=early,
+        served_fraction=sim._completed / generated,
+        requests_failed=sim._failed,
+        requests_retried=sim._retried,
+    )
+
+
+def render_report(outcome: ChaosOutcome) -> str:
+    """Deterministic text report for one outcome (replay diffs this)."""
+    s = outcome.scenario
+    lines = [
+        s.describe(),
+        f"  plan events: {s.event_count()}  "
+        f"retries/request: {s.retries}  horizon est: {s.horizon_s:g}s",
+    ]
+    r = outcome.result
+    if r is not None:
+        lines.append(
+            f"  served {r.requests_measured + r.requests_warmup}"
+            f"/{r.requests_generated} "
+            f"(fraction {outcome.served_fraction:.4f}), "
+            f"failed {outcome.requests_failed}, "
+            f"retried {outcome.requests_retried}, "
+            f"shed {r.requests_shed}"
+        )
+        lines.append(
+            f"  measured {r.requests_measured} requests at "
+            f"{r.throughput_rps:.1f} req/s over {r.sim_seconds:.4f}s, "
+            f"miss {r.miss_rate:.4f}, forwarded {r.forwarded_fraction:.4f}"
+        )
+    else:
+        lines.append(
+            f"  RUN ENDED EARLY: {outcome.early_error} "
+            f"(served fraction {outcome.served_fraction:.4f})"
+        )
+    if outcome.violations:
+        lines.append(f"  VIOLATIONS ({len(outcome.violations)}):")
+        for v in outcome.violations:
+            lines.append(f"    {v.render()}")
+    else:
+        lines.append("  oracles: all passed")
+    return "\n".join(lines)

@@ -1,0 +1,231 @@
+"""Delta-debugging shrinker: minimal reproducers from failing scenarios.
+
+Given a scenario whose oracle run fails, :func:`shrink_scenario` finds a
+smaller scenario that *still fails the same way* in three deterministic
+passes:
+
+1. **ddmin over plan items** — the classic Zeller/Hildebrandt algorithm
+   on the fault plan: try dropping complements of ever-finer chunks,
+   keeping any reduced plan that still fails.  This removes whole fault
+   events.
+2. **window narrowing** — for every surviving windowed item, repeatedly
+   halve the window toward its start while the failure persists.
+3. **magnitude shrinking** — halve rates/seconds, pull slow factors
+   toward 1.0, halve flash shares; keep each move only if the failure
+   persists.
+
+Every candidate evaluation is a full deterministic re-run (same seed,
+same trace), so the shrink itself is reproducible: the same failing
+input always minimizes to the byte-identical scenario.  Evaluations are
+memoized on the canonical JSON of the candidate, and the total number of
+*fresh* runs is budgeted (``max_runs``) so a shrink can't run away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .oracle import OracleConfig
+from .spec import PlanItem, Scenario
+
+__all__ = ["ShrinkResult", "shrink_scenario", "still_fails", "render_shrink"]
+
+#: A predicate deciding "does this candidate still reproduce the
+#: failure?".  Injectable for tests; the default re-runs the oracles.
+Predicate = Callable[[Scenario], bool]
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """Outcome of a shrink: the minimal scenario plus bookkeeping."""
+
+    #: The minimized scenario (still failing).
+    scenario: Scenario
+    #: The input it was shrunk from.
+    original: Scenario
+    #: Fresh predicate evaluations spent (cache hits excluded).
+    runs: int
+    #: True when the run budget expired before the passes finished; the
+    #: result is still a valid (if possibly non-minimal) reproducer.
+    budget_exhausted: bool
+
+    @property
+    def events_before(self) -> int:
+        return self.original.event_count()
+
+    @property
+    def events_after(self) -> int:
+        return self.scenario.event_count()
+
+
+def still_fails(
+    scenario: Scenario, oracle_config: Optional[OracleConfig] = None
+) -> bool:
+    """The default predicate: run the scenario, True iff any oracle
+    fires."""
+    from .runner import run_scenario  # local: avoid import cycle
+
+    return bool(run_scenario(scenario, oracle_config).violations)
+
+
+class _Budget:
+    """Memoized, counted predicate evaluation."""
+
+    def __init__(self, predicate: Predicate, max_runs: int):
+        self._predicate = predicate
+        self.max_runs = max_runs
+        self.runs = 0
+        self.exhausted = False
+        self._cache: Dict[str, bool] = {}
+
+    def check(self, scenario: Scenario) -> bool:
+        key = scenario.to_json()
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        if self.runs >= self.max_runs:
+            # Out of budget: treat unknown candidates as "does not
+            # reproduce" so no pass accepts an unverified shrink.
+            self.exhausted = True
+            return False
+        self.runs += 1
+        verdict = self._predicate(scenario)
+        self._cache[key] = verdict
+        return verdict
+
+
+def _ddmin_items(
+    scenario: Scenario, budget: _Budget
+) -> Tuple[PlanItem, ...]:
+    """Minimize the plan-item list with ddmin."""
+    items: List[PlanItem] = list(scenario.plan)
+    granularity = 2
+    while len(items) >= 2:
+        chunk = max(1, len(items) // granularity)
+        reduced = False
+        start = 0
+        while start < len(items):
+            candidate = items[:start] + items[start + chunk:]
+            if candidate and budget.check(scenario.with_plan(candidate)):
+                items = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                start = 0
+                continue
+            start += chunk
+        if not reduced:
+            if granularity >= len(items):
+                break
+            granularity = min(len(items), granularity * 2)
+    # A single remaining item might itself be droppable (the failure may
+    # not need any fault at all, e.g. a broken oracle or base-run bug).
+    if len(items) == 1 and budget.check(scenario.with_plan([])):
+        items = []
+    return tuple(items)
+
+
+def _narrow_windows(
+    scenario: Scenario, budget: _Budget
+) -> Tuple[PlanItem, ...]:
+    """Halve each surviving fault window toward its start while the
+    failure persists."""
+    items = list(scenario.plan)
+    for idx, item in enumerate(items):
+        if item.end is None or item.kind == "flash":
+            continue
+        for _ in range(8):  # halving 8x shrinks a window 256-fold
+            span = item.end - item.start
+            if span <= 1e-6:
+                break
+            narrowed = replace(item, end=round(item.start + span / 2.0, 6))
+            candidate = items[:idx] + [narrowed] + items[idx + 1:]
+            if not budget.check(scenario.with_plan(candidate)):
+                break
+            item = narrowed
+            items[idx] = narrowed
+    return tuple(items)
+
+
+def _shrink_one_magnitude(item: PlanItem) -> Optional[PlanItem]:
+    """The next smaller-magnitude version of an item, or None when the
+    item is already minimal."""
+    if item.kind in ("loss", "dup") and item.rate > 1e-5:
+        return replace(item, rate=round(item.rate / 2.0, 6))
+    if item.kind in ("delay", "jitter") and item.seconds > 1e-7:
+        return replace(item, seconds=round(item.seconds / 2.0, 8))
+    if item.kind == "slow" and item.factor < 0.95:
+        # Pull the CPU factor toward 1.0 (no slowdown).
+        return replace(
+            item, factor=round(item.factor + (1.0 - item.factor) / 2.0, 3)
+        )
+    if item.kind == "flash" and item.share > 0.05:
+        return replace(item, share=round(item.share / 2.0, 3))
+    return None
+
+
+def _shrink_magnitudes(
+    scenario: Scenario, budget: _Budget
+) -> Tuple[PlanItem, ...]:
+    items = list(scenario.plan)
+    for idx in range(len(items)):
+        while True:
+            smaller = _shrink_one_magnitude(items[idx])
+            if smaller is None:
+                break
+            candidate = items[:idx] + [smaller] + items[idx + 1:]
+            if not budget.check(scenario.with_plan(candidate)):
+                break
+            items[idx] = smaller
+    return tuple(items)
+
+
+def shrink_scenario(
+    scenario: Scenario,
+    oracle_config: Optional[OracleConfig] = None,
+    max_runs: int = 200,
+    predicate: Optional[Predicate] = None,
+) -> ShrinkResult:
+    """Minimize a failing scenario to a smaller reproducer.
+
+    Raises ``ValueError`` if the input scenario does not fail its own
+    oracles — shrinking a passing scenario would "minimize" to noise.
+    """
+    check = predicate
+    if check is None:
+        def check(s: Scenario) -> bool:
+            return still_fails(s, oracle_config)
+    budget = _Budget(check, max_runs)
+    if not budget.check(scenario):
+        raise ValueError(
+            f"scenario {scenario.name!r} does not fail its oracles; "
+            "nothing to shrink"
+        )
+    current = scenario
+    for shrink_pass in (_ddmin_items, _narrow_windows, _shrink_magnitudes):
+        current = current.with_plan(shrink_pass(current, budget))
+    # Every accepted move was predicate-verified, so `current` fails.
+    return ShrinkResult(
+        scenario=current,
+        original=scenario,
+        runs=budget.runs,
+        budget_exhausted=budget.exhausted,
+    )
+
+
+def render_shrink(result: ShrinkResult, out_path: str) -> str:
+    """Deterministic human-readable shrink summary."""
+    lines = [
+        f"shrunk {result.original.name}: "
+        f"{result.events_before} -> {result.events_after} fault events "
+        f"in {result.runs} runs"
+        + (" (budget exhausted)" if result.budget_exhausted else ""),
+        f"minimal reproducer written to {out_path}",
+        f"replay: {result.scenario.replay_cli(out_path)}",
+        "plan:",
+    ]
+    for item in result.scenario.plan:
+        lines.append(f"  - {item.describe()}")
+    if not result.scenario.plan:
+        lines.append("  (empty — the failure needs no fault plan at all)")
+    return "\n".join(lines)

@@ -7,17 +7,28 @@ Commands
 ``repro surfaces``
     Print the model figures 3-6 as terminal heat maps.
 ``repro simulate TRACE POLICY [--nodes N] [--requests K] [--memory MB]``
-    One simulation run with a summary line.
+    One simulation run with a summary line (``--verify`` additionally
+    checks the result's request/message books and exits nonzero on any
+    imbalance).
 ``repro figure {7,8,9,10} [--requests K] [--workers N]``
     Reproduce one of the scaling figures (model + all three systems).
 ``repro faults TRACE POLICY [--schedule SPEC | --mtbf S --mttr S | --crash-node I]``
     Fault-injection run: crash/recover/slow nodes on a schedule, retry
-    aborted requests, and print the availability timeline.
+    aborted requests, and print the availability timeline.  Accepts a
+    chaos scenario file via ``--spec`` (its node-fault half runs; the
+    positional TRACE/POLICY then become optional overrides).
 ``repro netfaults TRACE [--policies P1,P2] [--loss R] [--schedule SPEC]``
     Unreliable-interconnect run: seeded message loss / duplication /
     delay and timed link-down or partition schedules, with the
     message-reliability protocol on, reported as a deterministic
     policy-comparison table (``--sweep`` runs the full A3 loss sweep).
+    Accepts a chaos scenario file via ``--spec`` (its fabric half runs
+    under the scenario's own policy).
+``repro chaos {run,replay,shrink,soak}``
+    Randomized fault-scenario fuzzing: seeded sweeps of combined fault
+    plans under invariant oracles, byte-identical replay of stored
+    scenarios, and delta-debugging shrinks of failures down to minimal
+    reproducers (see docs/CHAOS.md and ``repro chaos --help``).
 ``repro bound TRACE [--nodes N] [--memory MB]``
     The analytic locality-conscious bound for a trace.
 ``repro analyze TRACE [--requests K] [--memories 8,32,128]``
@@ -84,6 +95,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--sanitize", action="store_true",
         help="run under the DES sanitizer and print its leak report",
     )
+    p_sim.add_argument(
+        "--verify", action="store_true",
+        help="check the result's request/message books "
+        "(SimResult.verify) and exit nonzero on any imbalance",
+    )
 
     p_fig = sub.add_parser("figure", help="reproduce figure 7, 8, 9 or 10")
     p_fig.add_argument("number", type=int, choices=sorted(FIGURE_TRACES))
@@ -96,9 +112,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_flt = sub.add_parser(
         "faults", help="fault-injection run with an availability timeline"
     )
-    p_flt.add_argument("trace", help="calgary|clarknet|nasa|rutgers")
     p_flt.add_argument(
-        "policy", help="l2s|lard|lard-ng|traditional|round-robin|consistent-hash"
+        "trace", nargs="?", default=None,
+        help="calgary|clarknet|nasa|rutgers (optional with --spec)",
+    )
+    p_flt.add_argument(
+        "policy", nargs="?", default=None,
+        help="l2s|lard|lard-ng|traditional|round-robin|consistent-hash "
+        "(optional with --spec)",
+    )
+    p_flt.add_argument(
+        "--spec", default=None, metavar="SCENARIO.json",
+        help="chaos scenario file: run its node-fault half with its "
+        "trace/policy/nodes/seed/retries (positional TRACE/POLICY "
+        "override when given)",
     )
     p_flt.add_argument("--nodes", type=int, default=8)
     p_flt.add_argument("--requests", type=int, default=None)
@@ -162,7 +189,10 @@ def build_parser() -> argparse.ArgumentParser:
         "netfaults",
         help="unreliable-interconnect run (loss/dup/delay/partition)",
     )
-    p_net.add_argument("trace", help="calgary|clarknet|nasa|rutgers")
+    p_net.add_argument(
+        "trace", nargs="?", default=None,
+        help="calgary|clarknet|nasa|rutgers (optional with --spec)",
+    )
     p_net.add_argument(
         "--policies", default="traditional,lard,lard-ng,l2s",
         help="comma-separated policy names (default: the paper's four)",
@@ -204,6 +234,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--sweep", action="store_true",
         help="run the full A3 experiment (loss sweep + timed partition) "
         "instead of the single scenario",
+    )
+    p_net.add_argument(
+        "--spec", default=None, metavar="SCENARIO.json",
+        help="chaos scenario file: run its fabric half (loss/dup/delay/"
+        "jitter rates, link outages, partitions) under the scenario's "
+        "own trace, policy, cluster size, and seed",
     )
     p_net.add_argument(
         "--out", default=None, metavar="PATH",
@@ -270,6 +306,12 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "lint",
         help="determinism linter (see `repro lint --help`)",
+        add_help=False,
+    )
+    sub.add_parser(
+        "chaos",
+        help="fault-scenario fuzzing: run/replay/shrink/soak "
+        "(see `repro chaos --help`)",
         add_help=False,
     )
     return parser
@@ -340,6 +382,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         f"({result.throughput_rps / bound.throughput:.0%} achieved; "
         f"bottleneck {bound.bottleneck})"
     )
+    if args.verify:
+        problems = result.verify()
+        if problems:
+            for problem in problems:
+                print(f"verify: {problem}", file=sys.stderr)
+            return 1
+        print(
+            f"verify: books balance ({result.requests_generated:,} "
+            "requests conserved)"
+        )
     return 0
 
 
@@ -430,9 +482,70 @@ def _cmd_netfaults(args: argparse.Namespace) -> int:
         print("--policies must name at least one policy", file=sys.stderr)
         return 2
     view_max_age = args.view_max_age if args.view_max_age > 0 else None
-    trace = synthesize(args.trace, num_requests=args.requests, seed=args.seed)
+    if args.trace is None and args.spec is None:
+        print(
+            "netfaults: TRACE is required without --spec", file=sys.stderr
+        )
+        return 2
+    if args.trace is not None:
+        trace = synthesize(
+            args.trace, num_requests=args.requests, seed=args.seed
+        )
 
-    if args.sweep:
+    if args.spec is not None:
+        if args.sweep or args.schedule is not None:
+            print(
+                "--spec carries its own fabric plan; it is exclusive "
+                "with --sweep and --schedule",
+                file=sys.stderr,
+            )
+            return 2
+        from .chaos.spec import ChaosSpecError, Scenario
+
+        try:
+            scenario = Scenario.load(args.spec)
+        except ChaosSpecError as exc:
+            print(f"netfaults: invalid scenario — {exc}", file=sys.stderr)
+            return 2
+        nf = scenario.netfault_config()
+        if nf is None:
+            # No fabric items: exercise the reliability protocol on a
+            # clean fabric rather than silently doing nothing.
+            print(
+                f"note: {args.spec} has no fabric items; running with "
+                "the reliability protocol on a clean fabric"
+            )
+            nf = NetFaultConfig(seed=scenario.seed, always_on=True)
+        # The scenario supplies the workload; an explicit positional
+        # TRACE still wins, mirroring `repro faults --spec`.
+        trace = synthesize(
+            args.trace or scenario.trace,
+            num_requests=args.requests or scenario.requests,
+            seed=scenario.seed,
+        )
+        config = ClusterConfig(
+            nodes=scenario.nodes,
+            cache_bytes=scenario.cache_mb * MB,
+            net_faults=nf,
+        )
+        sim = run_netfault_simulation(
+            trace,
+            scenario.policy,
+            config,
+            view_max_age_s=scenario.view_max_age_s,
+        )
+        report = NetFaultReport(
+            trace=trace.name,
+            nodes=scenario.nodes,
+            requests=len(trace),
+            seed=scenario.seed,
+            loss_rates=(nf.loss_rate,),
+            partition=None,
+            cells=[
+                summarize_run(sim, scenario.policy, nf.loss_rate, "loss")
+            ],
+        )
+    elif args.sweep:
         report = netfault_experiment(
             trace=trace,
             nodes=args.nodes,
@@ -501,6 +614,47 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     if args.schedule is not None and args.mtbf is not None:
         print("--schedule and --mtbf/--mttr are exclusive", file=sys.stderr)
         return 2
+
+    spec_schedule = None
+    if args.spec is not None:
+        if args.schedule is not None or args.mtbf is not None:
+            print(
+                "--spec carries its own schedule; it is exclusive with "
+                "--schedule and --mtbf/--mttr",
+                file=sys.stderr,
+            )
+            return 2
+        from .chaos.spec import ChaosSpecError, Scenario
+
+        try:
+            scenario = Scenario.load(args.spec)
+        except ChaosSpecError as exc:
+            print(f"faults: invalid scenario — {exc}", file=sys.stderr)
+            return 2
+        # The scenario supplies the run shape; explicit positionals
+        # still win so a stored scenario can be rerun elsewhere.
+        args.trace = args.trace or scenario.trace
+        args.policy = args.policy or scenario.policy
+        args.nodes = scenario.nodes
+        args.memory = scenario.cache_mb
+        args.seed = scenario.seed
+        args.requests = args.requests or scenario.requests
+        args.retries = scenario.retries
+        if args.failover is None:
+            args.failover = scenario.failover_s
+        spec_schedule = scenario.fault_schedule()
+        if spec_schedule is None:
+            print(
+                f"note: {args.spec} has no node-fault items "
+                "(fabric/workload items belong to `repro netfaults` and "
+                "`repro chaos`); running the healthy baseline",
+            )
+    if args.trace is None or args.policy is None:
+        print(
+            "faults: TRACE and POLICY are required without --spec",
+            file=sys.stderr,
+        )
+        return 2
     if args.failover is not None and args.policy != "lard-ng":
         print("--failover only applies to lard-ng", file=sys.stderr)
         return 2
@@ -511,7 +665,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         max_retries=args.retries, timeout_s=args.timeout
     )
 
-    if args.schedule is None and args.mtbf is None:
+    if args.spec is None and args.schedule is None and args.mtbf is None:
         # Fraction mode: crash one node partway through, reboot it later.
         r = fault_recovery_experiment(
             args.policy,
@@ -551,7 +705,9 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             trace, args.policy, config, faults=None, failover_s=args.failover
         )
         total_s = healthy._last_completion
-        if args.schedule is not None:
+        if spec_schedule is not None or args.spec is not None:
+            schedule = spec_schedule
+        elif args.schedule is not None:
             schedule = FaultSchedule.parse(args.schedule)
         else:
             schedule = FaultSchedule.stochastic(
@@ -561,7 +717,8 @@ def _cmd_faults(args: argparse.Namespace) -> int:
                 mttr_s=args.mttr,
                 seed=args.seed,
             )
-        print(f"schedule: {schedule.describe()}")
+        if schedule is not None:
+            print(f"schedule: {schedule.describe()}")
         sim = run_fault_simulation(
             trace,
             args.policy,
@@ -605,6 +762,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .analysis.simlint import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        # Likewise for the chaos harness.
+        from .chaos.cli import main as chaos_main
+
+        return chaos_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.command == "tables":
         return _cmd_tables()

@@ -265,6 +265,10 @@ def _result_or_partial(sim: Simulation) -> SimResult:
         requests_shed=sum(n.shed for n in sim.cluster.nodes),
         message_stats=sim._message_stats(),
         netfault_summary=sim._netfault_summary(),
+        # A short run has requests stranded in flight, so verify() on
+        # this partial result reports the conservation gap — truthfully.
+        requests_generated=sim._next,
+        requests_failed_warmup=sim._failed_at_measure,
     )
 
 

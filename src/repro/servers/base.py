@@ -22,7 +22,7 @@ from __future__ import annotations
 import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from ..cluster import Cluster
 
@@ -206,3 +206,15 @@ class DistributionPolicy(ABC):
     def stats(self) -> Dict[str, Any]:
         """Policy-specific statistics for reports."""
         return {}
+
+    def check_invariants(self) -> List[str]:
+        """Structural invariants of the policy's internal state.
+
+        Returns a list of problem descriptions (empty = healthy).  The
+        chaos oracle calls this both mid-run and post-run, so the checks
+        must be cheap and must only assert properties that hold at
+        *every* quiescent instant — not merely at the end of a clean
+        run.  Base policies keep no distributed state; subclasses with
+        load views or server sets (LARD, L2S) override.
+        """
+        return []

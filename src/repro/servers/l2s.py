@@ -391,3 +391,48 @@ class L2SPolicy(DistributionPolicy):
             "mean_server_set_size": self.mean_server_set_size(),
             "files_with_server_sets": len(self._server_sets),
         }
+
+    def check_invariants(self) -> List[str]:
+        """Structural bounds on L2S's distributed state.
+
+        Checked: thresholds ordered (t <= T), every server set non-empty
+        and duplicate-free with members that are in-range alive nodes,
+        and each alive node's view of *itself* non-negative.  Remote
+        view entries are deliberately unchecked: the optimistic
+        charge/rollback protocol can legitimately push a remote estimate
+        transiently negative when a broadcast overwrite races a
+        hand-off rollback — staleness, not corruption.
+        """
+        problems: List[str] = []
+        n = self._require_cluster().num_nodes
+        if self.underload_threshold > self.overload_threshold:
+            problems.append(
+                f"l2s: underload threshold {self.underload_threshold} "
+                f"exceeds overload threshold {self.overload_threshold}"
+            )
+        for file_id, sset in self._server_sets.items():
+            if not sset:
+                problems.append(
+                    f"l2s: file {file_id} has an empty server set"
+                )
+            if len(set(sset)) != len(sset):
+                problems.append(
+                    f"l2s: file {file_id} server set has duplicates: {sset}"
+                )
+            for member in sset:
+                if not 0 <= member < n:
+                    problems.append(
+                        f"l2s: file {file_id} server set names node "
+                        f"{member}, outside the {n}-node cluster"
+                    )
+                elif member in self.failed_nodes:
+                    problems.append(
+                        f"l2s: file {file_id} server set names failed "
+                        f"node {member}"
+                    )
+        for i in range(n):
+            if i not in self.failed_nodes and self._views[i][i] < 0:
+                problems.append(
+                    f"l2s: node {i} sees its own load as {self._views[i][i]}"
+                )
+        return problems

@@ -75,6 +75,10 @@ class LARDPolicy(DistributionPolicy):
         self.shrinks = 0
         self.completion_notices = 0
         self.front_end_restarts = 0
+        #: Notice debits discarded because the table that held their
+        #: charges was lost in a restart (dropped stale notices plus
+        #: post-restart acknowledgements clamped at zero).
+        self.stale_acks = 0
 
     @property
     def front_end(self) -> int:
@@ -92,6 +96,11 @@ class LARDPolicy(DistributionPolicy):
         self._set_modified: Dict[int, float] = {}
         #: Completions at each back-end not yet covered by a notice.
         self._pending_notice: List[int] = [0] * n
+        #: Incremented whenever the view table restarts cold (front-end
+        #: reboot, dispatcher re-election).  Completion notices delivered
+        #: across a table restart must not debit the fresh table: the
+        #: hand-offs they acknowledge were charged to the *old* table.
+        self._table_gen = 0
 
     # -- arrival: everything lands on the front-end ------------------------------
 
@@ -121,13 +130,21 @@ class LARDPolicy(DistributionPolicy):
     def on_node_recovered(self, node_id: int) -> None:
         """Rejoin semantics per role.
 
-        A rebooted **back-end** re-enters the pool with an empty cache,
-        a zeroed view entry, and no server-set membership — LARD
-        re-replicates hot files onto it through the normal t_high/t_low
-        path.  A rebooted **front-end** resumes service, but its LARD
-        tables (views, server sets, pending notices) restart cold: the
-        state lived in the front-end's memory, which is exactly why the
-        paper calls it a single point of failure.
+        A rebooted **back-end** re-enters the pool with an empty cache
+        and no server-set membership — LARD re-replicates hot files onto
+        it through the normal t_high/t_low path.  Its view entry is *not*
+        forced to zero: the view is front-end memory, and every
+        connection charged to the dead incarnation still closes through
+        the normal abort path (possibly after the reboot) and sends its
+        completion notice, so the entry drains to zero on its own — the
+        same drain-through contract :meth:`Node.recover` keeps for the
+        node's connection count.  Zeroing it here would double-credit
+        those connections and drive the view negative.
+
+        A rebooted **front-end** resumes service, but its LARD tables
+        (views, server sets, pending notices) restart cold: the state
+        lived in the front-end's memory, which is exactly why the paper
+        calls it a single point of failure.
         """
         super().on_node_recovered(node_id)
         if self._single_node:
@@ -138,12 +155,11 @@ class LARDPolicy(DistributionPolicy):
             self._server_sets.clear()
             self._set_modified.clear()
             self._pending_notice = [0] * n
+            self._table_gen += 1
             self.front_end_restarts += 1
         else:
             if node_id not in self._back_ends:
                 insort(self._back_ends, node_id)
-            self._view[node_id] = 0
-            self._pending_notice[node_id] = 0
 
     # -- LARD/R -------------------------------------------------------------------
 
@@ -229,9 +245,26 @@ class LARDPolicy(DistributionPolicy):
         ``src == dst`` shortcut applies the update synchronously.
         """
         cluster = self._require_cluster()
+        gen = self._table_gen
 
         def apply() -> None:
-            self._view[back_end] -= batch
+            if self._table_gen != gen:
+                # The table restarted cold (front-end reboot, dispatcher
+                # election) while the notice was in flight; the charges
+                # it acknowledges died with the old table, and debiting
+                # the fresh one would drive the view negative.
+                self.stale_acks += batch
+                return
+            view = self._view
+            debit = batch
+            if self._table_gen and debit > view[back_end]:
+                # Post-restart notices can acknowledge hand-offs charged
+                # to the lost table (connections that straddled the
+                # restart).  A restarted front-end has no record of them:
+                # it ignores the excess rather than going negative.
+                self.stale_acks += debit - view[back_end]
+                debit = view[back_end]
+            view[back_end] -= debit
             self.completion_notices += 1
 
         proto = cluster.net.protocol
@@ -249,9 +282,19 @@ class LARDPolicy(DistributionPolicy):
             )
 
     def on_handoff_failed(self, initial: int, target: int) -> None:
-        """Roll back the view charge of a hand-off that never arrived."""
-        if not self._single_node:
+        """Roll back the view charge of a hand-off that never opened a
+        connection — lost in the fabric, dead on arrival, or shed by
+        admission control.
+
+        Clamped at zero: if the table restarted cold between the charge
+        and the failure, there is nothing left to roll back.
+        """
+        if self._single_node:
+            return
+        if self._view[target] > 0:
             self._view[target] -= 1
+        else:
+            self.stale_acks += 1
 
     # -- reporting ----------------------------------------------------------------------
 
@@ -269,6 +312,40 @@ class LARDPolicy(DistributionPolicy):
             "shrinks": self.shrinks,
             "completion_notices": self.completion_notices,
             "front_end_restarts": self.front_end_restarts,
+            "stale_acks": self.stale_acks,
             "front_end_view": list(self._view),
             "files_with_server_sets": len(self._server_sets),
         }
+
+    def check_invariants(self) -> List[str]:
+        problems: List[str] = []
+        if self._single_node:
+            return problems
+        for i, load in enumerate(self._view):
+            if load < 0:
+                problems.append(
+                    f"lard: front-end view of node {i} is negative ({load})"
+                )
+        alive = set(self._back_ends)
+        for file_id, sset in self._server_sets.items():
+            if not sset:
+                problems.append(
+                    f"lard: file {file_id} has an empty server set"
+                )
+            if len(set(sset)) != len(sset):
+                problems.append(
+                    f"lard: file {file_id} server set has duplicates: {sset}"
+                )
+            for member in sset:
+                if member not in alive:
+                    problems.append(
+                        f"lard: file {file_id} server set names node "
+                        f"{member}, which is not an alive back-end"
+                    )
+        for i, pending in enumerate(self._pending_notice):
+            if not 0 <= pending < self.completion_batch:
+                problems.append(
+                    f"lard: node {i} pending-notice count {pending} "
+                    f"outside [0, {self.completion_batch})"
+                )
+        return problems

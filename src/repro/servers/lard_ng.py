@@ -143,6 +143,7 @@ class DispatcherLARDPolicy(LARDPolicy):
         self._server_sets.clear()
         self._set_modified.clear()
         self._pending_notice = [0] * n
+        self._table_gen += 1
         self.elections += 1
         cluster.net.broadcast_control(self._dispatcher, kind="lardng_elect")
 

@@ -98,6 +98,10 @@ class Simulation:
         self._next = 0
         self._completed = 0
         self._failed = 0
+        #: Terminal failures seen before the measurement boundary
+        #: (snapshotted in :meth:`_begin_measurement`); feeds the
+        #: conservation identity in :meth:`SimResult.verify`.
+        self._failed_at_measure = 0
         self._measured = 0
         self._measured_forwarded = 0
         self._measure_start: Optional[float] = None
@@ -327,6 +331,7 @@ class Simulation:
         self.policy.reset_stats()
         self._response.reset()
         self._inflight_at_measure = dict(self.cluster.net.in_flight_counts)
+        self._failed_at_measure = self._failed
         if self.arrival_rate is not None:
             # Open loop: the measured pass is driven by Poisson arrivals.
             self.env.process(self._poisson_arrivals(), name="arrivals")
@@ -437,6 +442,8 @@ class Simulation:
             requests_shed=sum(n.shed for n in cluster.nodes),
             message_stats=self._message_stats(),
             netfault_summary=self._netfault_summary(),
+            requests_generated=self._next,
+            requests_failed_warmup=self._failed_at_measure,
         )
         return self._result
 

@@ -141,12 +141,18 @@ def client_request(
 
         service_node = cluster.node(target)
         if service_node.failed:
+            # Dead on arrival: the hand-off reached a crashed node, so no
+            # connection will ever open there and no completion notice
+            # will ever acknowledge the decide-time view charge.
+            policy.on_handoff_failed(initial, target)
             raise NodeFailedError(target)
         threshold = cluster.config.admission_threshold
         if threshold is not None and service_node.open_connections >= threshold:
             # Admission control: the connection queue is full; the node
             # sheds the request and the client backs off and retries
-            # (the driver's RetryPolicy is the retry-after).
+            # (the driver's RetryPolicy is the retry-after).  A shed
+            # connection never opens, so the view charge rolls back too.
+            policy.on_handoff_failed(initial, target)
             service_node.shed += 1
             raise NodeFailedError(target)
         service_inc = service_node.incarnation
@@ -390,10 +396,14 @@ class _FastRequest:
         target = self.decision.target
         self.service_node = node = self.cluster.node(target)
         if node.failed:
+            # Mirrors the generator path: dead on arrival rolls back the
+            # decide-time view charge (no connection, no notice).
+            self.policy.on_handoff_failed(self.initial, target)
             self._abort()
             return
         threshold = self.cluster.config.admission_threshold
         if threshold is not None and node.open_connections >= threshold:
+            self.policy.on_handoff_failed(self.initial, target)
             node.shed += 1
             self._abort()
             return

@@ -63,6 +63,80 @@ class SimResult:
     #: Run-wide netfault summary (drop causes, link/partition events,
     #: DFS fallbacks, hand-off re-dispatches), same runs.
     netfault_summary: Dict[str, Any] = field(default_factory=dict)
+    #: Total requests the driver generated, warmup included (0 on
+    #: results built by older code paths; :meth:`verify` then skips the
+    #: conservation identity).
+    requests_generated: int = 0
+    #: Terminal failures that happened *before* the measurement
+    #: boundary.  The warmup boundary triggers on *finished* requests
+    #: (completed + failed), so ``requests_warmup`` includes these;
+    #: ``requests_failed`` is the run-wide failure total.
+    requests_failed_warmup: int = 0
+
+    def verify(self) -> List[str]:
+        """Check the result's books; returns problem strings (empty = ok).
+
+        Opt-in (the driver never calls it): ``repro simulate --verify``
+        and the chaos oracle do.  Checked:
+
+        * request conservation — every generated request completed or
+          failed: ``generated == (warmup completions) + (measured
+          completions) + (failures before and after the boundary)``;
+        * non-negative counters and a sane measurement window;
+        * per-kind message reconciliation residuals are all zero (only
+          meaningful on runs that populated ``message_stats``).
+        """
+        problems: List[str] = []
+        if self.requests_generated > 0:
+            # requests_warmup counts *finished* warmup requests
+            # (completions and failures both advance the boundary), so
+            # warmup failures must not be double-counted against the
+            # run-wide requests_failed total.
+            accounted = (
+                (self.requests_warmup - self.requests_failed_warmup)
+                + self.requests_measured
+                + self.requests_failed
+            )
+            if self.requests_generated != accounted:
+                problems.append(
+                    f"request conservation: generated "
+                    f"{self.requests_generated} != warmup completions "
+                    f"{self.requests_warmup - self.requests_failed_warmup} "
+                    f"+ measured {self.requests_measured} + failed "
+                    f"{self.requests_failed} = {accounted}"
+                )
+            if self.requests_failed_warmup > self.requests_failed:
+                problems.append(
+                    f"warmup failures {self.requests_failed_warmup} exceed "
+                    f"the run-wide failure total {self.requests_failed}"
+                )
+            if self.requests_failed_warmup > self.requests_warmup:
+                problems.append(
+                    f"warmup failures {self.requests_failed_warmup} exceed "
+                    f"finished warmup requests {self.requests_warmup}"
+                )
+        for name in (
+            "requests_measured",
+            "requests_warmup",
+            "requests_failed",
+            "requests_failed_warmup",
+            "requests_retried",
+            "requests_shed",
+        ):
+            value = getattr(self, name)
+            if value < 0:
+                problems.append(f"negative counter: {name} = {value}")
+        if self.sim_seconds < 0.0:
+            problems.append(
+                f"negative measurement window: {self.sim_seconds!r}s"
+            )
+        for kind, residual in sorted(self.message_reconciliation().items()):
+            if residual != 0:
+                problems.append(
+                    f"message books for kind {kind!r}: sent - delivered - "
+                    f"dropped - in_flight = {residual}"
+                )
+        return problems
 
     def message_reconciliation(self) -> Dict[str, int]:
         """Per-kind ``sent - delivered - dropped - in_flight`` residuals.

@@ -230,6 +230,55 @@ def test_rep007_suppression():
     assert lint_source(src, FAULT_PATH) == []
 
 
+# -- REP008: fragile oracle checks in chaos code ---------------------------
+
+CHAOS_PATH = "src/repro/chaos/fixture.py"
+
+
+def test_rep008_flags_float_literal_equality():
+    src = "if served == 1.0:\n    pass\n"
+    assert rules_of(lint_source(src, CHAOS_PATH)) == ["REP008"]
+
+
+def test_rep008_flags_float_literal_inequality():
+    src = "ok = rate != 0.5\n"
+    assert rules_of(lint_source(src, CHAOS_PATH)) == ["REP008"]
+
+
+def test_rep008_allows_ordered_float_comparisons():
+    src = "if served < 0.95 or rate > 0.0:\n    pass\n"
+    assert lint_source(src, CHAOS_PATH) == []
+
+
+def test_rep008_allows_integer_equality():
+    src = "if failed == 0:\n    pass\n"
+    assert lint_source(src, CHAOS_PATH) == []
+
+
+def test_rep008_flags_wall_clock_assert():
+    src = "import time\nassert time.monotonic() < deadline\n"
+    assert "REP008" in rules_of(lint_source(src, CHAOS_PATH))
+
+
+def test_rep008_allows_wall_clock_outside_asserts():
+    # chaos soak legitimately budgets real minutes; the chaos package is
+    # outside KERNEL_SCOPE so a plain read is fine — only *asserting* on
+    # one is fragile.
+    src = "import time\ndeadline = time.monotonic() + 60.0\n"
+    assert lint_source(src, CHAOS_PATH) == []
+
+
+def test_rep008_only_fires_in_chaos_scope():
+    src = "if served == 1.0:\n    pass\n"
+    assert lint_source(src, NEUTRAL_PATH) == []
+    assert lint_source(src, SIM_PATH) == []
+
+
+def test_rep008_suppression():
+    src = "ok = x == 0.25  # simlint: disable=REP008\n"
+    assert lint_source(src, CHAOS_PATH) == []
+
+
 # -- suppression -----------------------------------------------------------
 
 

@@ -1,0 +1,52 @@
+"""Scenario generator: determinism and plan well-formedness."""
+
+from repro.chaos.generator import DEFAULT_POLICIES, ScenarioGenerator
+from repro.chaos.spec import PLAN_KINDS, RATE_KINDS
+
+
+class TestDeterminism:
+    def test_same_seed_same_trial_is_byte_identical(self):
+        a = ScenarioGenerator(42).generate(7)
+        b = ScenarioGenerator(42).generate(7)
+        assert a.to_json() == b.to_json()
+
+    def test_trials_are_independent_of_generation_order(self):
+        gen = ScenarioGenerator(42)
+        forward = [gen.generate(t).to_json() for t in range(6)]
+        gen2 = ScenarioGenerator(42)
+        backward = [gen2.generate(t).to_json() for t in reversed(range(6))]
+        assert forward == list(reversed(backward))
+
+    def test_different_seeds_differ(self):
+        a = ScenarioGenerator(1).generate(0)
+        b = ScenarioGenerator(2).generate(0)
+        assert a.to_json() != b.to_json()
+
+
+class TestPlans:
+    def test_plans_validate_and_cover_kinds(self):
+        gen = ScenarioGenerator(11)
+        seen = set()
+        for trial in range(60):
+            s = gen.generate(trial)  # __post_init__ validates
+            seen.update(item.kind for item in s.plan)
+            assert s.policy in DEFAULT_POLICIES
+        assert seen <= set(PLAN_KINDS)
+        assert "crash" in seen  # weighted up; 60 trials must sample it
+
+    def test_rate_kinds_appear_at_most_once_per_plan(self):
+        gen = ScenarioGenerator(13)
+        for trial in range(40):
+            counts = gen.generate(trial).counts()
+            for kind in RATE_KINDS + ("flash",):
+                assert counts.get(kind, 0) <= 1
+
+    def test_windows_stay_inside_the_horizon(self):
+        gen = ScenarioGenerator(17)
+        for trial in range(40):
+            s = gen.generate(trial)
+            for item in s.plan:
+                if item.kind in ("crash", "slow", "link_out", "partition"):
+                    assert 0.0 <= item.start < s.horizon_s
+                    if item.end is not None:
+                        assert item.start < item.end <= s.horizon_s

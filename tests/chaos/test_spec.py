@@ -1,0 +1,128 @@
+"""Scenario spec: canonical round-trip and field-naming validation."""
+
+import json
+import os
+
+import pytest
+
+from repro.chaos.spec import ChaosSpecError, PlanItem, Scenario
+
+DATA = os.path.join(os.path.dirname(__file__), "data")
+
+
+def _scenario(**overrides):
+    kwargs = dict(
+        name="spec-test",
+        seed=99,
+        trace="calgary",
+        requests=400,
+        policy="lard",
+        nodes=4,
+        cache_mb=8,
+        horizon_s=1.5,
+        retries=2,
+        plan=(
+            PlanItem("crash", node=2, start=0.3, end=0.9),
+            PlanItem("slow", node=1, start=0.2, end=0.4, factor=0.5),
+            PlanItem("link_out", src=0, dst=3, start=0.1, end=0.2),
+            PlanItem("partition", group=(2, 3), start=0.5, end=0.7),
+            PlanItem("loss", rate=0.01),
+            PlanItem("dup", rate=0.005),
+            PlanItem("jitter", seconds=1e-4),
+            PlanItem("flash", start=0.2, end=0.6, share=0.3, rank=1),
+        ),
+    )
+    kwargs.update(overrides)
+    return Scenario(**kwargs)
+
+
+class TestRoundTrip:
+    def test_json_round_trips_byte_identically(self):
+        s = _scenario()
+        text = s.to_json()
+        assert Scenario.from_json(text).to_json() == text
+
+    def test_canonical_form(self):
+        text = _scenario().to_json()
+        assert text.endswith("\n")
+        assert text == json.dumps(json.loads(text), indent=2,
+                                  sort_keys=True) + "\n"
+
+    def test_save_load_round_trip(self, tmp_path):
+        s = _scenario()
+        path = str(tmp_path / "s.json")
+        s.save(path)
+        assert Scenario.load(path) == s
+
+    def test_compact_items_omit_defaults(self):
+        d = PlanItem("loss", rate=0.02).to_dict()
+        assert d == {"kind": "loss", "rate": 0.02}
+
+    def test_stored_fixtures_round_trip(self):
+        for fname in ("planted.json", "smoke.json"):
+            path = os.path.join(DATA, fname)
+            with open(path, encoding="utf-8") as fh:
+                text = fh.read()
+            assert Scenario.from_json(text).to_json() == text
+
+
+class TestValidation:
+    def test_error_names_the_plan_field(self):
+        with pytest.raises(ChaosSpecError) as exc:
+            _scenario(plan=(PlanItem("crash", node=9, start=0.1),))
+        assert str(exc.value).startswith("plan[0].node:")
+        assert exc.value.field == "plan[0].node"
+
+    def test_unknown_kind(self):
+        with pytest.raises(ChaosSpecError, match=r"plan\[0\]\.kind"):
+            _scenario(plan=(PlanItem("meteor"),))
+
+    def test_window_must_end_after_start(self):
+        with pytest.raises(ChaosSpecError, match=r"plan\[0\]\.end"):
+            _scenario(plan=(PlanItem("crash", node=1, start=0.5, end=0.5),))
+
+    def test_partition_group_sorted_unique(self):
+        with pytest.raises(ChaosSpecError, match=r"plan\[0\]\.group"):
+            _scenario(plan=(PlanItem("partition", group=(3, 2), start=0.1),))
+
+    def test_unknown_scenario_field_rejected(self):
+        obj = json.loads(_scenario().to_json())
+        obj["warp_factor"] = 9
+        with pytest.raises(ChaosSpecError, match="warp_factor"):
+            Scenario.from_dict(obj)
+
+    def test_unknown_item_field_rejected(self):
+        obj = json.loads(_scenario().to_json())
+        obj["plan"][0]["blast_radius"] = 3
+        with pytest.raises(ChaosSpecError, match=r"plan\[0\]\.blast_radius"):
+            Scenario.from_dict(obj)
+
+    def test_unknown_policy_and_trace(self):
+        with pytest.raises(ChaosSpecError, match="policy"):
+            _scenario(policy="quantum")
+        with pytest.raises(ChaosSpecError, match="trace"):
+            _scenario(trace="berkeley")
+
+
+class TestDerived:
+    def test_fault_schedule_pairs_crash_with_recover(self):
+        sched = _scenario().fault_schedule()
+        kinds = [(e.kind, e.node) for e in sched.events]
+        assert ("crash", 2) in kinds and ("recover", 2) in kinds
+
+    def test_netfault_config_carries_rates_and_events(self):
+        nf = _scenario().netfault_config()
+        assert nf.loss_rate == pytest.approx(0.01)
+        assert nf.dup_rate == pytest.approx(0.005)
+        kinds = [e.kind for e in nf.schedule.events]
+        assert "link_down" in kinds and "partition" in kinds
+
+    def test_clean_plan_yields_no_schedules(self):
+        s = _scenario(plan=())
+        assert s.fault_schedule() is None
+        assert s.netfault_config() is None
+
+    def test_event_count_matches_legacy_grammar(self):
+        # crash+recover=2, slow=2, link_out=2, partition=2, loss/dup/
+        # jitter=1 each, flash=1.
+        assert _scenario().event_count() == 12

@@ -1,0 +1,111 @@
+"""SimResult.verify: the opt-in book-balancing check."""
+
+import dataclasses
+
+import pytest
+
+from repro.model import MB
+from repro.sim import SimResult, Simulation
+from repro.workload import synthesize
+
+
+def _result(**overrides):
+    kwargs = dict(
+        policy="l2s",
+        trace="test",
+        nodes=2,
+        cache_bytes=8 * MB,
+        requests_measured=90,
+        requests_warmup=10,
+        sim_seconds=1.0,
+        throughput_rps=90.0,
+        miss_rate=0.1,
+        forwarded_fraction=0.2,
+        cpu_utilizations=[0.5, 0.5],
+        mean_response_s=0.01,
+        messages_per_request=1.0,
+        node_completions=[45, 45],
+        requests_generated=100,
+    )
+    kwargs.update(overrides)
+    return SimResult(**kwargs)
+
+
+class TestConservation:
+    def test_balanced_books_pass(self):
+        assert _result().verify() == []
+
+    def test_generated_zero_skips_the_identity(self):
+        # Results built by older code paths carry no generated count.
+        assert _result(requests_generated=0).verify() == []
+
+    def test_missing_requests_are_reported(self):
+        problems = _result(requests_measured=80).verify()
+        assert any("request conservation" in p for p in problems)
+
+    def test_warmup_failures_are_not_double_counted(self):
+        # 5 requests failed before the boundary: they sit inside
+        # requests_warmup (the boundary counts finished requests) AND
+        # inside the run-wide requests_failed.
+        r = _result(
+            requests_warmup=15,
+            requests_failed=5,
+            requests_failed_warmup=5,
+            requests_generated=105,
+        )
+        assert r.verify() == []
+
+    def test_warmup_failures_cannot_exceed_totals(self):
+        r = _result(requests_failed_warmup=3, requests_failed=1,
+                    requests_generated=98)
+        assert any("warmup failures" in p for p in r.verify())
+
+
+class TestSanity:
+    def test_negative_counters_are_reported(self):
+        problems = _result(requests_retried=-1,
+                           requests_generated=0).verify()
+        assert problems == ["negative counter: requests_retried = -1"]
+
+    def test_negative_window_is_reported(self):
+        problems = _result(sim_seconds=-0.5, requests_generated=0).verify()
+        assert any("negative measurement window" in p for p in problems)
+
+    def test_message_residuals_are_reported(self):
+        stats = {
+            "handoff": {"sent": 10, "delivered": 8, "dropped": 1,
+                        "in_flight": 0},
+        }
+        problems = _result(message_stats=stats,
+                           requests_generated=0).verify()
+        assert problems == [
+            "message books for kind 'handoff': sent - delivered - "
+            "dropped - in_flight = 1"
+        ]
+
+
+class TestDriverIntegration:
+    @pytest.fixture(scope="class")
+    def result(self):
+        trace = synthesize("calgary", num_requests=300, seed=9)
+        from repro.cluster import ClusterConfig
+        from repro.servers import make_policy
+
+        sim = Simulation(
+            trace,
+            make_policy("l2s"),
+            ClusterConfig(nodes=2, cache_bytes=8 * MB),
+            warmup_fraction=0.1,
+            passes=1,
+            seed=9,
+        )
+        return sim.run()
+
+    def test_driver_results_verify_clean(self, result):
+        assert result.verify() == []
+
+    def test_driver_populates_generated(self, result):
+        assert result.requests_generated == 300
+        assert dataclasses.replace(
+            result, requests_generated=299
+        ).verify() != []

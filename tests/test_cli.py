@@ -166,3 +166,73 @@ def test_analyze_command_npz(tmp_path, capsys):
     assert main(["analyze", str(path), "--memories", "4"]) == 0
     out = capsys.readouterr().out
     assert "calgary" in out
+
+
+def test_simulate_verify_flag(capsys):
+    assert (
+        main(
+            [
+                "simulate", "calgary", "l2s",
+                "--nodes", "2", "--requests", "1500", "--verify",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "verify: books balance" in out
+
+
+CHAOS_DATA = "tests/chaos/data"
+
+
+def test_faults_accepts_spec(capsys):
+    assert main(["faults", "--spec", f"{CHAOS_DATA}/planted.json"]) == 0
+    out = capsys.readouterr().out
+    # The scenario's own policy, cluster size, and crash schedule ran.
+    assert "l2s" in out
+    assert "schedule:" in out and "crash(2)" in out
+
+
+def test_faults_spec_positionals_override(capsys):
+    assert (
+        main(
+            [
+                "faults", "calgary", "traditional",
+                "--spec", f"{CHAOS_DATA}/planted.json",
+            ]
+        )
+        == 0
+    )
+    assert "traditional" in capsys.readouterr().out
+
+
+def test_faults_spec_exclusive_with_schedule(capsys):
+    assert (
+        main(
+            [
+                "faults", "--spec", f"{CHAOS_DATA}/planted.json",
+                "--schedule", "crash:1@0.1",
+            ]
+        )
+        == 2
+    )
+    assert "exclusive" in capsys.readouterr().err
+
+
+def test_faults_requires_trace_without_spec(capsys):
+    assert main(["faults"]) == 2
+    assert "required without --spec" in capsys.readouterr().err
+
+
+def test_netfaults_accepts_spec(capsys):
+    assert main(["netfaults", "--spec", f"{CHAOS_DATA}/smoke.json"]) == 0
+    out = capsys.readouterr().out
+    assert "l2s" in out
+
+
+def test_netfaults_spec_exclusive_with_sweep(capsys):
+    assert (
+        main(["netfaults", "--spec", f"{CHAOS_DATA}/smoke.json", "--sweep"])
+        == 2
+    )
+    assert "exclusive" in capsys.readouterr().err

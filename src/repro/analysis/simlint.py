@@ -20,6 +20,8 @@ that guarantee *before* they reach a run:
 ``REP003`` wall-clock
     Wall-clock reads (``time.time``, ``datetime.now``, ...) inside the
     kernel/simulation packages.  Simulated code must read ``env.now``.
+    The live substrate (``repro.live``) is explicitly exempt: there,
+    wall-clock seconds *are* the policies' injected Clock.
 ``REP004`` id-ordering
     ``id()``-based ordering or hashing.  CPython ids are allocation
     addresses: they vary run to run and recycle, so any order derived from
@@ -91,9 +93,11 @@ RULES: Dict[str, str] = {
 }
 
 #: Package directories whose files count as "simulation code" (REP001).
+#: ``live`` is included: the loadtest's arrival process must be seeded
+#: for replayable runs even though its clock is real.
 SIM_SCOPE = frozenset(
     {"des", "sim", "servers", "cluster", "faults", "netfaults", "workload",
-     "chaos"}
+     "chaos", "live"}
 )
 #: Package directories where wall-clock reads are forbidden (REP003).
 #: ``chaos`` is deliberately absent: its soak mode budgets *real*
@@ -106,6 +110,11 @@ FAULT_SCOPE = frozenset({"faults", "netfaults", "chaos"})
 #: Chaos/oracle packages where fragile verdict checks are forbidden
 #: (REP008).
 CHAOS_SCOPE = frozenset({"chaos"})
+#: The live substrate (``repro.live``): wall-clock reads are the *point*
+#: there (real TCP seconds drive the policies' Clock), so REP003 and
+#: REP008 are force-disabled — the override wins even when a live
+#: package is nested under a kernel-scoped directory name.
+LIVE_SCOPE = frozenset({"live"})
 
 #: random-module attributes that are safe to call (seeded constructors and
 #: state plumbing, not draws from the global generator).
@@ -697,6 +706,13 @@ def _active_rules(path: str, select: Optional[Set[str]]) -> Set[str]:
     if not dirs & FAULT_SCOPE:
         active.discard("REP007")
     if not dirs & CHAOS_SCOPE:
+        active.discard("REP008")
+    if dirs & LIVE_SCOPE:
+        # The live substrate legitimately reads wall clocks (REP003) and
+        # times real requests (REP008's wall-clock-assert half); the
+        # override beats the kernel/chaos scopes so a ``live`` package
+        # stays lintable for everything else wherever it sits.
+        active.discard("REP003")
         active.discard("REP008")
     return active
 

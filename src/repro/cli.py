@@ -49,6 +49,11 @@ Commands
     unordered-set iteration in scheduling code, wall-clock reads in the
     kernel, and friends (see docs/ANALYSIS.md).  Exits nonzero on
     findings.
+``repro live {serve,loadtest,compare}``
+    The live substrate: boot a real localhost asyncio cluster driven by
+    the same distribution policies the simulator runs, replay traces
+    against it, and compare live behaviour against the sim's prediction
+    (see docs/LIVE.md and ``repro live --help``).
 """
 
 from __future__ import annotations
@@ -69,6 +74,12 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Reproduction of 'Evaluating Cluster-Based Network Servers' "
             "(Carrera & Bianchini, HPDC 2000)"
+        ),
+        epilog=(
+            "The same policies also run on a real localhost cluster: "
+            "`repro live serve|loadtest|compare` boots an asyncio "
+            "front-end plus back-end worker processes and replays the "
+            "same traces the simulator uses (see docs/LIVE.md)."
         ),
     )
     from . import __version__
@@ -312,6 +323,12 @@ def build_parser() -> argparse.ArgumentParser:
         "chaos",
         help="fault-scenario fuzzing: run/replay/shrink/soak "
         "(see `repro chaos --help`)",
+        add_help=False,
+    )
+    sub.add_parser(
+        "live",
+        help="real asyncio cluster: serve/loadtest/compare "
+        "(see `repro live --help`)",
         add_help=False,
     )
     return parser
@@ -767,6 +784,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .chaos.cli import main as chaos_main
 
         return chaos_main(argv[1:])
+    if argv and argv[0] == "live":
+        # Likewise for the live substrate.
+        from .live.cli import main as live_main
+
+        return live_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.command == "tables":
         return _cmd_tables()

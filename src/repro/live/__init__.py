@@ -1,0 +1,61 @@
+"""``repro.live`` — a real asyncio cluster driven by the simulator's policies.
+
+The simulator's distribution policies (:mod:`repro.servers`) are pure
+logic behind the :class:`~repro.servers.Clock` / cluster-surface
+interface.  This package is the second execution substrate for that
+logic: an HTTP/1.1 front-end (hand-rolled over ``asyncio.start_server``,
+like the paper's event-driven servers) that admits real TCP requests and
+consults the *same policy objects* the DES runs, dispatching to back-end
+worker processes that serve a materialized file set from disk through
+the *same* :class:`~repro.cluster.cache.LRUFileCache` the simulated
+nodes use.
+
+Everything is stdlib ``asyncio`` — no new runtime dependencies.
+
+Layers
+------
+:mod:`repro.live.engine`
+    :class:`PolicyEngine` — binds a ``DistributionPolicy`` to a live
+    membership view (open-connection counts, failure marks) and a
+    zero-latency local control plane, with a wall clock as the injected
+    time source.
+:mod:`repro.live.backend`
+    One back-end worker: LRU-cached file service plus the TCP hand-off
+    relay (``python -m repro.live.backend`` runs it as a process).
+:mod:`repro.live.frontend`
+    The front-end: parses HTTP/1.1, routes through the PolicyEngine,
+    hands forwarded requests to the *initial* node which relays them to
+    the target over a second TCP connection — mirroring the simulator's
+    hand-off accounting with real sockets.
+:mod:`repro.live.cluster`
+    :class:`LiveCluster` — materializes the file set, boots the
+    back-ends (subprocesses by default), wires the front-end.
+:mod:`repro.live.loadtest`
+    Replays the *identical* arrival sequence the sim driver injects
+    (``Trace.replay_ids``) and emits a ``SimResult``-compatible object.
+:mod:`repro.live.compare`
+    Runs sim and live on the same (trace, policy, node-count) point and
+    reports structural divergence against thresholds.
+
+See ``docs/LIVE.md`` for the architecture and the known sim-vs-live
+gaps.
+"""
+
+from .clock import WallClock
+from .compare import CompareReport, run_compare
+from .cluster import LiveCluster, LiveClusterConfig
+from .engine import LiveUnsupported, PolicyEngine, RouteOutcome
+from .loadtest import LoadTestConfig, run_loadtest
+
+__all__ = [
+    "WallClock",
+    "PolicyEngine",
+    "RouteOutcome",
+    "LiveUnsupported",
+    "LiveCluster",
+    "LiveClusterConfig",
+    "LoadTestConfig",
+    "run_loadtest",
+    "CompareReport",
+    "run_compare",
+]

@@ -1,0 +1,266 @@
+"""One back-end worker: LRU-cached file service + TCP hand-off relay.
+
+Each back-end mirrors one simulated node: it serves files from the
+materialized file set through the *same*
+:class:`~repro.cluster.cache.LRUFileCache` class the simulator's nodes
+use (sized identically), so the live cache-hit ratio is directly
+comparable with the sim's.  Cache hits serve bytes from memory; misses
+read the file from disk in an executor thread (the paper's servers
+likewise only block on disk for misses) and insert it, evicting LRU
+files' bytes.
+
+Hand-off: when a request arrives with an ``X-Forward-Port`` header, this
+node is the *initial* node of a handed-off request — it opens a second
+TCP connection to the target back-end and relays the response, tagging
+it ``X-Handoff: 1``.  That is the live twin of the simulator's hand-off
+accounting: the forwarding work and the extra network round-trip happen
+on the initial node, the cache work on the target.
+
+Run standalone as a process with ``python -m repro.live.backend``; the
+parent reads the ``REPRO-LIVE-BACKEND node=<id> port=<port>`` handshake
+line from stdout.  :class:`LiveCluster` also supports in-process mode
+for hermetic tests.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from pathlib import Path
+from typing import Dict, Optional
+
+from ..cluster.cache import LRUFileCache
+from . import http11
+from .fileset import file_name, load_manifest
+
+__all__ = ["BackendServer", "main"]
+
+
+class BackendServer:
+    """Serves ``GET /f/<fid>`` from an LRU byte cache over disk."""
+
+    def __init__(
+        self,
+        node_id: int,
+        root: Path,
+        cache_bytes: int,
+        host: str = "127.0.0.1",
+    ) -> None:
+        self.node_id = node_id
+        self.root = Path(root)
+        self.host = host
+        self.cache = LRUFileCache(cache_bytes)
+        #: Bytes of currently-cached files; evictions drop entries so
+        #: resident bytes always equal ``cache.used_bytes``.
+        self._content: Dict[int, bytes] = {}
+        self.sizes = load_manifest(self.root)
+        self.served = 0
+        self.relayed = 0
+        self.errors = 0
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._closing = asyncio.Event()
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None, "backend not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self, port: int = 0) -> int:
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=port
+        )
+        return self.port
+
+    async def serve_until_shutdown(self) -> None:
+        assert self._server is not None
+        async with self._server:
+            await self._closing.wait()
+
+    async def stop(self) -> None:
+        self._closing.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    # -- request handling --------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await http11.read_request(reader)
+            if request is None:
+                return
+            response = await self._dispatch(request)
+            writer.write(response)
+            await writer.drain()
+        except (http11.HTTPError, ConnectionError, asyncio.IncompleteReadError):
+            self.errors += 1
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(self, request: http11.Request) -> bytes:
+        path = request.path
+        if request.method == "GET" and path.startswith("/f/"):
+            return await self._serve_file(request)
+        if request.method == "GET" and path == "/stats":
+            return http11.render_response(
+                200,
+                json.dumps(self.stats()).encode(),
+                {"Content-Type": "application/json"},
+            )
+        if request.method == "POST" and path == "/warm":
+            self._warm(json.loads(request.body))
+            return http11.render_response(200, b"ok")
+        if request.method == "POST" and path == "/reset":
+            self.reset_meters()
+            return http11.render_response(200, b"ok")
+        if request.method == "POST" and path == "/shutdown":
+            # Arrange the event after the response is written.
+            asyncio.get_running_loop().call_soon(self._closing.set)
+            return http11.render_response(200, b"bye")
+        return http11.render_response(404, b"not found")
+
+    async def _serve_file(self, request: http11.Request) -> bytes:
+        try:
+            fid = int(request.path[len("/f/"):])
+        except ValueError:
+            return http11.render_response(400, b"bad file id")
+        forward_port = request.headers.get("x-forward-port")
+        if forward_port is not None:
+            return await self._relay(fid, int(forward_port))
+        size = self.sizes.get(fid)
+        if size is None:
+            return http11.render_response(404, b"no such file")
+        if self.cache.lookup(fid):
+            body = self._content[fid]
+            cached = "HIT"
+        else:
+            body = await self._read_from_disk(fid, size)
+            for evicted in self.cache.insert(fid, max(1, size)):
+                self._content.pop(evicted, None)
+            if fid in self.cache:
+                self._content[fid] = body
+            cached = "MISS"
+        self.served += 1
+        return http11.render_response(
+            200,
+            body,
+            {"X-Cache": cached, "X-Node": str(self.node_id)},
+        )
+
+    def _warm(self, fids: list) -> None:
+        """Zero-time cache warm: replay a fid sequence into the LRU.
+
+        The live twin of the simulator's ``_prewarm`` for strictly-local
+        policies (each node's cache replays the whole trace once).  No
+        hit/miss accounting; content is zero bytes, identical to what a
+        disk read of the sparse files returns.
+        """
+        for fid in fids:
+            fid = int(fid)
+            size = self.sizes.get(fid)
+            if size is None:
+                continue
+            if self.cache.touch(fid):
+                continue
+            for evicted in self.cache.insert(fid, max(1, size)):
+                self._content.pop(evicted, None)
+            if fid in self.cache:
+                self._content[fid] = b"\x00" * size
+
+    async def _read_from_disk(self, fid: int, size: int) -> bytes:
+        path = self.root / file_name(fid)
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, path.read_bytes)
+
+    async def _relay(self, fid: int, target_port: int) -> bytes:
+        """Hand-off: fetch ``fid`` from the target node and relay it.
+
+        The initial node does NOT cache relayed content (the simulator's
+        handed-off requests likewise only touch the target's cache).
+        """
+        reader, writer = await asyncio.open_connection(self.host, target_port)
+        try:
+            writer.write(http11.render_request("GET", f"/f/{fid}"))
+            await writer.drain()
+            response = await http11.read_response(reader)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        self.relayed += 1
+        headers = {
+            "X-Cache": response.headers.get("x-cache", "MISS"),
+            "X-Node": response.headers.get("x-node", "?"),
+            "X-Handoff": "1",
+        }
+        return http11.render_response(response.status, response.body, headers)
+
+    # -- meters ------------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "node": self.node_id,
+            "served": self.served,
+            "relayed": self.relayed,
+            "errors": self.errors,
+            "cache_hits": self.cache.hits,
+            "cache_misses": self.cache.misses,
+            "cache_insertions": self.cache.insertions,
+            "cache_evictions": self.cache.evictions,
+            "cache_used_bytes": self.cache.used_bytes,
+            "cache_files": len(self.cache),
+        }
+
+    def reset_meters(self) -> None:
+        """Zero counters at the warmup boundary; cache content survives."""
+        self.served = 0
+        self.relayed = 0
+        self.errors = 0
+        self.cache.reset_stats()
+
+
+async def _run(args: argparse.Namespace) -> None:
+    server = BackendServer(
+        node_id=args.node,
+        root=Path(args.root),
+        cache_bytes=args.cache_bytes,
+        host=args.host,
+    )
+    port = await server.start(args.port)
+    # Handshake line the parent process waits for.
+    print(f"REPRO-LIVE-BACKEND node={args.node} port={port}", flush=True)
+    await server.serve_until_shutdown()
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.live.backend",
+        description="One repro.live back-end worker process.",
+    )
+    parser.add_argument("--node", type=int, required=True, help="node id")
+    parser.add_argument("--root", required=True, help="materialized fileset dir")
+    parser.add_argument(
+        "--cache-bytes", type=int, required=True, help="LRU cache capacity"
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0, help="0 = ephemeral")
+    args = parser.parse_args(argv)
+    try:
+        asyncio.run(_run(args))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - subprocess entry
+    sys.exit(main())

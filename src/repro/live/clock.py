@@ -1,0 +1,34 @@
+"""Wall-clock implementation of the policy :class:`~repro.servers.Clock`.
+
+This is the one place in the repository where reading real time is the
+*point*: live policies age server sets and timestamp load views against
+the seconds actual TCP connections take.  simlint's REP003 explicitly
+permits wall-clock reads inside ``repro.live`` (and only here — kernel,
+sim, and chaos scopes still forbid them; see ``docs/ANALYSIS.md``).
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["WallClock"]
+
+
+class WallClock:
+    """Monotonic wall clock reporting seconds since its creation.
+
+    Starting at zero (rather than the raw ``time.monotonic()`` epoch)
+    keeps live timestamps in the same "small seconds since the run
+    began" range the DES produces, so policy parameters expressed in
+    seconds (LARD's 20 s server-set aging, L2S's staleness bounds) mean
+    the same thing in both worlds.
+    """
+
+    __slots__ = ("_t0",)
+
+    def __init__(self) -> None:
+        self._t0 = time.monotonic()
+
+    @property
+    def now(self) -> float:
+        return time.monotonic() - self._t0

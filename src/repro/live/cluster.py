@@ -1,0 +1,225 @@
+"""Boot and tear down a complete localhost cluster.
+
+:class:`LiveCluster` owns the whole stack: it materializes the trace's
+file set, starts one back-end per node (real subprocesses by default,
+in-process servers for hermetic tests), builds the
+:class:`~repro.live.engine.PolicyEngine` around the chosen policy, and
+wires the front-end.  Back-end caches are sized from the same
+``cache_bytes`` knob as the simulated nodes' caches
+(:class:`repro.cluster.config.ClusterConfig` defaults to 32 MB), which
+is what makes live and simulated hit ratios comparable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from ..servers import DistributionPolicy
+from ..workload.traces import Trace
+from . import http11
+from .backend import BackendServer
+from .engine import PolicyEngine
+from .fileset import materialize_fileset
+from .frontend import FrontEnd
+
+__all__ = ["LiveCluster", "LiveClusterConfig"]
+
+MB = 1024 * 1024
+
+#: Seconds to wait for a backend subprocess to print its handshake.
+BACKEND_BOOT_TIMEOUT_S = 20.0
+
+
+@dataclass
+class LiveClusterConfig:
+    """Shape of the live cluster (the live twin of ``ClusterConfig``)."""
+
+    nodes: int = 4
+    #: Per-node LRU capacity; default matches the sim's 32 MB nodes.
+    cache_bytes: int = 32 * MB
+    host: str = "127.0.0.1"
+    #: "process" = one subprocess per back-end (the real deployment
+    #: shape); "inline" = back-ends in this event loop (hermetic tests).
+    backend_mode: str = "process"
+    #: Directory for the materialized file set (required).
+    root: Path = field(default_factory=lambda: Path("live-fileset"))
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError(f"nodes must be >= 1, got {self.nodes}")
+        if self.cache_bytes <= 0:
+            raise ValueError("cache_bytes must be positive")
+        if self.backend_mode not in ("process", "inline"):
+            raise ValueError(f"unknown backend_mode {self.backend_mode!r}")
+        self.root = Path(self.root)
+
+
+class LiveCluster:
+    """A running (front-end, back-ends, engine) triple."""
+
+    def __init__(
+        self,
+        policy: DistributionPolicy,
+        trace: Trace,
+        config: Optional[LiveClusterConfig] = None,
+    ) -> None:
+        self.config = config or LiveClusterConfig()
+        self.trace = trace
+        self.engine = PolicyEngine(policy, self.config.nodes)
+        self.frontend: Optional[FrontEnd] = None
+        self.backend_ports: List[int] = []
+        self._procs: List[asyncio.subprocess.Process] = []
+        self._inline: List[BackendServer] = []
+
+    @property
+    def frontend_port(self) -> int:
+        assert self.frontend is not None, "cluster not started"
+        return self.frontend.port
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> int:
+        """Materialize files, boot back-ends, start the front-end.
+
+        Returns the front-end's listening port.
+        """
+        materialize_fileset(self.trace, self.config.root)
+        if self.config.backend_mode == "process":
+            await self._start_backend_processes()
+        else:
+            await self._start_inline_backends()
+        self.frontend = FrontEnd(
+            self.engine, self.backend_ports, host=self.config.host
+        )
+        return await self.frontend.start()
+
+    async def stop(self) -> None:
+        """Clean shutdown: front-end first, then every back-end."""
+        if self.frontend is not None:
+            await self.frontend.stop()
+        for port in self.backend_ports:
+            try:
+                await self._post(port, "/shutdown")
+            except (ConnectionError, OSError, http11.HTTPError):
+                pass
+        for server in self._inline:
+            await server.stop()
+        for proc in self._procs:
+            try:
+                await asyncio.wait_for(proc.wait(), timeout=5.0)
+            except asyncio.TimeoutError:
+                proc.kill()
+                await proc.wait()
+        self._procs.clear()
+        self._inline.clear()
+
+    async def _start_inline_backends(self) -> None:
+        for node_id in range(self.config.nodes):
+            server = BackendServer(
+                node_id=node_id,
+                root=self.config.root,
+                cache_bytes=self.config.cache_bytes,
+                host=self.config.host,
+            )
+            port = await server.start()
+            self._inline.append(server)
+            self.backend_ports.append(port)
+
+    async def _start_backend_processes(self) -> None:
+        # The workers import repro; make sure they resolve the same
+        # source tree this process runs from, regardless of the parent's
+        # installation style.
+        import repro
+
+        src_dir = str(Path(repro.__file__).resolve().parent.parent)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        for node_id in range(self.config.nodes):
+            proc = await asyncio.create_subprocess_exec(
+                sys.executable,
+                "-m",
+                "repro.live.backend",
+                "--node",
+                str(node_id),
+                "--root",
+                str(self.config.root),
+                "--cache-bytes",
+                str(self.config.cache_bytes),
+                "--host",
+                self.config.host,
+                stdout=asyncio.subprocess.PIPE,
+                stderr=asyncio.subprocess.DEVNULL,
+                env=env,
+            )
+            self._procs.append(proc)
+            port = await asyncio.wait_for(
+                self._read_handshake(proc, node_id), timeout=BACKEND_BOOT_TIMEOUT_S
+            )
+            self.backend_ports.append(port)
+
+    @staticmethod
+    async def _read_handshake(proc: asyncio.subprocess.Process, node_id: int) -> int:
+        assert proc.stdout is not None
+        line = (await proc.stdout.readline()).decode().strip()
+        prefix = f"REPRO-LIVE-BACKEND node={node_id} port="
+        if not line.startswith(prefix):
+            raise RuntimeError(f"backend {node_id} bad handshake: {line!r}")
+        return int(line[len(prefix):])
+
+    # -- meters ------------------------------------------------------------
+
+    async def backend_stats(self) -> List[Dict[str, Any]]:
+        """Scrape every back-end's ``/stats`` endpoint."""
+        stats = []
+        for port in self.backend_ports:
+            response = await self._get(port, "/stats")
+            stats.append(json.loads(response.body))
+        return stats
+
+    async def reset_meters(self) -> None:
+        """Warmup boundary: zero all counters, keep cache content."""
+        self.engine.reset_meters()
+        if self.frontend is not None:
+            self.frontend.reset_meters()
+        for port in self.backend_ports:
+            await self._post(port, "/reset")
+
+    async def prewarm(self, file_ids) -> None:
+        """Replay a fid sequence into *every* back-end's cache.
+
+        The live twin of the simulator's zero-time ``_prewarm`` for
+        strictly-local policies, where each node's cache sees the whole
+        request stream.
+        """
+        body = json.dumps([int(fid) for fid in file_ids]).encode()
+        for port in self.backend_ports:
+            await self._post(port, "/warm", body)
+
+    # -- tiny HTTP client helpers -----------------------------------------
+
+    async def _get(self, port: int, path: str) -> http11.Response:
+        return await self._roundtrip(port, "GET", path)
+
+    async def _post(self, port: int, path: str, body: bytes = b"") -> http11.Response:
+        return await self._roundtrip(port, "POST", path, body)
+
+    async def _roundtrip(
+        self, port: int, method: str, path: str, body: bytes = b""
+    ) -> http11.Response:
+        reader, writer = await asyncio.open_connection(self.config.host, port)
+        try:
+            writer.write(http11.render_request(method, path, body=body))
+            await writer.drain()
+            return await http11.read_response(reader)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass

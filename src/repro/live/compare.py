@@ -1,0 +1,216 @@
+"""Run sim and live on the same point; report structural divergence.
+
+The comparison deliberately scores *structural* metrics — cache hit
+ratio and hand-off fraction — not absolute throughput.  The simulator
+models 1999-era hardware (300 MHz CPUs, Table-1 service times); a
+localhost asyncio cluster is a different machine entirely, so req/s
+cannot agree and both numbers are reported side by side without a
+threshold.  Hit ratio and hand-off fraction, by contrast, are decided
+by the policy + LRU + trace interplay that both substrates share — if
+they diverge beyond the thresholds, one of the two worlds has a bug.
+
+Default thresholds are deliberately loose (±0.12 hit ratio, ±0.15
+hand-off fraction): the live run's concurrency can reorder arrivals
+within a multiprogramming window, which perturbs LRU state slightly
+(see ``docs/LIVE.md`` for the full gap list).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from ..cluster import ClusterConfig
+from ..servers import make_policy
+from ..sim.driver import Simulation
+from ..sim.results import SimResult
+from ..workload.traces import Trace
+from .cluster import LiveCluster, LiveClusterConfig
+from .loadtest import LoadTestConfig, run_loadtest
+
+__all__ = ["CompareReport", "run_compare"]
+
+#: Default divergence thresholds (absolute deltas).
+HIT_RATIO_THRESHOLD = 0.12
+HANDOFF_THRESHOLD = 0.15
+
+
+@dataclass(frozen=True)
+class CompareReport:
+    """Side-by-side sim-vs-live verdict for one configuration point."""
+
+    sim: SimResult
+    live: SimResult
+    hit_ratio_threshold: float = HIT_RATIO_THRESHOLD
+    handoff_threshold: float = HANDOFF_THRESHOLD
+    problems: tuple = field(default_factory=tuple)
+
+    @property
+    def hit_ratio_delta(self) -> float:
+        """live - sim cluster-wide cache hit ratio."""
+        return (1.0 - self.live.miss_rate) - (1.0 - self.sim.miss_rate)
+
+    @property
+    def handoff_delta(self) -> float:
+        """live - sim hand-off (forwarded) fraction."""
+        return self.live.forwarded_fraction - self.sim.forwarded_fraction
+
+    def within_thresholds(self) -> bool:
+        return (
+            abs(self.hit_ratio_delta) <= self.hit_ratio_threshold
+            and abs(self.handoff_delta) <= self.handoff_threshold
+            and not self.problems
+        )
+
+    def render(self) -> str:
+        """Human-readable side-by-side report."""
+        sim, live = self.sim, self.live
+
+        def row(label: str, s: str, l: str, note: str = "") -> str:
+            return f"  {label:<22s} {s:>12s} {l:>12s}  {note}"
+
+        hit_ok = abs(self.hit_ratio_delta) <= self.hit_ratio_threshold
+        fwd_ok = abs(self.handoff_delta) <= self.handoff_threshold
+        lines = [
+            f"sim vs live: policy={sim.policy} trace={sim.trace} "
+            f"nodes={sim.nodes} cache={sim.cache_bytes // (1024 * 1024)}MB",
+            row("metric", "sim", "live"),
+            row(
+                "cache hit ratio",
+                f"{1.0 - sim.miss_rate:.3f}",
+                f"{1.0 - live.miss_rate:.3f}",
+                f"delta {self.hit_ratio_delta:+.3f} "
+                f"(|x| <= {self.hit_ratio_threshold}) "
+                f"{'OK' if hit_ok else 'DIVERGED'}",
+            ),
+            row(
+                "hand-off fraction",
+                f"{sim.forwarded_fraction:.3f}",
+                f"{live.forwarded_fraction:.3f}",
+                f"delta {self.handoff_delta:+.3f} "
+                f"(|x| <= {self.handoff_threshold}) "
+                f"{'OK' if fwd_ok else 'DIVERGED'}",
+            ),
+            row(
+                "throughput (req/s)",
+                f"{sim.throughput_rps:.1f}",
+                f"{live.throughput_rps:.1f}",
+                "informational (different hardware)",
+            ),
+            row(
+                "msgs per request",
+                f"{sim.messages_per_request:.2f}",
+                f"{live.messages_per_request:.2f}",
+                "informational",
+            ),
+            row(
+                "requests measured",
+                str(sim.requests_measured),
+                str(live.requests_measured),
+            ),
+        ]
+        for problem in self.problems:
+            lines.append(f"  PROBLEM: {problem}")
+        lines.append(
+            "verdict: "
+            + ("WITHIN THRESHOLDS" if self.within_thresholds() else "DIVERGED")
+        )
+        return "\n".join(lines)
+
+
+def run_compare(
+    trace: Trace,
+    policy_name: str,
+    nodes: int = 4,
+    cache_bytes: int = 32 * 1024 * 1024,
+    passes: int = 2,
+    concurrency: int = 16,
+    backend_mode: str = "process",
+    root: Optional[Path] = None,
+    hit_ratio_threshold: float = HIT_RATIO_THRESHOLD,
+    handoff_threshold: float = HANDOFF_THRESHOLD,
+    **policy_kwargs,
+) -> CompareReport:
+    """Run the sim and the live cluster on one point; return the report.
+
+    Each substrate gets its *own* policy instance (binding is one-shot),
+    both built by :func:`repro.servers.make_policy` with identical
+    arguments, and both replay the identical ``Trace.replay_ids(passes)``
+    arrival sequence.  The sim's multiprogramming level is set from the
+    loadtest ``concurrency`` so both worlds run at the same nominal load
+    — load-aware policies (L2S's overload thresholds) otherwise compare
+    different operating points.
+    """
+    sim = Simulation(
+        trace,
+        make_policy(policy_name, **policy_kwargs),
+        ClusterConfig(
+            nodes=nodes,
+            cache_bytes=cache_bytes,
+            multiprogramming_per_node=max(1, concurrency // nodes),
+        ),
+        passes=passes,
+    ).run()
+    live = asyncio.run(
+        _run_live(
+            trace,
+            make_policy(policy_name, **policy_kwargs),
+            nodes,
+            cache_bytes,
+            passes,
+            concurrency,
+            backend_mode,
+            root,
+        )
+    )
+    problems = tuple(live.verify())
+    return CompareReport(
+        sim=sim,
+        live=live,
+        hit_ratio_threshold=hit_ratio_threshold,
+        handoff_threshold=handoff_threshold,
+        problems=problems,
+    )
+
+
+async def _run_live(
+    trace, policy, nodes, cache_bytes, passes, concurrency, backend_mode, root
+):
+    import tempfile
+
+    if root is None:
+        with tempfile.TemporaryDirectory(prefix="repro-live-") as tmp:
+            return await _boot_and_replay(
+                trace, policy, nodes, cache_bytes, passes, concurrency,
+                backend_mode, Path(tmp),
+            )
+    return await _boot_and_replay(
+        trace, policy, nodes, cache_bytes, passes, concurrency,
+        backend_mode, Path(root),
+    )
+
+
+async def _boot_and_replay(
+    trace, policy, nodes, cache_bytes, passes, concurrency, backend_mode, root
+) -> SimResult:
+    cluster = LiveCluster(
+        policy,
+        trace,
+        LiveClusterConfig(
+            nodes=nodes,
+            cache_bytes=cache_bytes,
+            backend_mode=backend_mode,
+            root=root,
+        ),
+    )
+    await cluster.start()
+    try:
+        return await run_loadtest(
+            cluster,
+            trace,
+            LoadTestConfig(concurrency=concurrency, passes=passes),
+        )
+    finally:
+        await cluster.stop()

@@ -1,0 +1,171 @@
+"""The live front-end: HTTP/1.1 in, PolicyEngine routing, back-ends out.
+
+One ``asyncio.start_server`` accept loop parses each client request
+(``GET /f/<fid>``), assigns it the next arrival index, and asks the
+:class:`~repro.live.engine.PolicyEngine` where it goes — the same
+``initial_node``/``decide`` calls, in the same order, as the simulator's
+request lifecycle.
+
+Dispatch mirrors the simulator's hand-off model with real sockets:
+
+* not forwarded — fetch directly from the target back-end;
+* forwarded — fetch from the *initial* back-end with an
+  ``X-Forward-Port`` header naming the target, so the initial node opens
+  the second TCP connection and relays the bytes.  The forwarding work
+  and extra hop land on the initial node, the cache work on the target,
+  exactly as the sim charges them.
+
+The engine's ``connection_opened``/``request_completed`` bracketing
+reproduces the sim's open-connection accounting, which is what the
+fewest-connections and L2S policies feed on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Optional
+
+from ..servers import ServiceUnavailable
+from . import http11
+from .engine import PolicyEngine, RouteOutcome
+
+__all__ = ["FrontEnd"]
+
+
+class FrontEnd:
+    """Accepts client requests and routes them through the engine."""
+
+    def __init__(
+        self,
+        engine: PolicyEngine,
+        backend_ports: List[int],
+        host: str = "127.0.0.1",
+    ) -> None:
+        if len(backend_ports) != engine.num_nodes:
+            raise ValueError(
+                f"engine expects {engine.num_nodes} nodes, "
+                f"got {len(backend_ports)} backend ports"
+            )
+        self.engine = engine
+        self.backend_ports = list(backend_ports)
+        self.host = host
+        self._arrival = 0
+        self._server: Optional[asyncio.base_events.Server] = None
+        self.requests = 0
+        self.completed = 0
+        self.failed = 0
+        self.handoffs = 0
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None, "frontend not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self, port: int = 0) -> int:
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=port
+        )
+        return self.port
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    def reset_meters(self) -> None:
+        """Warmup boundary: zero front-end counters (arrival index keeps
+        counting — the policies' round-robin state must not rewind)."""
+        self.requests = 0
+        self.completed = 0
+        self.failed = 0
+        self.handoffs = 0
+
+    # -- client connection handling ---------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await http11.read_request(reader)
+            if request is None:
+                return
+            response = await self._serve(request)
+            writer.write(response)
+            await writer.drain()
+        except (http11.HTTPError, ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _serve(self, request: http11.Request) -> bytes:
+        if request.method != "GET" or not request.path.startswith("/f/"):
+            return http11.render_response(404, b"not found")
+        try:
+            fid = int(request.path[len("/f/"):])
+        except ValueError:
+            return http11.render_response(400, b"bad file id")
+        index = self._arrival
+        self._arrival += 1
+        self.requests += 1
+        try:
+            outcome = self.engine.route(index, fid)
+        except ServiceUnavailable:
+            self.failed += 1
+            return http11.render_response(503, b"service unavailable")
+        return await self._dispatch(outcome)
+
+    async def _dispatch(self, outcome: RouteOutcome) -> bytes:
+        """Fetch through the back-ends per the routing outcome."""
+        fetch_node = outcome.initial if outcome.forwarded else outcome.target
+        headers: Dict[str, str] = {}
+        if outcome.forwarded:
+            headers["X-Forward-Port"] = str(self.backend_ports[outcome.target])
+            self.handoffs += 1
+        self.engine.connection_opened(outcome.target)
+        opened = True
+        try:
+            response = await self._fetch(
+                self.backend_ports[fetch_node], outcome.file_id, headers
+            )
+        except (ConnectionError, OSError, http11.HTTPError, asyncio.IncompleteReadError):
+            if outcome.forwarded:
+                self.engine.handoff_failed(outcome.initial, outcome.target)
+            self.engine.request_aborted(
+                outcome.initial, opened=opened, target=outcome.target
+            )
+            self.failed += 1
+            return http11.render_response(502, b"backend unreachable")
+        if response.status != 200:
+            self.engine.request_aborted(
+                outcome.initial, opened=opened, target=outcome.target
+            )
+            self.failed += 1
+            return http11.render_response(response.status, response.body)
+        self.engine.request_completed(outcome.target, outcome.file_id)
+        self.completed += 1
+        relay_headers = {
+            "X-Cache": response.headers.get("x-cache", "MISS"),
+            "X-Node": response.headers.get("x-node", "?"),
+        }
+        if outcome.forwarded:
+            relay_headers["X-Handoff"] = "1"
+        return http11.render_response(200, response.body, relay_headers)
+
+    async def _fetch(
+        self, port: int, fid: int, headers: Dict[str, str]
+    ) -> http11.Response:
+        reader, writer = await asyncio.open_connection(self.host, port)
+        try:
+            writer.write(http11.render_request("GET", f"/f/{fid}", headers))
+            await writer.drain()
+            return await http11.read_response(reader)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass

@@ -1,0 +1,165 @@
+"""Minimal hand-rolled HTTP/1.1 over asyncio streams.
+
+The paper's servers (and the systems they model — Flash, LARD's
+front-end) speak hand-written HTTP over non-blocking sockets; the live
+cluster does the same rather than pulling in an HTTP framework.  Only
+the slice of HTTP/1.1 the cluster needs is implemented: request line +
+headers, ``Content-Length``-framed bodies, one request per connection
+(``Connection: close``), mirroring the simulator's HTTP/1.0-style
+connection-per-request accounting.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = [
+    "HTTPError",
+    "Request",
+    "Response",
+    "read_request",
+    "read_response",
+    "render_request",
+    "render_response",
+]
+
+#: Upper bound on request-line + header bytes (hostile-input guard).
+MAX_HEAD_BYTES = 32 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+}
+
+
+class HTTPError(Exception):
+    """Malformed or oversized HTTP traffic."""
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request (headers lower-cased)."""
+
+    method: str
+    path: str
+    version: str = "HTTP/1.1"
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+
+@dataclass
+class Response:
+    """One parsed HTTP response."""
+
+    status: int
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+
+async def _read_head(reader: asyncio.StreamReader) -> Optional[bytes]:
+    """Read up to the blank line ending the head; ``None`` on clean EOF."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HTTPError("connection closed mid-head") from None
+    except asyncio.LimitOverrunError:
+        raise HTTPError("head exceeds stream limit") from None
+    if len(head) > MAX_HEAD_BYTES:
+        raise HTTPError("head too large")
+    return head
+
+
+def _parse_headers(lines: list) -> Dict[str, str]:
+    headers: Dict[str, str] = {}
+    for line in lines:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HTTPError(f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    return headers
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request; ``None`` when the peer closed before sending."""
+    head = await _read_head(reader)
+    if head is None:
+        return None
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split()
+    if len(parts) != 3:
+        raise HTTPError(f"malformed request line {lines[0]!r}")
+    method, path, version = parts
+    if not version.startswith("HTTP/1."):
+        raise HTTPError(f"unsupported protocol {version!r}")
+    headers = _parse_headers(lines[1:])
+    length = int(headers.get("content-length", "0"))
+    body = await reader.readexactly(length) if length else b""
+    return Request(
+        method=method.upper(),
+        path=path,
+        version=version,
+        headers=headers,
+        body=body,
+    )
+
+
+async def read_response(reader: asyncio.StreamReader) -> Response:
+    """Parse one response, reading its ``Content-Length`` body fully."""
+    head = await _read_head(reader)
+    if head is None:
+        raise HTTPError("peer closed before responding")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(None, 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+        raise HTTPError(f"malformed status line {lines[0]!r}")
+    try:
+        status = int(parts[1])
+    except ValueError:
+        raise HTTPError(f"malformed status code {parts[1]!r}") from None
+    headers = _parse_headers(lines[1:])
+    length = int(headers.get("content-length", "0"))
+    body = await reader.readexactly(length) if length else b""
+    return Response(status=status, headers=headers, body=body)
+
+
+def render_request(
+    method: str,
+    path: str,
+    headers: Optional[Dict[str, str]] = None,
+    body: bytes = b"",
+) -> bytes:
+    """Serialize a request; bodies are ``Content-Length``-framed."""
+    out = [f"{method} {path} HTTP/1.1"]
+    for name, value in (headers or {}).items():
+        out.append(f"{name}: {value}")
+    if body:
+        out.append(f"Content-Length: {len(body)}")
+    out.append("Connection: close")
+    out.append("")
+    out.append("")
+    return "\r\n".join(out).encode("latin-1") + body
+
+
+def render_response(
+    status: int, body: bytes = b"", headers: Optional[Dict[str, str]] = None
+) -> bytes:
+    """Serialize a response with an exact ``Content-Length`` frame."""
+    reason = _REASONS.get(status, "Unknown")
+    out = [f"HTTP/1.1 {status} {reason}"]
+    for name, value in (headers or {}).items():
+        out.append(f"{name}: {value}")
+    out.append(f"Content-Length: {len(body)}")
+    out.append("Connection: close")
+    out.append("")
+    out.append("")
+    return "\r\n".join(out).encode("latin-1") + body

@@ -16,7 +16,7 @@ baselines:
   delivers it, reproducing §2's load-imbalance claim (extension).
 """
 
-from .base import Decision, DistributionPolicy
+from .base import Clock, Decision, DistributionPolicy, ServiceUnavailable
 from .chash import ConsistentHashPolicy
 from .l2s import L2SPolicy
 from .dnscache import CachedDNSPolicy
@@ -26,8 +26,10 @@ from .roundrobin import RoundRobinPolicy
 from .traditional import TraditionalPolicy
 
 __all__ = [
+    "Clock",
     "Decision",
     "DistributionPolicy",
+    "ServiceUnavailable",
     "TraditionalPolicy",
     "RoundRobinPolicy",
     "LARDPolicy",

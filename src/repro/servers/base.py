@@ -15,6 +15,14 @@ load broadcasts there) and request completions (LARD back-ends batch
 completion notices to the front-end there).  Policies emit their control
 traffic themselves through ``cluster.net`` so every message they need is
 charged to the simulated hardware.
+
+Policies are substrate-neutral: they read time only through the injected
+:class:`Clock` (``self.clock.now``) and talk to the world only through
+the bound cluster's ``net``/``node``/``num_nodes`` surface.  The DES
+driver binds them to the simulated cluster with the DES environment as
+the clock; :class:`repro.live.PolicyEngine` binds the *same objects* to
+a live asyncio cluster with a wall clock — which is what makes
+sim-vs-live divergence a meaningful bug finder.
 """
 
 from __future__ import annotations
@@ -22,16 +30,36 @@ from __future__ import annotations
 import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Protocol, runtime_checkable
 
 from ..cluster import Cluster
 
 __all__ = [
+    "Clock",
     "Decision",
     "DistributionPolicy",
     "ShuffledRoundRobin",
     "ServiceUnavailable",
 ]
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Where a policy's notion of "now" comes from.
+
+    Policies age server sets and timestamp load views, but they must not
+    care *whose* seconds they are counting: inside the simulator the
+    clock is the DES :class:`~repro.des.Environment` (simulated seconds),
+    inside :mod:`repro.live` it is a wall clock (real seconds).  Anything
+    with a ``now`` attribute/property returning a monotonically
+    non-decreasing float satisfies the protocol — the DES ``Environment``
+    does so natively, which is why binding without an explicit clock is
+    byte-identical to the historical behaviour.
+    """
+
+    @property
+    def now(self) -> float:  # pragma: no cover - protocol declaration
+        ...
 
 
 class ServiceUnavailable(Exception):
@@ -93,14 +121,26 @@ class DistributionPolicy(ABC):
 
     def __init__(self) -> None:
         self.cluster: Optional[Cluster] = None
+        #: Time source (see :class:`Clock`); set by :meth:`bind`.
+        self.clock: Optional[Clock] = None
         #: Nodes known dead; populated by :meth:`on_node_failed`.
         self.failed_nodes: set = set()
 
     # -- lifecycle wiring ----------------------------------------------------
 
-    def bind(self, cluster: Cluster) -> None:
-        """Attach to a cluster.  Called once by the simulation driver."""
+    def bind(self, cluster: Cluster, clock: Optional[Clock] = None) -> None:
+        """Attach to a cluster.  Called once by the driving substrate.
+
+        ``clock`` is the policy's time source.  The default (``None``)
+        uses the cluster's DES environment, preserving the historical
+        simulator behaviour exactly; :class:`repro.live.PolicyEngine`
+        passes a wall clock instead.  Policies must read time *only*
+        through ``self.clock`` — reaching into ``cluster.env`` directly
+        couples them to the simulator and blocks reuse in the live
+        substrate.
+        """
         self.cluster = cluster
+        self.clock = clock if clock is not None else cluster.env
         self._setup()
 
     def _setup(self) -> None:

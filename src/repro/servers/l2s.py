@@ -123,7 +123,7 @@ class L2SPolicy(DistributionPolicy):
 
     def decide(self, initial: int, file_id: int) -> Decision:
         cluster = self._require_cluster()
-        now = cluster.env.now
+        now = self.clock.now
         view = self._views[initial]
         failed = self.failed_nodes
         # A node always knows its own load exactly (unless it is the one
@@ -269,7 +269,7 @@ class L2SPolicy(DistributionPolicy):
         cluster = self._require_cluster()
         n = cluster.num_nodes
         self._views[node_id] = [0] * n
-        self._view_age[node_id] = [cluster.env.now] * n
+        self._view_age[node_id] = [self.clock.now] * n
         self._last_broadcast[node_id] = 0
         self.rejoins += 1
         self.load_broadcasts += 1
@@ -303,13 +303,13 @@ class L2SPolicy(DistributionPolicy):
         drift), so not paying a process per message matters.
         """
         cluster = self._require_cluster()
-        env = cluster.env
+        clock = self.clock
         views = self._views
         ages = self._view_age
 
         def apply() -> None:
             views[dst][src] = value
-            ages[dst][src] = env.now
+            ages[dst][src] = clock.now
 
         cluster.net.send_control_cb(src, dst, kind, done=apply)
 

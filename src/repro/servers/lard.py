@@ -169,7 +169,7 @@ class LARDPolicy(DistributionPolicy):
             return Decision(target=0, forwarded=False)
         if not self._back_ends:
             raise ServiceUnavailable("no LARD back-ends remain")
-        now = cluster.env.now
+        now = self.clock.now
         view = self._view
 
         def least_loaded(nodes: List[int]) -> int:

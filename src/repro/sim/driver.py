@@ -85,11 +85,16 @@ class Simulation:
 
         self.env = Environment(sanitize=sanitize)
         self.cluster = Cluster(self.env, config)
-        policy.bind(self.cluster)
+        # Time reaches the policy only through the Clock interface: the
+        # DES environment satisfies it natively (simulated seconds), and
+        # repro.live binds the same policy objects to a wall clock.
+        policy.bind(self.cluster, clock=self.env)
 
         self._sizes = trace.fileset.sizes
         self._trace_len = len(trace)
-        self._ids = trace.file_ids
+        #: The full arrival sequence (file id per 0-based arrival index),
+        #: shared verbatim with the live loadtest (Trace.replay_ids).
+        self._ids = trace.replay_ids(passes)
         self._total = self._trace_len * passes
         if passes > 1:
             self._warmup_count = self._trace_len * (passes - 1)
@@ -192,7 +197,7 @@ class Simulation:
         return True
 
     def _spawn_index(self, i: int) -> None:
-        fid = int(self._ids[i % self._trace_len])
+        fid = int(self._ids[i])
         if self._fastpath:
             start_fast_request(
                 self.cluster,
@@ -351,9 +356,10 @@ class Simulation:
         content), so the timed run starts from the LRU steady state.
         """
         sizes = self._sizes
+        one_pass = self._ids[: self._trace_len]
         for node in self.cluster.nodes:
             warm = node.warm_cache
-            for fid in self._ids:
+            for fid in one_pass:
                 warm(int(fid), int(sizes[fid]))
 
     # -- run ---------------------------------------------------------------------

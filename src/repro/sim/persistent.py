@@ -55,7 +55,7 @@ class PersistentSimulation:
 
         self.env = Environment()
         self.cluster = Cluster(self.env, config)
-        policy.bind(self.cluster)
+        policy.bind(self.cluster, clock=self.env)
 
         self._conns_per_pass = sessions.num_connections
         self._total_conns = self._conns_per_pass * passes

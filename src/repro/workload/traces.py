@@ -116,6 +116,23 @@ class Trace:
         ts = self.timestamps[:n] if self.timestamps is not None else None
         return Trace(self.name, self.fileset, self.file_ids[:n], ts)
 
+    def replay_ids(self, passes: int = 1) -> np.ndarray:
+        """File id of every request a ``passes``-pass replay injects.
+
+        This is THE arrival sequence contract shared by the simulation
+        driver and the live loadtest: request ``i`` (0-based arrival
+        order) asks for ``replay_ids(passes)[i]``.  Both substrates
+        consume this one function, so a sim-vs-live comparison is
+        guaranteed to drive both worlds with the identical (arrival
+        order, file_id) stream — the parity tests in ``tests/live``
+        assert it stays that way.
+        """
+        if passes < 1:
+            raise ValueError(f"passes must be >= 1, got {passes}")
+        if passes == 1:
+            return self.file_ids
+        return np.tile(self.file_ids, passes)
+
     # -- persistence -------------------------------------------------------
 
     def save(self, path: Union[str, Path]) -> None:

@@ -279,6 +279,48 @@ def test_rep008_suppression():
     assert lint_source(src, CHAOS_PATH) == []
 
 
+# -- LIVE_SCOPE: the repro.live wall-clock exemption ------------------------
+
+LIVE_PATH = "src/repro/live/fixture.py"
+
+
+def test_live_scope_permits_wall_clock():
+    # Wall-clock reads are the point of repro.live: the policies' Clock
+    # is real seconds there.
+    src = "import time\nt = time.monotonic()\n"
+    assert lint_source(src, LIVE_PATH) == []
+
+
+def test_live_scope_permits_wall_clock_asserts():
+    src = "import time\nassert time.monotonic() < deadline\n"
+    assert lint_source(src, LIVE_PATH) == []
+
+
+def test_live_scope_override_beats_kernel_scope():
+    # A live package nested under a kernel-scoped directory name stays
+    # exempt: the LIVE_SCOPE override wins.
+    src = "import time\nt = time.time()\n"
+    assert lint_source(src, "src/repro/sim/live/fixture.py") == []
+    assert lint_source(src, "src/repro/chaos/live/fixture.py") == []
+
+
+def test_live_scope_keeps_other_rules_active():
+    # Only REP003/REP008 are exempted; live code is still simulation-
+    # adjacent for everything else (unseeded RNGs, set iteration, ...).
+    src = "import random\nx = random.random()\n"
+    assert rules_of(lint_source(src, LIVE_PATH)) == ["REP001"]
+    src = "for n in {1, 2}:\n    dispatch(n)\n"
+    assert rules_of(lint_source(src, LIVE_PATH)) == ["REP002"]
+
+
+def test_kernel_scope_still_flags_wall_clock():
+    # The exemption is live-only: kernel and chaos scopes keep erroring.
+    clock = "import time\nt = time.time()\n"
+    assert rules_of(lint_source(clock, KERNEL_PATH)) == ["REP003"]
+    fragile = "import time\nassert time.monotonic() < deadline\n"
+    assert "REP008" in rules_of(lint_source(fragile, CHAOS_PATH))
+
+
 # -- suppression -----------------------------------------------------------
 
 

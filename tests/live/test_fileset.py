@@ -1,0 +1,60 @@
+"""Materialized file sets: sparse files, manifest, idempotency."""
+
+import json
+
+import numpy as np
+
+from repro.live.fileset import (
+    MANIFEST_NAME,
+    file_name,
+    load_manifest,
+    materialize_fileset,
+)
+from repro.workload import FileSet, Trace
+
+
+def make_trace(file_ids, sizes):
+    fileset = FileSet(
+        sizes=np.asarray(sizes, dtype=np.int64), alpha=1.0, name="t"
+    )
+    return Trace(name="t", fileset=fileset, file_ids=np.asarray(file_ids))
+
+
+def test_materialize_writes_only_touched_files(tmp_path):
+    trace = make_trace([0, 2, 0], [100, 200, 300, 400])
+    root = materialize_fileset(trace, tmp_path)
+    names = sorted(p.name for p in root.iterdir())
+    assert names == [file_name(0), file_name(2), MANIFEST_NAME]
+    assert (root / file_name(0)).stat().st_size == 100
+    assert (root / file_name(2)).stat().st_size == 300
+
+
+def test_manifest_maps_fid_to_size(tmp_path):
+    trace = make_trace([1, 3], [10, 20, 30, 40])
+    materialize_fileset(trace, tmp_path)
+    assert load_manifest(tmp_path) == {1: 20, 3: 40}
+    raw = json.loads((tmp_path / MANIFEST_NAME).read_text())
+    assert set(raw) == {"1", "3"}
+
+
+def test_materialize_is_idempotent(tmp_path):
+    trace = make_trace([0, 1], [50, 60])
+    materialize_fileset(trace, tmp_path)
+    first = {p.name: p.stat().st_mtime_ns for p in tmp_path.iterdir()
+             if p.name != MANIFEST_NAME}
+    materialize_fileset(trace, tmp_path)
+    second = {p.name: p.stat().st_mtime_ns for p in tmp_path.iterdir()
+              if p.name != MANIFEST_NAME}
+    assert first == second  # right-sized files untouched
+
+
+def test_sparse_files_read_as_zeros(tmp_path):
+    trace = make_trace([0], [64])
+    materialize_fileset(trace, tmp_path, sparse=True)
+    assert (tmp_path / file_name(0)).read_bytes() == b"\x00" * 64
+
+
+def test_non_sparse_writes_real_blocks(tmp_path):
+    trace = make_trace([0], [64])
+    materialize_fileset(trace, tmp_path, sparse=False)
+    assert (tmp_path / file_name(0)).read_bytes() == b"\x00" * 64

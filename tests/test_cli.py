@@ -5,6 +5,41 @@ import pytest
 from repro.cli import FIGURE_TRACES, build_parser, main
 
 
+def test_version_flag(capsys):
+    from repro import __version__
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+
+def test_help_epilog_mentions_live_subcommands(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--help"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    # argparse re-wraps the epilog, so match pieces, not the phrase.
+    assert "repro live" in out
+    assert "serve|loadtest|compare" in out
+    assert "docs/LIVE.md" in out
+
+
+def test_live_delegates_to_live_cli(capsys):
+    # `repro live --help` reaches the live sub-parser (no sockets).
+    with pytest.raises(SystemExit) as excinfo:
+        main(["live", "--help"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    assert "serve" in out and "loadtest" in out and "compare" in out
+
+
+def test_live_requires_subcommand():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["live"])
+    assert excinfo.value.code == 2
+
+
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])

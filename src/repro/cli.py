@@ -49,6 +49,11 @@ Commands
     unordered-set iteration in scheduling code, wall-clock reads in the
     kernel, and friends (see docs/ANALYSIS.md).  Exits nonzero on
     findings.
+``repro farm {sweep,chaos}``
+    Multi-core sweep runner: shard a trace x policy x nodes x seed grid
+    (or a batch of chaos trials) across worker processes with
+    deterministic shard merging — the merged output is byte-identical
+    to a serial run (see docs/FARM.md and ``repro farm --help``).
 ``repro live {serve,loadtest,compare}``
     The live substrate: boot a real localhost asyncio cluster driven by
     the same distribution policies the simulator runs, replay traces
@@ -329,6 +334,12 @@ def build_parser() -> argparse.ArgumentParser:
         "live",
         help="real asyncio cluster: serve/loadtest/compare "
         "(see `repro live --help`)",
+        add_help=False,
+    )
+    sub.add_parser(
+        "farm",
+        help="multi-core sweep runner with deterministic merging "
+        "(see `repro farm --help`)",
         add_help=False,
     )
     return parser
@@ -789,6 +800,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .live.cli import main as live_main
 
         return live_main(argv[1:])
+    if argv and argv[0] == "farm":
+        # Likewise for the sweep farm.
+        from .farm.cli import main as farm_main
+
+        return farm_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.command == "tables":
         return _cmd_tables()

@@ -94,6 +94,27 @@ class LRUFileCache:
         self.insertions += 1
         return evicted
 
+    def clone_state_from(self, other: "LRUFileCache") -> None:
+        """Adopt another cache's contents, recency order and counters.
+
+        The prewarm fast path: N nodes replaying the same trace into
+        empty same-capacity caches produce N identical LRU states, so
+        the driver warms one cache and clones it into the rest (see
+        ``Simulation._prewarm``).  Capacities must match — recency and
+        eviction decisions depend on it.
+        """
+        if other.capacity != self.capacity:
+            raise ValueError(
+                f"clone requires equal capacities "
+                f"({other.capacity} != {self.capacity})"
+            )
+        self._entries = OrderedDict(other._entries)
+        self._used = other._used
+        self.hits = other.hits
+        self.misses = other.misses
+        self.insertions = other.insertions
+        self.evictions = other.evictions
+
     def invalidate(self, file_id: int) -> bool:
         """Drop a file if present; returns whether it was cached."""
         size = self._entries.pop(file_id, None)

@@ -28,14 +28,21 @@ __all__ = ["CalendarQueue"]
 
 #: Smallest bucket count the queue will shrink to.
 _MIN_BUCKETS = 8
-#: Resize when the item count leaves [nbuckets / 2, nbuckets * 2].
+#: Grow (double the buckets) when the item count exceeds this multiple
+#: of the bucket count.
 _GROW_FACTOR = 2
+#: Shrink (halve the buckets) only when the item count falls below
+#: ``nbuckets // _SHRINK_DIV``.  Halving at ``nbuckets // 2`` — the exact
+#: load a grow leaves behind — lets a workload that sawtooths around one
+#: boundary pay a full O(n) resize on every swing; the quarter threshold
+#: puts a 2x dead band between the grow and shrink triggers (kernel v3).
+_SHRINK_DIV = 4
 
 
 class CalendarQueue:
     """Bucketed priority queue over ``(time, priority, eid, event)`` tuples."""
 
-    __slots__ = ("_buckets", "_nb", "_width", "_size", "_cur", "_top")
+    __slots__ = ("_buckets", "_nb", "_width", "_size", "_cur", "_top", "resizes")
 
     def __init__(self, width: float = 1.0, nbuckets: int = _MIN_BUCKETS):
         if width <= 0:
@@ -46,6 +53,9 @@ class CalendarQueue:
         self._nb = nbuckets
         self._width = width
         self._size = 0
+        #: Number of O(n) bucket-array rebuilds so far (observability for
+        #: the resize-hysteresis regression tests; never read by the scan).
+        self.resizes = 0
         self._set_position(0.0)
 
     def __len__(self) -> int:
@@ -129,13 +139,14 @@ class CalendarQueue:
             raise IndexError("pop from an empty CalendarQueue")
         item = self._buckets[i].pop(0)
         self._size -= 1
-        if self._size < self._nb // 2 and self._nb > _MIN_BUCKETS:
+        if self._size < self._nb // _SHRINK_DIV and self._nb > _MIN_BUCKETS:
             self._resize(self._nb // 2)
         return item
 
     # -- resize ------------------------------------------------------------
 
     def _resize(self, nbuckets: int) -> None:
+        self.resizes += 1
         items = sorted(
             item for bucket in self._buckets for item in bucket
         )

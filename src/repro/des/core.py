@@ -25,7 +25,17 @@ events per run, so this module is written for speed as much as clarity
   events once processed (``REPRO_DES_POOL=0`` disables it);
 * :meth:`Environment.call_later` / :meth:`Event.succeed_at` fast paths
   so resources and callback chains can schedule completions without
-  allocating intermediate events or generator frames.
+  allocating intermediate events or generator frames;
+* zero-delay *now queues* (kernel v3): events scheduled at exactly the
+  current simulated time — resource grants, ``succeed()``, process
+  resumption, interrupts — bypass the scheduler entirely and land in
+  two per-priority FIFO deques drained before the clock advances.  The
+  drain respects the exact global (time, priority, eid) order (heap
+  items at the current time were scheduled earlier and therefore carry
+  smaller ids than any now-queue entry), so results are bit-identical
+  to routing everything through the scheduler; it just skips the
+  O(log n) push/pop and the entry-tuple allocation for the roughly
+  half of all events that fire "now".
 
 All of those fast paths are risky enough that the kernel carries an
 optional runtime sanitizer (``Environment(sanitize=True)`` or
@@ -40,6 +50,7 @@ point, which the bench regression gate shows is free.
 from __future__ import annotations
 
 import os
+from collections import deque
 from heapq import heappop, heappush
 from math import inf
 from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, Optional
@@ -489,10 +500,14 @@ class Environment:
         "_now",
         "_queue",
         "_cal",
+        "_now_u",
+        "_now_n",
         "_eid",
         "_active_proc",
         "_timeout_pool",
         "_cb_pool",
+        "_req_pool",
+        "_preq_pool",
         "_scheduler",
         "_san",
     )
@@ -535,6 +550,17 @@ class Environment:
         # check is a single identity test.
         self._timeout_pool: Optional[list] = [] if pool_events else None
         self._cb_pool: Optional[list] = [] if pool_events else None
+        # Resource request free lists (v3): filled by Resource.free()
+        # under the same refcount rules, drained by Resource.request().
+        self._req_pool: Optional[list] = [] if pool_events else None
+        self._preq_pool: Optional[list] = [] if pool_events else None
+        # Zero-delay now queues (kernel v3), one per priority level.
+        # Sanitized environments leave them empty: every event then flows
+        # through the fully-checked scheduler path, and the sanitizer's
+        # pop-order checks certify exactly the order the now queues
+        # reproduce.
+        self._now_u: deque = deque()
+        self._now_n: deque = deque()
         self._eid = 0
         self._active_proc: Optional[Process] = None
 
@@ -618,10 +644,11 @@ class Environment:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
         pool = self._cb_pool
+        san = self._san
         if pool:
             ev = pool.pop()
-            if self._san is not None:
-                self._san.on_reuse(ev)
+            if san is not None:
+                san.on_reuse(ev)
             ev._value = value
             ev._ok = True
             ev._defused = False
@@ -630,14 +657,22 @@ class Environment:
             ev._value = value
         ev.callbacks = [fn]
         # Inlined _schedule (this is the hottest scheduling entry point).
-        if self._san is not None:
-            self._san.on_schedule(ev, self._now + delay)
+        now = self._now
+        t = now + delay
+        if san is None:
+            if t == now:
+                # Zero-delay fast path: FIFO order is eid order.
+                self._eid += 1
+                (self._now_u if priority == 0 else self._now_n).append(ev)
+                return ev
+        else:
+            san.on_schedule(ev, t)
         eid = self._eid = self._eid + 1
         q = self._queue
         if q is not None:
-            heappush(q, (self._now + delay, priority, eid, ev))
+            heappush(q, (t, priority, eid, ev))
         else:
-            self._cal.push((self._now + delay, priority, eid, ev))
+            self._cal.push((t, priority, eid, ev))
         return ev
 
     def process(
@@ -673,17 +708,33 @@ class Environment:
     # -- scheduling ---------------------------------------------------------
 
     def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
-        if self._san is not None:
-            self._san.on_schedule(event, self._now + delay)
+        now = self._now
+        t = now + delay
+        san = self._san
+        if san is None:
+            if t == now:
+                # Zero-delay fast path (kernel v3): the event fires at the
+                # current time, so it skips the scheduler and joins the
+                # per-priority now queue.  FIFO order there is eid order,
+                # and every scheduler entry at the current time was pushed
+                # earlier (smaller eid), so the drain in step()/run() keeps
+                # the exact (time, priority, eid) total order.
+                self._eid += 1
+                (self._now_u if priority == 0 else self._now_n).append(event)
+                return
+        else:
+            san.on_schedule(event, t)
         eid = self._eid = self._eid + 1
         q = self._queue
         if q is not None:
-            heappush(q, (self._now + delay, priority, eid, event))
+            heappush(q, (t, priority, eid, event))
         else:
-            self._cal.push((self._now + delay, priority, eid, event))
+            self._cal.push((t, priority, eid, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
+        if self._now_u or self._now_n:
+            return self._now
         q = self._queue
         if q is not None:
             return q[0][0] if q else inf
@@ -691,18 +742,70 @@ class Environment:
         return head[0] if head is not None else inf
 
     def step(self) -> None:
-        """Process the next event.  Raises :class:`EmptySchedule` if none."""
+        """Process the next event.  Raises :class:`EmptySchedule` if none.
+
+        The pop merges three sources in exact (time, priority, eid)
+        order: the scheduler (heap or calendar queue) and the two
+        zero-delay now queues.  Scheduler entries at the current time
+        always precede same-priority now-queue entries (they carry
+        smaller ids); an urgent now-queue entry precedes any NORMAL
+        entry at the current time regardless of id.
+        """
         q = self._queue
         if q is not None:
-            try:
-                t, priority, eid, event = heappop(q)
-            except IndexError:
-                raise EmptySchedule() from None
+            head = q[0] if q else None
         else:
-            try:
-                t, priority, eid, event = self._cal.popmin()
-            except IndexError:
-                raise EmptySchedule() from None
+            head = self._cal.peek()
+        now = self._now
+        now_u = self._now_u
+        event: Optional[Event] = None
+        if now_u:
+            if head is None or head[1] != URGENT or head[0] != now:
+                event = now_u.popleft()
+        elif head is None or head[0] != now:
+            now_n = self._now_n
+            if now_n:
+                event = now_n.popleft()
+        if event is not None:
+            # Now-queue drain: the clock does not move, and the
+            # sanitizer is never active here (sanitized environments
+            # route everything through the scheduler below).
+            callbacks = event.callbacks
+            event.callbacks = None
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event._defused:
+                raise event._value
+            cls = event.__class__
+            if cls is Timeout:
+                pool = self._timeout_pool
+                if (
+                    pool is not None
+                    and len(pool) < _POOL_MAX
+                    and _refcount(event) == 2
+                ):
+                    event._value = PENDING
+                    pool.append(event)
+            elif cls is _Callback:
+                pool = self._cb_pool
+                if (
+                    pool is not None
+                    and len(pool) < _POOL_MAX
+                    and _refcount(event) == 2
+                ):
+                    event._value = PENDING
+                    pool.append(event)
+            return
+        if head is None:
+            raise EmptySchedule()
+        if q is not None:
+            t, priority, eid, event = heappop(q)
+        else:
+            t, priority, eid, event = self._cal.popmin()
+        # Drop the peeked entry tuple (it is the one just popped): a live
+        # reference would keep the event's refcount above the recycle
+        # threshold below.
+        head = None
         san = self._san
         if san is not None:
             san.on_pop(t, priority, eid, event, self._now)
@@ -801,7 +904,7 @@ class Environment:
         q = self._queue
         if self._san is not None:
             # Sanitized: every event must flow through the fully-checked
-            # step() path, so the inlined loop below is skipped.
+            # step() path, so the inlined loops below are skipped.
             step = self.step
             while True:
                 if self.peek() >= stop_at:
@@ -810,28 +913,58 @@ class Environment:
         elif q is not None:
             # The heap main loop inlines step(): at millions of events per
             # run the per-event call overhead is measurable.  Keep the two
-            # bodies in sync (step() remains the single-event API).
+            # bodies in sync (step() remains the single-event API).  The
+            # pop merges the heap with the zero-delay now queues in exact
+            # (time, priority, eid) order: heap entries at the current
+            # time were scheduled earlier (smaller eid) than any now-queue
+            # entry, and urgent now-queue entries overtake NORMAL heap
+            # entries at the current time (priority compares first).
             timeout_pool = self._timeout_pool
             cb_pool = self._cb_pool
+            now_u = self._now_u
+            now_n = self._now_n
             pop = heappop
-            while q and q[0][0] < stop_at:
-                self._now, _, _, event = pop(q)
+            pop_u = now_u.popleft
+            pop_n = now_n.popleft
+            now = self._now
+            while True:
+                # NB: the heap head is deliberately never bound to a
+                # local — a lingering reference to the popped entry tuple
+                # would keep the event's refcount above the recycle
+                # threshold and silently disable the free lists.
+                if now_u:
+                    if q and q[0][0] == now and q[0][1] == 0:
+                        event = pop(q)[3]
+                    else:
+                        event = pop_u()
+                elif q:
+                    t = q[0][0]
+                    if t == now:
+                        event = pop(q)[3]
+                    elif now_n:
+                        event = pop_n()
+                    elif t >= stop_at:
+                        break
+                    else:
+                        self._now = now = t
+                        event = pop(q)[3]
+                elif now_n:
+                    event = pop_n()
+                else:
+                    break
                 callbacks = event.callbacks
                 event.callbacks = None
-                for callback in callbacks:
-                    callback(event)
+                # Almost every event carries exactly one callback (the
+                # grant/chain continuation); skip the iterator for it.
+                if len(callbacks) == 1:
+                    callbacks[0](event)
+                else:
+                    for callback in callbacks:
+                        callback(event)
                 if not event._ok and not event._defused:
                     raise event._value
                 cls = event.__class__
-                if cls is Timeout:
-                    if (
-                        timeout_pool is not None
-                        and len(timeout_pool) < _POOL_MAX
-                        and _refcount(event) == 2
-                    ):
-                        event._value = PENDING
-                        timeout_pool.append(event)
-                elif cls is _Callback:
+                if cls is _Callback:
                     if (
                         cb_pool is not None
                         and len(cb_pool) < _POOL_MAX
@@ -839,14 +972,77 @@ class Environment:
                     ):
                         event._value = PENDING
                         cb_pool.append(event)
+                elif cls is Timeout:
+                    if (
+                        timeout_pool is not None
+                        and len(timeout_pool) < _POOL_MAX
+                        and _refcount(event) == 2
+                    ):
+                        event._value = PENDING
+                        timeout_pool.append(event)
         else:
-            step = self.step
+            # Calendar-queue twin of the loop above (peek/popmin instead
+            # of direct heap indexing); keep the bodies in sync.
             cal = self._cal
-            while cal:
-                head = cal.peek()
-                if head is None or head[0] >= stop_at:
+            timeout_pool = self._timeout_pool
+            cb_pool = self._cb_pool
+            now_u = self._now_u
+            now_n = self._now_n
+            pop_u = now_u.popleft
+            pop_n = now_n.popleft
+            now = self._now
+            while True:
+                head = cal.peek() if cal else None
+                if now_u:
+                    if head is not None and head[0] == now and head[1] == 0:
+                        event = cal.popmin()[3]
+                    else:
+                        event = pop_u()
+                elif head is not None:
+                    t = head[0]
+                    if t == now:
+                        event = cal.popmin()[3]
+                    elif now_n:
+                        event = pop_n()
+                    elif t >= stop_at:
+                        break
+                    else:
+                        self._now = now = t
+                        event = cal.popmin()[3]
+                elif now_n:
+                    event = pop_n()
+                else:
                     break
-                step()
+                # Drop the peeked entry tuple: a live reference to it
+                # would hold the popped event's refcount above the
+                # recycle threshold and disable the free lists.
+                head = None
+                callbacks = event.callbacks
+                event.callbacks = None
+                if len(callbacks) == 1:
+                    callbacks[0](event)
+                else:
+                    for callback in callbacks:
+                        callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
+                cls = event.__class__
+                if cls is _Callback:
+                    if (
+                        cb_pool is not None
+                        and len(cb_pool) < _POOL_MAX
+                        and _refcount(event) == 2
+                    ):
+                        event._value = PENDING
+                        cb_pool.append(event)
+                elif cls is Timeout:
+                    if (
+                        timeout_pool is not None
+                        and len(timeout_pool) < _POOL_MAX
+                        and _refcount(event) == 2
+                    ):
+                        event._value = PENDING
+                        timeout_pool.append(event)
         if stop_at is not inf:
             self._now = stop_at
         return None

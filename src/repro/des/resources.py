@@ -19,9 +19,15 @@ from __future__ import annotations
 
 import itertools
 from collections import deque
+from heapq import heappush
 from typing import Deque, List, Optional
 
-from .core import Environment, Event, PENDING
+from .core import Environment, Event, PENDING, _POOL_MAX
+
+try:
+    from sys import getrefcount as _refcount
+except ImportError:  # pragma: no cover - non-CPython: pooling disabled
+    _refcount = None
 
 __all__ = [
     "Request",
@@ -124,7 +130,28 @@ class Resource:
         return self._total_served
 
     def request(self) -> Request:
-        """Create (and enqueue) a new request for this resource."""
+        """Create (and enqueue) a new request for this resource.
+
+        Draws from the environment's request free list when pooling is
+        enabled; requests enter the pool via :meth:`free` (fast path
+        only — the generator-path ``release()`` never recycles).
+        """
+        pool = self.env._req_pool
+        if pool:
+            req = pool.pop()
+            req.callbacks = []
+            req._value = PENDING
+            req._ok = True
+            req._defused = False
+            req.resource = self
+            req.usage_since = None
+            # Inlined _do_request (Resource.request is never inherited by
+            # subclasses with a different queue discipline).
+            if len(self.users) < self._capacity:
+                self._grant(req)
+            else:
+                self.queue.append(req)
+            return req
         return Request(self)
 
     # -- utilization accounting ------------------------------------------
@@ -158,15 +185,30 @@ class Resource:
     def _grant(self, req: Request) -> None:
         env = self.env
         now = env._now
-        if not self.users:
+        users = self.users
+        if not users:
             self._busy_since = now
-        self.users.append(req)
+        users.append(req)
         req.usage_since = now
         self._total_served += 1
-        # Inlined req.succeed(): a grant happens exactly once per request.
+        # Inlined req.succeed() + env._schedule(req, NORMAL): a grant
+        # happens exactly once per request and always fires at the
+        # current time, so it goes straight to the NORMAL now queue
+        # (kernel v3) unless the sanitizer wants the checked path.
         req._ok = True
         req._value = None
-        env._schedule(req, 1)  # NORMAL
+        san = env._san
+        if san is None:
+            env._eid += 1
+            env._now_n.append(req)
+            return
+        san.on_schedule(req, now)
+        eid = env._eid = env._eid + 1
+        q = env._queue
+        if q is not None:
+            heappush(q, (now, 1, eid, req))  # NORMAL
+        else:
+            env._cal.push((now, 1, eid, req))
 
     def _do_request(self, req: Request) -> None:
         if len(self.users) < self._capacity:
@@ -181,27 +223,55 @@ class Resource:
             pass
 
     def _do_release(self, req: Request) -> None:
+        users = self.users
         try:
-            self.users.remove(req)
+            users.remove(req)
         except ValueError:
             raise RuntimeError(
                 f"release of a request that does not hold {self!r}"
             ) from None
-        if not self.users and self._busy_since is not None:
+        if not users and self._busy_since is not None:
             self._busy_time += self.env._now - self._busy_since
             self._busy_since = None
         # Hand the slot to the next queued request (skipping cancelled).
-        while self.queue:
-            nxt = self.queue.popleft()
+        queue = self.queue
+        while queue:
+            nxt = queue.popleft()
             if nxt._value is PENDING:
                 self._grant(nxt)
                 break
+        # Free-list recycling (kernel v3).  A released request goes back
+        # to the environment pool only when exactly one reference remains
+        # outside this frame (refcount 3 = that reference + the ``req``
+        # parameter + getrefcount's argument) — i.e. the fast-path caller
+        # whose contract is "free, then overwrite the handle".  The
+        # generator path's Release event holds an extra ``.request``
+        # reference, so requests released through ``release()`` are never
+        # recycled; sanitized environments skip recycling so every event
+        # keeps its sanitizer identity.
+        env = self.env
+        if env._san is None:
+            cls = req.__class__
+            if cls is Request:
+                pool = env._req_pool
+            elif cls is PriorityRequest:
+                pool = env._preq_pool
+            else:
+                return
+            if (
+                pool is not None
+                and len(pool) < _POOL_MAX
+                and _refcount(req) == 3
+            ):
+                req._value = PENDING  # poison stale reads
+                pool.append(req)
 
     #: Release a granted request without allocating a Release event — the
     #: callback-chain fast path (see ``docs/KERNEL.md``).  Semantics are
     #: identical to ``request.release()``: the slot is handed to the next
     #: queued request synchronously, minus the bookkeeping event the
-    #: generator API needs to have something to yield.
+    #: generator API needs to have something to yield.  The handle may be
+    #: recycled by the call: drop (or overwrite) it immediately after.
     free = _do_release
 
 
@@ -235,26 +305,46 @@ class PriorityResource(Resource):
     """Resource whose queue is ordered by request priority."""
 
     def request(self, priority: int = 0) -> PriorityRequest:  # type: ignore[override]
+        pool = self.env._preq_pool
+        if pool:
+            req = pool.pop()
+            req.priority = priority
+            seq = req.seq = next(PriorityRequest._seq)
+            req.key = (priority, seq)
+            req.callbacks = []
+            req._value = PENDING
+            req._ok = True
+            req._defused = False
+            req.resource = self
+            req.usage_since = None
+            if len(self.users) < self._capacity:
+                self._grant(req)
+            else:
+                self._enqueue(req)
+            return req
         return PriorityRequest(self, priority)
 
     def _do_request(self, req: Request) -> None:
         if len(self.users) < self._capacity:
             self._grant(req)
         else:
-            # Insert keeping the queue sorted by (priority, seq).  Seq is
-            # monotonic, so a request at the tail's priority (or lower)
-            # always appends — the common case is O(1) and the scan only
-            # runs when a higher-priority request overtakes a queue.
-            q = self.queue
-            key = req.key  # type: ignore[attr-defined]
-            if not q or q[-1].key <= key:  # type: ignore[attr-defined]
-                q.append(req)
-                return
-            for i, other in enumerate(q):
-                if other.key > key:  # type: ignore[attr-defined]
-                    q.insert(i, req)
-                    return
+            self._enqueue(req)
+
+    def _enqueue(self, req: Request) -> None:
+        # Insert keeping the queue sorted by (priority, seq).  Seq is
+        # monotonic, so a request at the tail's priority (or lower)
+        # always appends — the common case is O(1) and the scan only
+        # runs when a higher-priority request overtakes a queue.
+        q = self.queue
+        key = req.key  # type: ignore[attr-defined]
+        if not q or q[-1].key <= key:  # type: ignore[attr-defined]
             q.append(req)
+            return
+        for i, other in enumerate(q):
+            if other.key > key:  # type: ignore[attr-defined]
+                q.insert(i, req)
+                return
+        q.append(req)
 
 
 class ContainerPut(Event):

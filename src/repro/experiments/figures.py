@@ -195,16 +195,13 @@ def scaling_experiment(
 
     cells = [(trace, s, n, cache) for n in node_counts for s in systems]
     n_workers = workers if workers is not None else bench_workers()
-    if n_workers > 1 and len(cells) > 1:
-        from concurrent.futures import ProcessPoolExecutor
+    # Fan out through the farm's ordered pool map: serial fallback,
+    # worker-crash retry, and ordered collection in one place (results
+    # are bit-identical to the serial run either way).
+    from ..farm.runner import pool_map
 
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            for system, n, result in pool.map(_scaling_cell, cells):
-                results[system][n] = result
-    else:
-        for cell in cells:
-            system, n, result = _scaling_cell(cell)
-            results[system][n] = result
+    for system, n, result in pool_map(_scaling_cell, cells, workers=n_workers):
+        results[system][n] = result
     return ScalingExperiment(
         trace=trace_name,
         node_counts=tuple(node_counts),

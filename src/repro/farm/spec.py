@@ -1,0 +1,219 @@
+"""Sweep-grid specification: what a farm run executes.
+
+A :class:`SweepSpec` is the cross product of traces, policies, cluster
+sizes and seeds, flattened into a deterministic shard list.  The shard
+list — not worker scheduling — is the single source of ordering: shard
+``i`` means the same simulation no matter how many workers run the
+sweep, which is what makes the merged result byte-identical to a serial
+run.
+
+Seeds are part of the grid.  When a spec is built with
+:meth:`SweepSpec.derived` the seed axis is *derived* from a base seed
+with :func:`derive_shard_seed` — a pure function of ``(base, index)``,
+never of worker identity or wall clock — so replicate seeds are stable
+across machines, worker counts, and reruns (simlint's unseeded-RNG rules
+apply to farm workers exactly as they do to the kernel).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["FarmSpecError", "Shard", "SweepSpec", "derive_shard_seed"]
+
+#: Trace presets a spec may name (matches repro.workload.synthesize).
+KNOWN_TRACES = ("calgary", "clarknet", "nasa", "rutgers")
+
+
+class FarmSpecError(ValueError):
+    """A sweep spec that cannot be executed."""
+
+
+def derive_shard_seed(base: int, index: int) -> int:
+    """Deterministic per-replicate seed stream.
+
+    A SHA-256 mix of ``(base, index)`` folded to 31 bits: collision-free
+    in practice, identical on every platform, and — unlike ``base +
+    index`` — uncorrelated between adjacent replicates, so replicate 0
+    of base 1 never equals replicate 1 of base 0.
+    """
+    digest = hashlib.sha256(f"repro-farm:{base}:{index}".encode()).digest()
+    return int.from_bytes(digest[:4], "big") & 0x7FFFFFFF
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One cell of the sweep grid: a single deterministic simulation."""
+
+    index: int
+    trace: str
+    policy: str
+    nodes: int
+    seed: int
+
+    def label(self) -> str:
+        return f"{self.trace}/{self.policy}/n{self.nodes}/s{self.seed}"
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """The full grid one ``repro farm sweep`` executes."""
+
+    traces: Tuple[str, ...]
+    policies: Tuple[str, ...]
+    node_counts: Tuple[int, ...]
+    seeds: Tuple[int, ...]
+    requests: int
+    cache_mb: int = 32
+    passes: int = 2
+
+    def __post_init__(self) -> None:
+        if not self.traces:
+            raise FarmSpecError("spec needs at least one trace")
+        if not self.policies:
+            raise FarmSpecError("spec needs at least one policy")
+        if not self.node_counts:
+            raise FarmSpecError("spec needs at least one node count")
+        if not self.seeds:
+            raise FarmSpecError("spec needs at least one seed")
+        for trace in self.traces:
+            if trace not in KNOWN_TRACES:
+                raise FarmSpecError(
+                    f"unknown trace {trace!r} (expected one of "
+                    f"{', '.join(KNOWN_TRACES)})"
+                )
+        for n in self.node_counts:
+            if n < 1:
+                raise FarmSpecError(f"node count must be >= 1, got {n}")
+        if self.requests < 1:
+            raise FarmSpecError(f"requests must be >= 1, got {self.requests}")
+        if self.cache_mb < 1:
+            raise FarmSpecError(f"cache_mb must be >= 1, got {self.cache_mb}")
+        if self.passes < 1:
+            raise FarmSpecError(f"passes must be >= 1, got {self.passes}")
+        if len(set(self.seeds)) != len(self.seeds):
+            raise FarmSpecError("seeds must be distinct")
+
+    @classmethod
+    def derived(
+        cls,
+        traces: Sequence[str],
+        policies: Sequence[str],
+        node_counts: Sequence[int],
+        base_seed: int,
+        replicates: int,
+        requests: int,
+        cache_mb: int = 32,
+        passes: int = 2,
+    ) -> "SweepSpec":
+        """Build a spec whose seed axis is derived from ``base_seed``."""
+        if replicates < 1:
+            raise FarmSpecError(f"replicates must be >= 1, got {replicates}")
+        seeds = tuple(derive_shard_seed(base_seed, i) for i in range(replicates))
+        return cls(
+            traces=tuple(traces),
+            policies=tuple(policies),
+            node_counts=tuple(node_counts),
+            seeds=seeds,
+            requests=requests,
+            cache_mb=cache_mb,
+            passes=passes,
+        )
+
+    # -- the shard list ----------------------------------------------------
+
+    def shards(self) -> List[Shard]:
+        """Grid order: trace, then policy, then nodes, then seed.
+
+        This order is the merge order and therefore part of the output
+        contract — reordering it changes every rendered report.
+        """
+        out: List[Shard] = []
+        index = 0
+        for trace in self.traces:
+            for policy in self.policies:
+                for nodes in self.node_counts:
+                    for seed in self.seeds:
+                        out.append(Shard(index, trace, policy, nodes, seed))
+                        index += 1
+        return out
+
+    def __len__(self) -> int:
+        return (
+            len(self.traces)
+            * len(self.policies)
+            * len(self.node_counts)
+            * len(self.seeds)
+        )
+
+    # -- JSON round-trip ---------------------------------------------------
+
+    def to_json(self) -> str:
+        payload: Dict[str, Any] = asdict(self)
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepSpec":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FarmSpecError(f"not valid JSON: {exc}") from None
+        if not isinstance(payload, dict):
+            raise FarmSpecError("spec JSON must be an object")
+        known = {
+            "traces",
+            "policies",
+            "node_counts",
+            "seeds",
+            "requests",
+            "cache_mb",
+            "passes",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise FarmSpecError(
+                f"unknown spec field(s): {', '.join(sorted(unknown))}"
+            )
+        missing = {"traces", "policies", "node_counts", "seeds", "requests"} - set(
+            payload
+        )
+        if missing:
+            raise FarmSpecError(
+                f"missing spec field(s): {', '.join(sorted(missing))}"
+            )
+        try:
+            return cls(
+                traces=tuple(str(t) for t in payload["traces"]),
+                policies=tuple(str(p) for p in payload["policies"]),
+                node_counts=tuple(int(n) for n in payload["node_counts"]),
+                seeds=tuple(int(s) for s in payload["seeds"]),
+                requests=int(payload["requests"]),
+                cache_mb=int(payload.get("cache_mb", 32)),
+                passes=int(payload.get("passes", 2)),
+            )
+        except (TypeError, ValueError) as exc:
+            if isinstance(exc, FarmSpecError):
+                raise
+            raise FarmSpecError(f"malformed spec: {exc}") from None
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "SweepSpec":
+        try:
+            with open(path) as fh:
+                return cls.from_json(fh.read())
+        except OSError as exc:
+            raise FarmSpecError(f"cannot read {path}: {exc}") from None
+
+    def describe(self) -> str:
+        return (
+            f"{len(self.traces)} trace(s) x {len(self.policies)} policy(ies) "
+            f"x {len(self.node_counts)} size(s) x {len(self.seeds)} seed(s) "
+            f"= {len(self)} shards, {self.requests:,} requests each"
+        )

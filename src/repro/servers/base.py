@@ -30,7 +30,16 @@ from __future__ import annotations
 import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Protocol, runtime_checkable
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
 
 from ..cluster import Cluster
 
@@ -40,7 +49,25 @@ __all__ = [
     "DistributionPolicy",
     "ShuffledRoundRobin",
     "ServiceUnavailable",
+    "least_loaded",
 ]
+
+
+def least_loaded(view: Sequence[int], nodes: Iterable[int]) -> int:
+    """Node with the smallest ``(view[i], i)`` — i.e. ``min`` with that
+    key, minus the per-node lambda/tuple cost.  Every dispatch decision
+    runs this scan (often several times per request), which made the
+    ``min(..., key=lambda ...)`` idiom one of the hottest non-kernel
+    lines in a profile (see ``docs/KERNEL.md``)."""
+    it = iter(nodes)
+    best = next(it)
+    load = view[best]
+    for i in it:
+        li = view[i]
+        if li < load or (li == load and i < best):
+            load = li
+            best = i
+    return best
 
 
 @runtime_checkable

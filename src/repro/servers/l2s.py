@@ -33,6 +33,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional
 
 from .base import Decision, DistributionPolicy, ShuffledRoundRobin
+from .base import least_loaded as _least_loaded
 
 __all__ = ["L2SPolicy"]
 
@@ -153,7 +154,7 @@ class L2SPolicy(DistributionPolicy):
                     # rather than hand off on it.
                     self.stale_local_dispatches += 1
                     return initial
-            return min(alive, key=lambda i: (view[i], i))
+            return _least_loaded(view, alive)
 
         sset = self._server_sets.get(file_id)
         replicated = False
@@ -186,7 +187,7 @@ class L2SPolicy(DistributionPolicy):
                         modified = True
                         self.replications += 1
             if target is None:
-                least_in_set = min(members, key=lambda i: (view[i], i))
+                least_in_set = _least_loaded(view, members)
                 if not overloaded(least_in_set):
                     target = least_in_set
                 else:

@@ -39,6 +39,7 @@ from bisect import insort
 from typing import Any, Dict, List
 
 from .base import Decision, DistributionPolicy, ServiceUnavailable
+from .base import least_loaded as _least_loaded
 
 __all__ = ["LARDPolicy"]
 
@@ -172,22 +173,19 @@ class LARDPolicy(DistributionPolicy):
         now = self.clock.now
         view = self._view
 
-        def least_loaded(nodes: List[int]) -> int:
-            return min(nodes, key=lambda i: (view[i], i))
-
         sset = self._server_sets.get(file_id)
         replicated = False
         modified = False
 
         if not sset:
-            target = least_loaded(self._back_ends)
+            target = _least_loaded(view, self._back_ends)
             sset = [target]
             self._server_sets[file_id] = sset
             modified = True
         else:
-            target = least_loaded(sset)
+            target = _least_loaded(view, sset)
             if self.replication:
-                cold = least_loaded(self._back_ends)
+                cold = _least_loaded(view, self._back_ends)
                 if (
                     view[target] > self.t_high and view[cold] < self.t_low
                 ) or view[target] > 2 * self.t_high:

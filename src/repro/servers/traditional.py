@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List
 
-from .base import Decision, DistributionPolicy
+from .base import Decision, DistributionPolicy, least_loaded
 
 __all__ = ["TraditionalPolicy"]
 
@@ -31,14 +31,27 @@ class TraditionalPolicy(DistributionPolicy):
         self._assigned: List[int] = [0] * n
 
     def initial_node(self, index: int, file_id: int) -> int:
-        from .base import ServiceUnavailable
-
         self._require_cluster()
         view = self._assigned
-        alive = [i for i in range(len(view)) if i not in self.failed_nodes]
-        if not alive:
-            raise ServiceUnavailable("every node has failed")
-        node = min(alive, key=lambda i: (view[i], i))
+        failed = self.failed_nodes
+        if failed:
+            from .base import ServiceUnavailable
+
+            alive = [i for i in range(len(view)) if i not in failed]
+            if not alive:
+                raise ServiceUnavailable("every node has failed")
+            node = least_loaded(view, alive)
+        else:
+            # Hot path (no failures): scan in place, no node list, no
+            # key tuples.  Strict ``<`` keeps min()'s tie-break — the
+            # lowest-id node among the minima.
+            node = 0
+            best = view[0]
+            for i in range(1, len(view)):
+                load = view[i]
+                if load < best:
+                    best = load
+                    node = i
         view[node] += 1
         return node
 

@@ -357,10 +357,24 @@ class Simulation:
         """
         sizes = self._sizes
         one_pass = self._ids[: self._trace_len]
-        for node in self.cluster.nodes:
-            warm = node.warm_cache
-            for fid in one_pass:
-                warm(int(fid), int(sizes[fid]))
+        nodes = self.cluster.nodes
+        first = nodes[0]
+        src = first.cache
+        src_started_empty = len(src) == 0
+        warm = first.warm_cache
+        for fid in one_pass:
+            warm(int(fid), int(sizes[fid]))
+        for node in nodes[1:]:
+            dst = node.cache
+            if src_started_empty and dst.capacity == src.capacity and len(dst) == 0:
+                # Identical replay into an identical empty cache yields
+                # an identical LRU state: clone instead of re-replaying
+                # the trace N-1 more times.
+                dst.clone_state_from(src)
+            else:  # pragma: no cover - heterogeneous/pre-seeded caches
+                warm = node.warm_cache
+                for fid in one_pass:
+                    warm(int(fid), int(sizes[fid]))
 
     # -- run ---------------------------------------------------------------------
 

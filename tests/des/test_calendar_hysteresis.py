@@ -1,0 +1,111 @@
+"""Calendar-queue resize hysteresis (kernel v3).
+
+A grow doubles the buckets and leaves the queue at ``size == 2 * nb_old
+== nb_new``; with the old ``size < nb // 2`` shrink trigger, a workload
+whose population sawtooths around a resize boundary could pay a full
+O(n) rebuild on every swing.  The shrink trigger now sits at ``nb // 4``
+— a 2x dead band below what a grow leaves behind — so oscillation around
+either boundary never causes back-to-back resizes.  Resize thresholds
+only affect cost, never pop order, so these tests pin the *count* of
+rebuilds via the ``resizes`` counter.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+from repro.des.calendar import CalendarQueue, _GROW_FACTOR, _MIN_BUCKETS, _SHRINK_DIV
+
+_eid = itertools.count()
+
+
+def _item(t: float):
+    return (t, 1, next(_eid), None)
+
+
+def _fill(q: CalendarQueue, n: int, rng: random.Random):
+    for _ in range(n):
+        q.push(_item(rng.uniform(0.0, 100.0)))
+
+
+def test_resizes_counter_counts_grows():
+    q = CalendarQueue()
+    rng = random.Random(1)
+    assert q.resizes == 0
+    # Pushing past GROW_FACTOR * nb triggers a grow.
+    _fill(q, _GROW_FACTOR * _MIN_BUCKETS + 1, rng)
+    assert q.resizes == 1
+    assert q._nb == 2 * _MIN_BUCKETS
+
+
+def test_oscillation_at_grow_boundary_does_not_thrash():
+    q = CalendarQueue()
+    rng = random.Random(2)
+    _fill(q, _GROW_FACTOR * _MIN_BUCKETS + 1, rng)  # one grow
+    before = q.resizes
+    # Sawtooth push/pop right where the grow fired: the post-grow
+    # population (2 * nb_old == nb_new) sits far above the nb_new // 4
+    # shrink trigger, so neither direction resizes again.
+    for _ in range(200):
+        q.popmin()
+        q.push(_item(rng.uniform(0.0, 100.0)))
+    assert q.resizes == before
+
+
+def test_no_shrink_until_quarter_occupancy():
+    q = CalendarQueue()
+    rng = random.Random(3)
+    # Grow twice: nb = 4 * _MIN_BUCKETS.
+    _fill(q, _GROW_FACTOR * 2 * _MIN_BUCKETS + 1, rng)
+    assert q._nb == 4 * _MIN_BUCKETS
+    grows = q.resizes
+    nb = q._nb
+    # Drain down to the old (half-occupancy) trigger: no shrink yet.
+    while len(q) >= nb // 2:
+        q.popmin()
+    assert q.resizes == grows
+    # Keep draining: the shrink fires only below nb // _SHRINK_DIV.
+    while len(q) >= nb // _SHRINK_DIV:
+        q.popmin()
+    q.popmin()
+    assert q.resizes == grows + 1
+    assert q._nb == nb // 2
+
+
+def test_oscillation_at_shrink_boundary_does_not_thrash():
+    q = CalendarQueue()
+    rng = random.Random(4)
+    _fill(q, _GROW_FACTOR * 2 * _MIN_BUCKETS + 1, rng)
+    # Drain until a shrink fires.
+    base = q.resizes
+    while q.resizes == base:
+        q.popmin()
+    after_shrink = q.resizes
+    # Sawtooth around the point the shrink fired: the halved bucket
+    # count puts the population back in the dead band, so neither the
+    # grow (needs 2x) nor another shrink (needs /2 again) can trigger.
+    for _ in range(200):
+        q.push(_item(rng.uniform(0.0, 100.0)))
+        q.popmin()
+    assert q.resizes == after_shrink
+
+
+def test_pop_order_unchanged_by_resizes():
+    import heapq
+
+    q = CalendarQueue()
+    oracle: list = []
+    rng = random.Random(5)
+    # Interleave pushes and pops to force grows and shrinks mid-stream;
+    # every popmin must match a binary-heap oracle exactly.
+    for _ in range(300):
+        it = _item(rng.uniform(0.0, 50.0))
+        q.push(it)
+        heapq.heappush(oracle, it)
+        if rng.random() < 0.3:
+            assert q.popmin() == heapq.heappop(oracle)
+    while q:
+        assert q.popmin() == heapq.heappop(oracle)
+    assert not oracle
+    assert q.resizes > 0

@@ -1,16 +1,23 @@
 """``repro.analysis`` — correctness tooling for the simulator.
 
-Two complementary halves:
+Three complementary layers:
 
-* :mod:`repro.analysis.simlint` — **simlint**, a repo-specific AST
-  linter that flags determinism hazards (unseeded RNGs, unordered-set
-  iteration feeding scheduling decisions, wall-clock reads in the
-  kernel, ``id()``-based ordering, mutable default arguments, swallowed
-  exceptions).  Run it as ``repro lint``.
+* :mod:`repro.analysis.simlint` — the file-local AST rules
+  (REP001–REP008: unseeded RNGs, unordered-set iteration, wall-clock
+  reads in the kernel, ``id()``-based ordering, mutable defaults,
+  swallowed exceptions, unseeded fault RNG ctors, fragile oracles).
+* The whole-program passes over a :class:`~.modules.ProjectModel` and
+  its :class:`~.callgraph.CallGraph`: nondeterminism taint with full
+  source→sink provenance (:mod:`~.taint`, REP101–REP103), hot-path
+  allocation lint for ``# simlint: hotpath`` functions
+  (:mod:`~.hotpath`, REP104), async-safety for ``repro.live``
+  (:mod:`~.asyncsafe`, REP105–REP106), and DistributionPolicy contract
+  conformance (:mod:`~.conformance`, REP107).  Rule metadata lives in
+  the table-driven registry (:mod:`~.rules`); the ``repro lint`` CLI —
+  ``--baseline``, ``--sarif``, ``--explain`` — in :mod:`~.engine`.
 * :mod:`repro.des.sanitize` — the runtime DES sanitizer
-  (``Environment(sanitize=True)`` / ``REPRO_DES_SANITIZE=1``), re-exported
-  here for convenience: use-after-recycle poisoning, scheduler invariant
-  checks, double-trigger detection, and an end-of-run leak report.
+  (``Environment(sanitize=True)`` / ``REPRO_DES_SANITIZE=1``),
+  re-exported here for convenience.
 
 See ``docs/ANALYSIS.md`` for the rule catalog and rationale.
 """
@@ -22,8 +29,8 @@ from ..des.sanitize import (
     Violation,
     force_recycle,
 )
+from .rules import REGISTRY, RULES, Rule, explain, rule_ids
 from .simlint import (
-    RULES,
     Finding,
     lint_file,
     lint_paths,
@@ -32,7 +39,11 @@ from .simlint import (
 from .simlint import main as lint_main
 
 __all__ = [
+    "REGISTRY",
     "RULES",
+    "Rule",
+    "explain",
+    "rule_ids",
     "Finding",
     "lint_source",
     "lint_file",

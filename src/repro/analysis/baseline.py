@@ -1,0 +1,111 @@
+"""Finding baselines: adopt the existing debt, fail only on new findings.
+
+A baseline maps a *fingerprint* to how many findings carry it.  The
+fingerprint hashes the rule id, the normalized file path, and the
+whitespace-stripped text of the source line — deliberately not the line
+*number*, so unrelated edits that shift code up or down don't invalidate
+the baseline, while any change to the flagged line itself surfaces the
+finding again.  Occurrence counting keeps duplicate identical lines
+honest: two findings on two identical ``self.x = []`` lines need a
+baseline count of 2.
+
+Workflow: ``repro lint --write-baseline .simlint-baseline.json`` adopts
+the current findings; ``repro lint --baseline .simlint-baseline.json``
+then exits 0 while only baselined findings exist and nonzero the moment
+a *new* one appears (stale entries are reported informationally).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Callable, Dict, List, Tuple
+
+from .simlint import Finding
+
+__all__ = [
+    "fingerprint",
+    "generate",
+    "save",
+    "load",
+    "compare",
+]
+
+_FORMAT = "simlint-baseline-v1"
+
+
+def _norm_path(path: str) -> str:
+    return Path(path).as_posix()
+
+
+def fingerprint(finding: Finding, line_text: str) -> str:
+    """Stable id for one finding: rule | path | stripped line text."""
+    key = f"{finding.rule}|{_norm_path(finding.path)}|{line_text.strip()}"
+    return hashlib.sha1(key.encode("utf-8")).hexdigest()[:16]
+
+
+def generate(
+    findings: List[Finding], get_line: Callable[[str, int], str]
+) -> Dict[str, object]:
+    counts: Dict[str, int] = {}
+    meta: Dict[str, Dict[str, object]] = {}
+    for f in findings:
+        text = get_line(f.path, f.line)
+        fp = fingerprint(f, text)
+        counts[fp] = counts.get(fp, 0) + 1
+        meta.setdefault(
+            fp,
+            {
+                "rule": f.rule,
+                "path": _norm_path(f.path),
+                "line_text": text.strip(),
+            },
+        )
+    return {
+        "format": _FORMAT,
+        "counts": {fp: counts[fp] for fp in sorted(counts)},
+        "entries": {fp: meta[fp] for fp in sorted(meta)},
+    }
+
+
+def save(path: str, data: Dict[str, object]) -> None:
+    Path(path).write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def load(path: str) -> Dict[str, object]:
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if data.get("format") != _FORMAT:
+        raise ValueError(
+            f"{path}: not a {_FORMAT} file "
+            f"(format={data.get('format')!r})"
+        )
+    return data
+
+
+def compare(
+    findings: List[Finding],
+    baseline: Dict[str, object],
+    get_line: Callable[[str, int], str],
+) -> Tuple[List[Finding], int]:
+    """Split current findings against a baseline.
+
+    Returns ``(new_findings, stale_count)`` where ``new_findings`` are
+    findings whose fingerprint occurs more often now than the baseline
+    allows, and ``stale_count`` is the number of baselined occurrences
+    that no longer exist (candidates for regeneration).
+    """
+    allowed: Dict[str, int] = dict(baseline.get("counts", {}))  # type: ignore[arg-type]
+    used: Dict[str, int] = {}
+    new: List[Finding] = []
+    for f in findings:
+        fp = fingerprint(f, get_line(f.path, f.line))
+        used[fp] = used.get(fp, 0) + 1
+        if used[fp] > allowed.get(fp, 0):
+            new.append(f)
+    stale = sum(
+        max(0, count - used.get(fp, 0)) for fp, count in allowed.items()
+    )
+    return new, stale

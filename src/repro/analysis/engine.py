@@ -1,0 +1,297 @@
+"""The ``repro lint`` driver: file-local rules + whole-program passes.
+
+Pipeline::
+
+    paths ──> per-file v1 pass (REP001–REP008, unchanged)
+         └─> package roots ──> ProjectModel ──> CallGraph ──> passes
+                                  taint (REP101–103)
+                                  hotpath (REP104)
+                                  asyncsafe (REP105–106)
+                                  conformance (REP107)
+
+plus the reporting machinery: ``--format text|json``, ``--sarif FILE``,
+``--baseline``/``--write-baseline`` (adopt existing findings, fail only
+on new ones), ``--select``/``--ignore`` validated against the rule
+registry, and ``--explain REPxxx``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set
+
+from . import asyncsafe, baseline as baseline_mod, conformance, hotpath, taint
+from .callgraph import CallGraph
+from .modules import ProjectModel
+from .rules import REGISTRY, RULES, explain as explain_rule
+from .sarif import to_sarif
+from .simlint import Finding, _python_files, lint_file
+
+__all__ = ["run_project_passes", "lint_all", "main"]
+
+#: Pass runners in execution order; each yields findings for its rules.
+_PROJECT_PASSES = (
+    ("taint", taint.run, ("REP101", "REP102", "REP103")),
+    ("hotpath", hotpath.run, ("REP104",)),
+    ("asyncsafe", asyncsafe.run, ("REP105", "REP106")),
+    ("conformance", conformance.run, ("REP107",)),
+)
+
+
+def _package_roots(paths: Sequence[str]) -> List[Path]:
+    """Package directories among ``paths`` (or their immediate children).
+
+    ``src`` itself is no package, but ``src/repro`` is; passing either
+    must run the whole-program passes over the package.
+    """
+    roots: List[Path] = []
+    seen: Set[str] = set()
+
+    def add(p: Path) -> None:
+        key = str(p.resolve())
+        if key not in seen:
+            seen.add(key)
+            roots.append(p)
+
+    for raw in paths:
+        p = Path(raw)
+        if not p.is_dir():
+            continue
+        if (p / "__init__.py").is_file():
+            add(p)
+        else:
+            for child in sorted(p.iterdir()):
+                if child.is_dir() and (child / "__init__.py").is_file():
+                    add(child)
+    return roots
+
+
+def run_project_passes(
+    model: ProjectModel, active: Optional[Set[str]] = None
+) -> List[Finding]:
+    """Run every whole-program pass whose rules intersect ``active``."""
+    graph = CallGraph.build(model)
+    findings: List[Finding] = []
+    for _name, runner, rules in _PROJECT_PASSES:
+        if active is not None and not (active & set(rules)):
+            continue
+        for f in runner(model, graph):
+            if active is None or f.rule in active:
+                findings.append(f)
+    return findings
+
+
+def lint_all(
+    paths: Sequence[str],
+    active: Optional[Set[str]] = None,
+    *,
+    project: bool = True,
+) -> tuple:
+    """Per-file + whole-program lint.  Returns (findings, files_checked)."""
+    files = _python_files(paths)
+    findings: List[Finding] = []
+    local_select = active if active is not None else None
+    for f in files:
+        findings.extend(lint_file(f, select=local_select))
+    if project:
+        linted = {str(Path(f)) for f in files}
+        for root in _package_roots(paths):
+            model = ProjectModel.load(root)
+            for finding in run_project_passes(model, active):
+                # Only report findings in files the user asked about
+                # (a model loaded from src/repro never strays, but keep
+                # the contract explicit).
+                if finding.path in linted:
+                    findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings, len(files)
+
+
+class _LineCache:
+    def __init__(self) -> None:
+        self._files: Dict[str, List[str]] = {}
+
+    def __call__(self, path: str, line: int) -> str:
+        if path not in self._files:
+            try:
+                self._files[path] = Path(path).read_text(
+                    encoding="utf-8"
+                ).splitlines()
+            except OSError:
+                self._files[path] = []
+        lines = self._files[path]
+        return lines[line - 1] if 1 <= line <= len(lines) else ""
+
+
+def _parse_rule_list(raw: str) -> Set[str]:
+    return {r.strip() for r in raw.split(",") if r.strip()}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "determinism linter for the simulator codebase: file-local "
+            "rules (REP001-REP008) plus whole-program taint, hot-path, "
+            "async-safety, and policy-conformance passes (REP101-REP107)"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=None,
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="RULES",
+        help="comma-separated rule subset, e.g. REP001,REP104",
+    )
+    parser.add_argument(
+        "--ignore", default=None, metavar="RULES",
+        help="comma-separated rules to skip",
+    )
+    parser.add_argument(
+        "--statistics", action="store_true",
+        help="print a per-rule finding count summary",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog"
+    )
+    parser.add_argument(
+        "--explain", default=None, metavar="REPxxx",
+        help="print the long-form rationale for one rule and exit",
+    )
+    parser.add_argument(
+        "--sarif", default=None, metavar="FILE",
+        help="additionally write findings as SARIF 2.1.0 to FILE",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="compare against a committed baseline: only findings not "
+        "in FILE fail the run",
+    )
+    parser.add_argument(
+        "--write-baseline", default=None, metavar="FILE",
+        help="adopt the current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--no-project", action="store_true",
+        help="skip the whole-program passes (file-local rules only)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.explain:
+        try:
+            print(explain_rule(args.explain))
+        except KeyError:
+            known = ", ".join(sorted(REGISTRY))
+            print(
+                f"unknown rule {args.explain!r}; known rules: {known}",
+                file=sys.stderr,
+            )
+            return 2
+        return 0
+
+    if args.list_rules:
+        for rule, desc in sorted(RULES.items()):
+            print(f"{rule}  {desc}")
+        return 0
+
+    active: Optional[Set[str]] = None
+    if args.select:
+        active = _parse_rule_list(args.select)
+        unknown = active - set(RULES)
+        if unknown:
+            print(
+                f"unknown rules: {', '.join(sorted(unknown))}",
+                file=sys.stderr,
+            )
+            return 2
+    if args.ignore:
+        ignored = _parse_rule_list(args.ignore)
+        unknown = ignored - set(RULES)
+        if unknown:
+            print(
+                f"unknown rules: {', '.join(sorted(unknown))}",
+                file=sys.stderr,
+            )
+            return 2
+        active = (active if active is not None else set(RULES)) - ignored
+
+    paths = args.paths or (["src"] if Path("src").is_dir() else ["."])
+    findings, files_checked = lint_all(
+        paths, active, project=not args.no_project
+    )
+
+    get_line = _LineCache()
+
+    if args.write_baseline:
+        data = baseline_mod.generate(findings, get_line)
+        baseline_mod.save(args.write_baseline, data)
+        print(
+            f"wrote baseline with {len(findings)} finding"
+            f"{'s' if len(findings) != 1 else ''} "
+            f"({len(data['counts'])} fingerprints) to {args.write_baseline}"
+        )
+        return 0
+
+    report = findings
+    stale = 0
+    if args.baseline:
+        try:
+            data = baseline_mod.load(args.baseline)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"cannot load baseline: {exc}", file=sys.stderr)
+            return 2
+        report, stale = baseline_mod.compare(findings, data, get_line)
+
+    if args.sarif:
+        Path(args.sarif).write_text(to_sarif(report) + "\n", encoding="utf-8")
+
+    if args.fmt == "json":
+        counts: Dict[str, int] = {}
+        for f in report:
+            counts[f.rule] = counts.get(f.rule, 0) + 1
+        payload: Dict[str, object] = {
+            "files_checked": files_checked,
+            "findings": [f.as_dict() for f in report],
+            "counts": counts,
+        }
+        if args.baseline:
+            payload["baselined"] = len(findings) - len(report)
+            payload["stale_baseline_entries"] = stale
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for f in report:
+            print(f.render())
+        if args.statistics:
+            counts = {}
+            for f in report:
+                counts[f.rule] = counts.get(f.rule, 0) + 1
+            for rule in sorted(counts):
+                print(f"{rule}: {counts[rule]}")
+        if args.baseline:
+            suppressed = len(findings) - len(report)
+            note = f" ({suppressed} baselined"
+            if stale:
+                note += f", {stale} stale baseline entries"
+            note += ")"
+            summary = (
+                f"{len(report)} new finding{'s' if len(report) != 1 else ''} "
+                f"in {files_checked} files{note}"
+            )
+        else:
+            summary = (
+                f"{len(report)} finding{'s' if len(report) != 1 else ''} "
+                f"in {files_checked} files"
+            )
+        print(("FAIL: " if report else "ok: ") + summary)
+    return 1 if report else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

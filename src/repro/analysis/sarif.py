@@ -1,0 +1,92 @@
+"""Minimal SARIF 2.1.0 serialization for simlint findings.
+
+Enough of the standard for GitHub code scanning and editor ingestion:
+one run, one driver, rule descriptors straight from the registry, one
+result per finding with the provenance trace attached both as related
+locations and in the message body.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, List
+
+from .rules import REGISTRY
+from .simlint import Finding
+
+__all__ = ["to_sarif"]
+
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_TRACE_LOC_RE = re.compile(r"^(?P<path>[^:]+):(?P<line>\d+):\s*(?P<note>.*)$")
+
+
+def _rule_descriptor(rule_id: str) -> Dict[str, object]:
+    rule = REGISTRY.get(rule_id)
+    if rule is None:  # REP000 syntax pseudo-rule
+        return {"id": rule_id, "name": "syntax-error"}
+    return {
+        "id": rule.id,
+        "name": rule.name,
+        "shortDescription": {"text": rule.summary},
+        "fullDescription": {"text": rule.explain},
+    }
+
+
+def _location(path: str, line: int, col: int = 1) -> Dict[str, object]:
+    return {
+        "physicalLocation": {
+            "artifactLocation": {"uri": path},
+            "region": {"startLine": max(1, line), "startColumn": max(1, col)},
+        }
+    }
+
+
+def _result(finding: Finding) -> Dict[str, object]:
+    message = finding.message
+    if finding.trace:
+        message += "\n" + "\n".join(finding.trace)
+    out: Dict[str, object] = {
+        "ruleId": finding.rule,
+        "level": "error",
+        "message": {"text": message},
+        "locations": [_location(finding.path, finding.line, finding.col)],
+    }
+    related = []
+    for step in finding.trace:
+        m = _TRACE_LOC_RE.match(step)
+        if not m:
+            continue
+        loc = _location(m.group("path"), int(m.group("line")))
+        loc["message"] = {"text": m.group("note")}
+        related.append(loc)
+    if related:
+        out["relatedLocations"] = related
+    return out
+
+
+def to_sarif(findings: List[Finding], *, tool_version: str = "2.0") -> str:
+    rule_ids = sorted({f.rule for f in findings} | set(REGISTRY))
+    doc = {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "simlint",
+                        "informationUri":
+                            "https://example.invalid/repro/docs/ANALYSIS.md",
+                        "version": tool_version,
+                        "rules": [_rule_descriptor(r) for r in rule_ids],
+                    }
+                },
+                "results": [_result(f) for f in findings],
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)

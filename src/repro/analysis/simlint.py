@@ -66,9 +66,7 @@ Exit status is 0 when no findings survive suppression, 1 otherwise.
 
 from __future__ import annotations
 
-import argparse
 import ast
-import json
 import re
 import sys
 from dataclasses import dataclass
@@ -77,20 +75,11 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 __all__ = ["Finding", "RULES", "lint_source", "lint_file", "lint_paths", "main"]
 
-#: Rule id -> one-line description (the catalog; docs/ANALYSIS.md expands it).
-RULES: Dict[str, str] = {
-    "REP001": "unseeded-global-rng: module-level random/numpy.random call",
-    "REP002": "unordered-iteration: iterating a set (or dict.keys) where "
-    "order matters",
-    "REP003": "wall-clock: real-time read inside simulation code",
-    "REP004": "id-ordering: ordering or hashing derived from id()",
-    "REP005": "mutable-default: mutable default argument",
-    "REP006": "swallowed-exception: bare or blanket exception handler",
-    "REP007": "unseeded-instance-rng: zero-argument RNG constructor in "
-    "fault-injection code",
-    "REP008": "fragile-oracle-check: float ==/!= literal comparison or "
-    "wall-clock-derived assert in chaos code",
-}
+#: Rule id -> one-line description.  Derived from the table-driven
+#: registry in :mod:`repro.analysis.rules` (the single source of truth
+#: for ids, summaries, and ``--explain`` text); re-exported here for
+#: backwards compatibility.
+from .rules import RULES  # noqa: E402  (re-export)
 
 #: Package directories whose files count as "simulation code" (REP001).
 #: ``live`` is included: the loadtest's arrival process must be seeded
@@ -151,25 +140,38 @@ _DISABLE_RE = re.compile(
 
 @dataclass(frozen=True)
 class Finding:
-    """One lint finding at a source location."""
+    """One lint finding at a source location.
+
+    Whole-program findings (REP101+) carry a ``trace``: the chain of
+    steps from the nondeterminism source (or hotpath/async root) to the
+    reported line, each step a human-readable ``path:line: note`` string.
+    """
 
     path: str
     line: int
     col: int
     rule: str
     message: str
+    trace: Tuple[str, ...] = ()
 
     def render(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        head = f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        if not self.trace:
+            return head
+        steps = "\n".join(f"    {step}" for step in self.trace)
+        return f"{head}\n{steps}"
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        out: Dict[str, object] = {
             "path": self.path,
             "line": self.line,
             "col": self.col,
             "rule": self.rule,
             "message": self.message,
         }
+        if self.trace:
+            out["trace"] = list(self.trace)
+        return out
 
 
 def _scope_dirs(path: str) -> Set[str]:
@@ -788,79 +790,15 @@ def lint_paths(
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="repro lint",
-        description="determinism linter for the simulator codebase",
-    )
-    parser.add_argument(
-        "paths", nargs="*", default=None,
-        help="files or directories to lint (default: src)",
-    )
-    parser.add_argument(
-        "--format", choices=("text", "json"), default="text", dest="fmt",
-    )
-    parser.add_argument(
-        "--select", default=None, metavar="RULES",
-        help="comma-separated rule subset, e.g. REP001,REP004",
-    )
-    parser.add_argument(
-        "--statistics", action="store_true",
-        help="print a per-rule finding count summary",
-    )
-    parser.add_argument(
-        "--list-rules", action="store_true", help="print the rule catalog"
-    )
-    args = parser.parse_args(argv)
+    """``repro lint`` entry point.
 
-    if args.list_rules:
-        for rule, desc in sorted(RULES.items()):
-            print(f"{rule}  {desc}")
-        return 0
+    The full CLI (whole-program passes, --baseline, --sarif, --explain)
+    lives in :mod:`repro.analysis.engine`; this delegate keeps the
+    historical ``repro.analysis.simlint.main`` import path working.
+    """
+    from .engine import main as engine_main
 
-    select: Optional[Set[str]] = None
-    if args.select:
-        select = {r.strip() for r in args.select.split(",") if r.strip()}
-        unknown = select - set(RULES)
-        if unknown:
-            print(
-                f"unknown rules: {', '.join(sorted(unknown))}",
-                file=sys.stderr,
-            )
-            return 2
-
-    paths = args.paths or (["src"] if Path("src").is_dir() else ["."])
-    findings, files_checked = lint_paths(paths, select=select)
-
-    if args.fmt == "json":
-        counts: Dict[str, int] = {}
-        for f in findings:
-            counts[f.rule] = counts.get(f.rule, 0) + 1
-        print(
-            json.dumps(
-                {
-                    "files_checked": files_checked,
-                    "findings": [f.as_dict() for f in findings],
-                    "counts": counts,
-                },
-                indent=2,
-                sort_keys=True,
-            )
-        )
-    else:
-        for f in findings:
-            print(f.render())
-        if args.statistics:
-            counts = {}
-            for f in findings:
-                counts[f.rule] = counts.get(f.rule, 0) + 1
-            for rule in sorted(counts):
-                print(f"{rule}: {counts[rule]}")
-        summary = (
-            f"{len(findings)} finding{'s' if len(findings) != 1 else ''} "
-            f"in {files_checked} files"
-        )
-        print(("FAIL: " if findings else "ok: ") + summary)
-    return 1 if findings else 0
+    return engine_main(argv)
 
 
 if __name__ == "__main__":

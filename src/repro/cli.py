@@ -44,11 +44,15 @@ Commands
     DES kernel performance harness: events/s and wall-clock on the
     canonical 16-node scenarios, with an optional regression check
     against a committed baseline (see docs/KERNEL.md).
-``repro lint [PATH ...] [--format {text,json}] [--select RULES]``
-    simlint, the determinism linter: AST checks for unseeded RNGs,
-    unordered-set iteration in scheduling code, wall-clock reads in the
-    kernel, and friends (see docs/ANALYSIS.md).  Exits nonzero on
-    findings.
+``repro lint [PATH ...] [--format {text,json}] [--select RULES]
+[--explain REPxxx] [--sarif FILE] [--baseline FILE] [--write-baseline
+FILE] [--no-project]``
+    simlint, the determinism linter: file-local AST checks (unseeded
+    RNGs, unordered-set iteration, wall-clock reads in the kernel) plus
+    whole-program passes over a project call graph — nondeterminism
+    taint into scheduling/results/scenarios, hot-path allocation,
+    async safety, policy-contract conformance (see docs/ANALYSIS.md).
+    Exits nonzero on findings (or, with --baseline, on *new* findings).
 ``repro farm {sweep,chaos}``
     Multi-core sweep runner: shard a trace x policy x nodes x seed grid
     (or a batch of chaos trials) across worker processes with

@@ -83,6 +83,7 @@ class CalendarQueue:
 
     # -- enqueue -----------------------------------------------------------
 
+    # simlint: hotpath
     def push(self, item: Tuple) -> None:
         t = item[0]
         insort(self._buckets[int(t / self._width) % self._nb], item)
@@ -96,6 +97,7 @@ class CalendarQueue:
 
     # -- dequeue -----------------------------------------------------------
 
+    # simlint: hotpath
     def _find(self) -> Optional[int]:
         """Advance the scan to the bucket holding the minimal item.
 
@@ -127,11 +129,13 @@ class CalendarQueue:
         self._top = (int(best[0] / width) + 1) * width
         return best_i
 
+    # simlint: hotpath
     def peek(self) -> Optional[Tuple]:
         """The minimal item, or ``None`` when empty (not removed)."""
         i = self._find()
         return self._buckets[i][0] if i is not None else None
 
+    # simlint: hotpath
     def popmin(self) -> Tuple:
         """Remove and return the minimal item.  Raises IndexError if empty."""
         i = self._find()
@@ -145,6 +149,7 @@ class CalendarQueue:
 
     # -- resize ------------------------------------------------------------
 
+    # simlint: coldpath
     def _resize(self, nbuckets: int) -> None:
         self.resizes += 1
         items = sorted(

@@ -174,7 +174,9 @@ class Event:
         self.env = env
         #: List of callables invoked (with the event) when processed.
         #: ``None`` once the event has been processed.
-        self.callbacks: Optional[list] = []
+        # Fresh-event contract: one list per activation; recycled
+        # events get theirs back in the pool reset paths below.
+        self.callbacks: Optional[list] = []  # simlint: disable=REP104
         self._value: Any = PENDING
         self._ok: bool = True
         self._defused: bool = False
@@ -218,6 +220,7 @@ class Event:
 
     # -- triggering -------------------------------------------------------
 
+    # simlint: hotpath
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
         if self._value is not PENDING:
@@ -227,6 +230,7 @@ class Event:
         self.env._schedule(self, NORMAL)
         return self
 
+    # simlint: hotpath
     def succeed_at(self, delay: float, value: Any = None) -> "Event":
         """Trigger successfully, processed ``delay`` time units from now.
 
@@ -399,6 +403,7 @@ class Process(Event):
 
     # -- generator driving --------------------------------------------------
 
+    # simlint: hotpath
     def _resume(self, event: Event) -> None:
         """Advance the generator with the value/failure of ``event``."""
         if self._value is not PENDING:
@@ -451,8 +456,12 @@ class Process(Event):
                 break
 
             if not isinstance(next_event, Event):
+                # Cold error branch: a process yielded garbage and is
+                # about to die; the diagnostic f-string never runs on
+                # the event-stepping fast path.
                 exc = RuntimeError(
-                    f"process {self.name!r} yielded a non-event: {next_event!r}"
+                    f"process {self.name!r} "  # simlint: disable=REP104
+                    f"yielded a non-event: {next_event!r}"
                 )
                 generator.close()
                 self._ok = False
@@ -605,6 +614,7 @@ class Environment:
         """Create a new pending :class:`Event`."""
         return Event(self)
 
+    # simlint: hotpath
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create a :class:`Timeout` firing ``delay`` time units from now.
 
@@ -618,7 +628,9 @@ class Environment:
             t = pool.pop()
             if self._san is not None:
                 self._san.on_reuse(t)
-            t.callbacks = []
+            # Pool-reset contract: a recycled Timeout needs its own
+            # callbacks list (callers append to it).
+            t.callbacks = []  # simlint: disable=REP104
             t._value = value
             t._ok = True
             t._defused = False
@@ -627,6 +639,7 @@ class Environment:
             return t
         return Timeout(self, delay, value)
 
+    # simlint: hotpath
     def call_later(
         self,
         delay: float,
@@ -655,7 +668,8 @@ class Environment:
         else:
             ev = _Callback(self)
             ev._value = value
-        ev.callbacks = [fn]
+        # The single-callback list IS call_later's payload.
+        ev.callbacks = [fn]  # simlint: disable=REP104
         # Inlined _schedule (this is the hottest scheduling entry point).
         now = self._now
         t = now + delay
@@ -707,6 +721,7 @@ class Environment:
 
     # -- scheduling ---------------------------------------------------------
 
+    # simlint: hotpath
     def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
         now = self._now
         t = now + delay
@@ -741,6 +756,7 @@ class Environment:
         head = self._cal.peek()
         return head[0] if head is not None else inf
 
+    # simlint: hotpath
     def step(self) -> None:
         """Process the next event.  Raises :class:`EmptySchedule` if none.
 
@@ -858,6 +874,7 @@ class Environment:
         elif san is not None:
             san.on_processed(event)
 
+    # simlint: hotpath
     def run(self, until: Any = None) -> Any:
         """Run the simulation.
 
@@ -876,8 +893,11 @@ class Environment:
                     if stop_event._ok:
                         return stop_event._value
                     raise stop_event._value
-                done = []
-                stop_event.callbacks.append(lambda _e: done.append(True))
+                # Once per run() call (until-Event setup), not per event.
+                done = []  # simlint: disable=REP104
+                stop_event.callbacks.append(
+                    lambda _e: done.append(True)  # simlint: disable=REP104
+                )
                 while not done:
                     try:
                         self.step()

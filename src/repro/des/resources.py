@@ -52,7 +52,7 @@ class Request(Event):
         # Inlined Event.__init__ — requests are the hottest allocation in
         # a simulation run (see docs/KERNEL.md).
         self.env = resource.env
-        self.callbacks = []
+        self.callbacks = []  # simlint: disable=REP104 (fresh-request contract)
         self._value = PENDING
         self._ok = True
         self._defused = False
@@ -129,6 +129,7 @@ class Resource:
         """Number of requests granted so far."""
         return self._total_served
 
+    # simlint: hotpath
     def request(self) -> Request:
         """Create (and enqueue) a new request for this resource.
 
@@ -139,7 +140,8 @@ class Resource:
         pool = self.env._req_pool
         if pool:
             req = pool.pop()
-            req.callbacks = []
+            # Pool-reset contract: recycled request, fresh callbacks.
+            req.callbacks = []  # simlint: disable=REP104
             req._value = PENDING
             req._ok = True
             req._defused = False
@@ -182,6 +184,7 @@ class Resource:
 
     # -- internals ---------------------------------------------------------
 
+    # simlint: hotpath
     def _grant(self, req: Request) -> None:
         env = self.env
         now = env._now
@@ -222,6 +225,7 @@ class Resource:
         except ValueError:
             pass
 
+    # simlint: hotpath
     def _do_release(self, req: Request) -> None:
         users = self.users
         try:
@@ -292,7 +296,7 @@ class PriorityRequest(Request):
         self.key = (priority, seq)
         # Inlined Request/Event.__init__ (hot allocation; see docs/KERNEL.md).
         self.env = resource.env
-        self.callbacks = []
+        self.callbacks = []  # simlint: disable=REP104 (fresh-request contract)
         self._value = PENDING
         self._ok = True
         self._defused = False
@@ -304,6 +308,7 @@ class PriorityRequest(Request):
 class PriorityResource(Resource):
     """Resource whose queue is ordered by request priority."""
 
+    # simlint: hotpath
     def request(self, priority: int = 0) -> PriorityRequest:  # type: ignore[override]
         pool = self.env._preq_pool
         if pool:
@@ -311,7 +316,8 @@ class PriorityResource(Resource):
             req.priority = priority
             seq = req.seq = next(PriorityRequest._seq)
             req.key = (priority, seq)
-            req.callbacks = []
+            # Pool-reset contract: recycled request, fresh callbacks.
+            req.callbacks = []  # simlint: disable=REP104
             req._value = PENDING
             req._ok = True
             req._defused = False
@@ -330,6 +336,7 @@ class PriorityResource(Resource):
         else:
             self._enqueue(req)
 
+    # simlint: hotpath
     def _enqueue(self, req: Request) -> None:
         # Insert keeping the queue sorted by (priority, seq).  Seq is
         # monotonic, so a request at the tail's priority (or lower)

@@ -247,6 +247,9 @@ class DESSanitizer:
         )
         self.events_tracked += 1
 
+    # The sanitizer is opt-in diagnostics (~4x overhead by design); its
+    # bookkeeping is exempt from the hot-path allocation lint.
+    # simlint: coldpath
     def on_reuse(self, event: Any) -> None:
         """An event was drawn from a free pool for reuse."""
         self.reuses += 1

@@ -89,7 +89,13 @@ class LiveCluster:
 
         Returns the front-end's listening port.
         """
-        materialize_fileset(self.trace, self.config.root)
+        # File materialization is blocking disk I/O (open/truncate per
+        # touched file); run it off-loop so a large population doesn't
+        # stall the event loop during boot (simlint REP105).
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(
+            None, materialize_fileset, self.trace, self.config.root
+        )
         if self.config.backend_mode == "process":
             await self._start_backend_processes()
         else:

@@ -86,3 +86,41 @@ class ConsistentHashPolicy(DistributionPolicy):
         for owner in self._ring_owners:
             counts[owner] += 1
         return {"virtual_nodes": self.virtual_nodes, "ring_points_per_node": counts}
+
+    def check_invariants(self) -> List[str]:
+        """Ring structure: sorted point hashes aligned with owners, no
+        dead node owning points, and exactly ``virtual_nodes`` points per
+        alive node.  A stale ring after a membership change would route
+        requests to crashed back-ends with no error until the hand-off
+        times out."""
+        problems: List[str] = []
+        if self.cluster is None:
+            return problems
+        n = self.cluster.num_nodes
+        if len(self._ring_hashes) != len(self._ring_owners):
+            problems.append(
+                f"chash: {len(self._ring_hashes)} ring hashes vs "
+                f"{len(self._ring_owners)} owners"
+            )
+            return problems
+        if any(
+            self._ring_hashes[i] > self._ring_hashes[i + 1]
+            for i in range(len(self._ring_hashes) - 1)
+        ):
+            problems.append("chash: ring hashes are not sorted")
+        alive = [i for i in range(n) if i not in self.failed_nodes]
+        counts = [0] * n
+        for owner in self._ring_owners:
+            if not 0 <= owner < n:
+                problems.append(f"chash: ring owner {owner} out of range")
+                continue
+            counts[owner] += 1
+        for node in range(n):
+            expect = self.virtual_nodes if node in alive else 0
+            if counts[node] != expect:
+                state = "alive" if node in alive else "failed"
+                problems.append(
+                    f"chash: {state} node {node} owns {counts[node]} ring "
+                    f"points, expected {expect}"
+                )
+        return problems

@@ -102,3 +102,32 @@ class CachedDNSPolicy(DistributionPolicy):
             "resolutions": self.resolutions,
             "resolvers_seen": len(self._cache),
         }
+
+    def check_invariants(self) -> List[str]:
+        """Translation-cache sanity: every entry names a real node and a
+        TTL within [0, ttl_requests], and entries never outnumber the
+        resolutions that created them.  (A cached entry *may* point at a
+        failed node — stale translations are the behaviour under study —
+        so liveness is deliberately not asserted.)"""
+        problems: List[str] = []
+        if self.cluster is None:
+            return problems
+        n = self.cluster.num_nodes
+        for resolver, entry in self._cache.items():
+            node, remaining = entry[0], entry[1]
+            if not 0 <= node < n:
+                problems.append(
+                    f"dns-cached: resolver {resolver} caches node {node}, "
+                    f"outside 0..{n - 1}"
+                )
+            if not 0 <= remaining <= self.ttl_requests:
+                problems.append(
+                    f"dns-cached: resolver {resolver} TTL {remaining} "
+                    f"outside [0, {self.ttl_requests}]"
+                )
+        if len(self._cache) > self.resolutions:
+            problems.append(
+                f"dns-cached: {len(self._cache)} cache entries but only "
+                f"{self.resolutions} resolutions ever performed"
+            )
+        return problems

@@ -8,6 +8,8 @@ other policies (L2S) reuse.
 
 from __future__ import annotations
 
+from typing import List
+
 from .base import Decision, DistributionPolicy, ShuffledRoundRobin
 
 __all__ = ["RoundRobinPolicy"]
@@ -28,3 +30,23 @@ class RoundRobinPolicy(DistributionPolicy):
 
     def decide(self, initial: int, file_id: int) -> Decision:
         return Decision(target=initial, forwarded=False)
+
+    def check_invariants(self) -> List[str]:
+        """The dealer's current block must be a true permutation of the
+        node ids — a corrupted shuffle would silently unbalance arrivals
+        while every per-request answer still looks plausible."""
+        problems: List[str] = []
+        if self.cluster is None:
+            return problems
+        n = self.cluster.num_nodes
+        if self._rr.nodes != n:
+            problems.append(
+                f"round-robin: dealer sized for {self._rr.nodes} nodes, "
+                f"cluster has {n}"
+            )
+        if self._rr._perm and sorted(self._rr._perm) != list(range(n)):
+            problems.append(
+                f"round-robin: block permutation {self._rr._perm} is not "
+                f"a permutation of 0..{n - 1}"
+            )
+        return problems

@@ -70,3 +70,24 @@ class TraditionalPolicy(DistributionPolicy):
 
     def stats(self) -> Dict[str, Any]:
         return {"dispatcher_view": list(self._assigned)}
+
+    def check_invariants(self) -> List[str]:
+        """The dispatcher view must never drift negative: every decrement
+        (connection end, unopened abort) pairs with exactly one earlier
+        assignment, so a negative count means double-accounting — the
+        same bug class chaos fuzzing caught in LARD's front-end view."""
+        problems: List[str] = []
+        if self.cluster is None:
+            return problems
+        if len(self._assigned) != self.cluster.num_nodes:
+            problems.append(
+                f"traditional: dispatcher view has {len(self._assigned)} "
+                f"entries for {self.cluster.num_nodes} nodes"
+            )
+        for i, count in enumerate(self._assigned):
+            if count < 0:
+                problems.append(
+                    f"traditional: dispatcher view of node {i} is "
+                    f"negative ({count})"
+                )
+        return problems

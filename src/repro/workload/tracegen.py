@@ -36,7 +36,11 @@ def poisson_timestamps(
     if rate_per_sec <= 0:
         raise ValueError("rate_per_sec must be positive")
     if rng is None:
-        rng = np.random.default_rng()
+        # A zero-argument default_rng() seeds from OS entropy, so bare
+        # calls would yield different arrival times run to run (simlint
+        # REP103 traced this into chaos scenario generation).  Fall back
+        # to a fixed seed instead; callers wanting variation pass an rng.
+        rng = np.random.default_rng(0)
     gaps = rng.exponential(1.0 / rate_per_sec, size=num_requests)
     return np.cumsum(gaps)
 

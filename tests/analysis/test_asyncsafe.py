@@ -1,0 +1,173 @@
+"""Planted-bug fixtures for the async-safety pass (REP105/REP106)."""
+
+from repro.analysis import asyncsafe
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.modules import ProjectModel
+
+
+def run(sources):
+    model = ProjectModel.from_sources(sources)
+    return asyncsafe.run(model, CallGraph.build(model))
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+# -- REP105: blocking calls reachable from async defs ----------------------
+
+
+def test_rep105_blocking_two_calls_deep():
+    findings = run({
+        "pkg.io": (
+            "import time\n"
+            "\n"
+            "def settle():\n"
+            "    time.sleep(0.5)\n"
+        ),
+        "pkg.mid": (
+            "from .io import settle\n"
+            "\n"
+            "def prepare():\n"
+            "    settle()\n"
+        ),
+        "pkg.srv": (
+            "from .mid import prepare\n"
+            "\n"
+            "async def start():\n"
+            "    prepare()\n"
+        ),
+    })
+    assert rules_of(findings) == ["REP105"]
+    f = findings[0]
+    assert f.path == "pkg/io.py"
+    assert f.line == 4
+    trace = "\n".join(f.trace)
+    # Chain from the async root through the sync intermediary.
+    assert "start" in trace and "prepare" in trace and "settle" in trace
+    assert len(f.trace) >= 3
+
+
+def test_rep105_bare_open_in_async():
+    findings = run({
+        "pkg.srv": (
+            "async def load(path):\n"
+            "    with open(path) as fh:\n"
+            "        return fh.read()\n"
+        ),
+    })
+    assert rules_of(findings) == ["REP105"]
+
+
+def test_rep105_clean_when_not_reachable_from_async():
+    findings = run({
+        "pkg.io": (
+            "import time\n"
+            "\n"
+            "def settle():\n"
+            "    time.sleep(0.5)\n"
+            "\n"
+            "def sync_main():\n"
+            "    settle()\n"
+        ),
+    })
+    assert findings == []
+
+
+def test_rep105_suppression():
+    findings = run({
+        "pkg.srv": (
+            "import time\n"
+            "\n"
+            "async def start():\n"
+            "    time.sleep(0)  # simlint: disable=REP105\n"
+        ),
+    })
+    assert findings == []
+
+
+# -- REP106: never-awaited coroutines --------------------------------------
+
+
+def test_rep106_bare_coroutine_call():
+    findings = run({
+        "pkg.srv": (
+            "async def send(x):\n"
+            "    return x\n"
+            "\n"
+            "async def drive():\n"
+            "    send(1)\n"
+        ),
+    })
+    assert rules_of(findings) == ["REP106"]
+    assert findings[0].line == 5
+
+
+def test_rep106_assigned_but_never_used():
+    findings = run({
+        "pkg.srv": (
+            "async def send(x):\n"
+            "    return x\n"
+            "\n"
+            "async def drive():\n"
+            "    fut = send(1)\n"
+            "    return None\n"
+        ),
+    })
+    assert rules_of(findings) == ["REP106"]
+
+
+def test_rep106_awaited_is_clean():
+    findings = run({
+        "pkg.srv": (
+            "async def send(x):\n"
+            "    return x\n"
+            "\n"
+            "async def drive():\n"
+            "    await send(1)\n"
+        ),
+    })
+    assert findings == []
+
+
+def test_rep106_create_task_is_clean():
+    findings = run({
+        "pkg.srv": (
+            "import asyncio\n"
+            "\n"
+            "async def send(x):\n"
+            "    return x\n"
+            "\n"
+            "async def drive():\n"
+            "    asyncio.create_task(send(1))\n"
+        ),
+    })
+    assert findings == []
+
+
+def test_rep106_returned_coroutine_is_clean():
+    findings = run({
+        "pkg.srv": (
+            "async def send(x):\n"
+            "    return x\n"
+            "\n"
+            "def make():\n"
+            "    return send(1)\n"
+        ),
+    })
+    assert findings == []
+
+
+def test_rep106_gathered_is_clean():
+    findings = run({
+        "pkg.srv": (
+            "import asyncio\n"
+            "\n"
+            "async def send(x):\n"
+            "    return x\n"
+            "\n"
+            "async def drive():\n"
+            "    await asyncio.gather(send(1), send(2))\n"
+        ),
+    })
+    assert findings == []

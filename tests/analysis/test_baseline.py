@@ -1,0 +1,157 @@
+"""Baseline round-trip: generate -> rerun -> empty diff; inject -> nonempty.
+
+Exercises both the :mod:`repro.analysis.baseline` module directly and the
+``repro lint --baseline/--write-baseline`` CLI path end to end on a tiny
+throwaway package."""
+
+import json
+
+import pytest
+
+from repro.analysis import baseline
+from repro.analysis.engine import main as engine_main
+from repro.analysis.simlint import Finding
+
+# A module with two deliberate file-local findings: an unseeded Random()
+# (REP001) and a time.time() call (REP003), plus duplicate identical
+# lines to exercise occurrence counting.
+DIRTY = """\
+import random
+import time
+
+
+def jitter():
+    rng = random.Random()
+    return rng.random() + time.time()
+
+
+def jitter2():
+    rng = random.Random()
+    return rng.random()
+"""
+
+
+@pytest.fixture()
+def dirty_pkg(tmp_path):
+    pkg = tmp_path / "sim"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    (pkg / "mod.py").write_text(DIRTY)
+    return pkg
+
+
+def lint(args):
+    return engine_main([str(a) for a in args])
+
+
+# -- module-level round-trip ------------------------------------------------
+
+
+def test_generate_then_compare_is_empty():
+    findings = [
+        Finding("a.py", 3, 4, "REP001", "unseeded"),
+        Finding("b.py", 7, 0, "REP003", "wall clock"),
+    ]
+    lines = {("a.py", 3): "  rng = random.Random()", ("b.py", 7): "t = time.time()"}
+    get_line = lambda p, ln: lines[(p, ln)]  # noqa: E731
+    data = baseline.generate(findings, get_line)
+    new, stale = baseline.compare(findings, data, get_line)
+    assert new == []
+    assert stale == 0
+
+
+def test_injected_finding_is_new():
+    old = [Finding("a.py", 3, 4, "REP001", "unseeded")]
+    get_line = lambda p, ln: "rng = random.Random()"  # noqa: E731
+    data = baseline.generate(old, get_line)
+    injected = Finding("a.py", 9, 0, "REP003", "wall clock")
+    new, stale = baseline.compare(
+        old + [injected], data, lambda p, ln: "x" if ln == 9 else "rng = random.Random()"
+    )
+    assert new == [injected]
+    assert stale == 0
+
+
+def test_occurrence_counting():
+    # Two findings on byte-identical lines share a fingerprint; the
+    # baseline must allow exactly two, not unboundedly many.
+    get_line = lambda p, ln: "self.x = []"  # noqa: E731
+    two = [
+        Finding("a.py", 3, 4, "REP104", "alloc"),
+        Finding("a.py", 9, 4, "REP104", "alloc"),
+    ]
+    data = baseline.generate(two, get_line)
+    assert list(data["counts"].values()) == [2]
+    three = two + [Finding("a.py", 15, 4, "REP104", "alloc")]
+    new, _ = baseline.compare(three, data, get_line)
+    assert len(new) == 1
+
+
+def test_line_shift_does_not_invalidate():
+    # Fingerprints hash line *text*, not line numbers: moving the same
+    # line elsewhere in the file keeps it baselined.
+    get_line = lambda p, ln: "rng = random.Random()"  # noqa: E731
+    data = baseline.generate(
+        [Finding("a.py", 3, 4, "REP001", "unseeded")], get_line
+    )
+    moved = [Finding("a.py", 42, 4, "REP001", "unseeded")]
+    new, stale = baseline.compare(moved, data, get_line)
+    assert new == []
+    assert stale == 0
+
+
+def test_stale_entries_counted():
+    get_line = lambda p, ln: "rng = random.Random()"  # noqa: E731
+    data = baseline.generate(
+        [Finding("a.py", 3, 4, "REP001", "unseeded")], get_line
+    )
+    new, stale = baseline.compare([], data, get_line)
+    assert new == []
+    assert stale == 1
+
+
+def test_load_rejects_wrong_format(tmp_path):
+    path = tmp_path / "b.json"
+    path.write_text(json.dumps({"format": "something-else"}))
+    with pytest.raises(ValueError):
+        baseline.load(str(path))
+
+
+# -- CLI round-trip ---------------------------------------------------------
+
+
+def test_cli_round_trip(dirty_pkg, tmp_path, capsys):
+    bl = tmp_path / "bl.json"
+    # Dirty package fails without a baseline...
+    assert lint([dirty_pkg]) == 1
+    capsys.readouterr()
+    # ...adopting the findings succeeds...
+    assert lint([dirty_pkg, "--write-baseline", bl]) == 0
+    out = capsys.readouterr().out
+    assert "wrote baseline" in out
+    # ...and a rerun against the baseline is clean.
+    assert lint([dirty_pkg, "--baseline", bl]) == 0
+    out = capsys.readouterr().out
+    assert "0 new findings" in out
+
+
+def test_cli_new_finding_fails_against_baseline(dirty_pkg, tmp_path, capsys):
+    bl = tmp_path / "bl.json"
+    assert lint([dirty_pkg, "--write-baseline", bl]) == 0
+    capsys.readouterr()
+    mod = dirty_pkg / "mod.py"
+    mod.write_text(mod.read_text() + "\n\nt0 = time.time()\n")
+    assert lint([dirty_pkg, "--baseline", bl]) == 1
+    out = capsys.readouterr().out
+    assert "new finding" in out
+
+
+def test_cli_baseline_json_reports_counts(dirty_pkg, tmp_path, capsys):
+    bl = tmp_path / "bl.json"
+    assert lint([dirty_pkg, "--write-baseline", bl]) == 0
+    capsys.readouterr()
+    assert lint([dirty_pkg, "--baseline", bl, "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["findings"] == []
+    assert payload["baselined"] > 0
+    assert payload["stale_baseline_entries"] == 0

@@ -1,0 +1,143 @@
+"""Planted-bug fixtures for the policy-conformance pass (REP107)."""
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis import conformance
+from repro.analysis.modules import ProjectModel
+
+BASE = (
+    "class DistributionPolicy:\n"
+    "    def __init__(self):\n"
+    "        self.cluster = None\n"
+    "    def bind(self, cluster):\n"
+    "        self.cluster = cluster\n"
+    "        self._setup()\n"
+    "    def _setup(self):\n"
+    "        pass\n"
+    "    def check_invariants(self):\n"
+    "        return []\n"
+)
+
+
+def run(sources):
+    model = ProjectModel.from_sources(sources)
+    return conformance.run(model, CallGraph.build(model))
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+def test_missing_check_invariants():
+    findings = run({
+        "pkg.base": BASE,
+        "pkg.lard": (
+            "from .base import DistributionPolicy\n"
+            "\n"
+            "class LARDPolicy(DistributionPolicy):\n"
+            "    name = 'lard'\n"
+            "    def decide(self, initial, file_id):\n"
+            "        return initial\n"
+        ),
+    })
+    assert rules_of(findings) == ["REP107"]
+    assert "check_invariants" in findings[0].message
+
+
+def test_bind_override_without_super():
+    findings = run({
+        "pkg.base": BASE,
+        "pkg.bad": (
+            "from .base import DistributionPolicy\n"
+            "\n"
+            "class BadPolicy(DistributionPolicy):\n"
+            "    name = 'bad'\n"
+            "    def bind(self, cluster):\n"
+            "        self.cluster = cluster\n"
+            "    def check_invariants(self):\n"
+            "        return []\n"
+        ),
+    })
+    assert rules_of(findings) == ["REP107"]
+    assert "super()" in findings[0].message
+
+
+def test_init_override_without_super():
+    findings = run({
+        "pkg.base": BASE,
+        "pkg.bad": (
+            "from .base import DistributionPolicy\n"
+            "\n"
+            "class BadPolicy(DistributionPolicy):\n"
+            "    name = 'bad'\n"
+            "    def __init__(self, seed=0):\n"
+            "        self.seed = seed\n"
+            "    def check_invariants(self):\n"
+            "        return []\n"
+        ),
+    })
+    assert rules_of(findings) == ["REP107"]
+
+
+def test_cluster_env_reach_through():
+    findings = run({
+        "pkg.base": BASE,
+        "pkg.bad": (
+            "from .base import DistributionPolicy\n"
+            "\n"
+            "class BadPolicy(DistributionPolicy):\n"
+            "    name = 'bad'\n"
+            "    def decide(self, initial, file_id):\n"
+            "        return self.cluster.env.now\n"
+            "    def check_invariants(self):\n"
+            "        return []\n"
+        ),
+    })
+    assert rules_of(findings) == ["REP107"]
+    assert "env" in findings[0].message
+
+
+def test_conforming_policy_is_clean():
+    findings = run({
+        "pkg.base": BASE,
+        "pkg.good": (
+            "from .base import DistributionPolicy\n"
+            "\n"
+            "class GoodPolicy(DistributionPolicy):\n"
+            "    name = 'good'\n"
+            "    def __init__(self, seed=0):\n"
+            "        super().__init__()\n"
+            "        self.seed = seed\n"
+            "    def bind(self, cluster):\n"
+            "        super().bind(cluster)\n"
+            "        self.extra = True\n"
+            "    def decide(self, initial, file_id):\n"
+            "        return initial\n"
+            "    def check_invariants(self):\n"
+            "        return []\n"
+        ),
+    })
+    assert findings == []
+
+
+def test_abstract_intermediate_base_not_flagged():
+    # An intermediate class that itself has subclasses is still required
+    # to be conformant only if concrete; here the leaf implements
+    # everything and the intermediate adds nothing — neither is flagged
+    # for check_invariants because the leaf inherits the intermediate's
+    # implementation, which is below the root base in the MRO.
+    findings = run({
+        "pkg.base": BASE,
+        "pkg.mid": (
+            "from .base import DistributionPolicy\n"
+            "\n"
+            "class LocalDiskPolicy(DistributionPolicy):\n"
+            "    def check_invariants(self):\n"
+            "        return []\n"
+            "\n"
+            "class LeafPolicy(LocalDiskPolicy):\n"
+            "    name = 'leaf'\n"
+            "    def decide(self, initial, file_id):\n"
+            "        return initial\n"
+        ),
+    })
+    assert findings == []

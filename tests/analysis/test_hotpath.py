@@ -1,0 +1,112 @@
+"""Planted-bug fixtures for the hot-path allocation lint (REP104)."""
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis import hotpath
+from repro.analysis.modules import ProjectModel
+
+
+def run(sources):
+    model = ProjectModel.from_sources(sources)
+    return hotpath.run(model, CallGraph.build(model))
+
+
+def test_allocation_in_marked_function():
+    findings = run({
+        "pkg.core": (
+            "# simlint: hotpath\n"
+            "def step(events):\n"
+            "    pending = [e for e in events]\n"
+            "    return pending\n"
+        ),
+    })
+    assert [f.rule for f in findings] == ["REP104"]
+    assert findings[0].line == 3
+    assert "step" in "\n".join(findings[0].trace)
+
+
+def test_allocation_in_transitive_callee():
+    findings = run({
+        "pkg.core": (
+            "from .util import expand\n"
+            "\n"
+            "# simlint: hotpath\n"
+            "def step(events):\n"
+            "    return expand(events)\n"
+        ),
+        "pkg.util": (
+            "def expand(events):\n"
+            "    return inner(events)\n"
+            "\n"
+            "def inner(events):\n"
+            "    return {e: 1 for e in events}\n"
+        ),
+    })
+    assert [f.rule for f in findings] == ["REP104"]
+    assert findings[0].path == "pkg/util.py"
+    trace = "\n".join(findings[0].trace)
+    # Provenance chain from the marked root through both callees.
+    assert "step" in trace and "expand" in trace and "inner" in trace
+
+
+def test_tuple_literal_exempt():
+    findings = run({
+        "pkg.core": (
+            "# simlint: hotpath\n"
+            "def push(heap, t, item):\n"
+            "    heap.append((t, item))\n"
+        ),
+    })
+    assert findings == []
+
+
+def test_allocation_inside_raise_exempt():
+    findings = run({
+        "pkg.core": (
+            "# simlint: hotpath\n"
+            "def step(x):\n"
+            "    if x < 0:\n"
+            "        raise ValueError([x])\n"
+            "    return x\n"
+        ),
+    })
+    assert findings == []
+
+
+def test_coldpath_stops_traversal():
+    findings = run({
+        "pkg.core": (
+            "from .util import resize\n"
+            "\n"
+            "# simlint: hotpath\n"
+            "def step(cal):\n"
+            "    return resize(cal)\n"
+        ),
+        "pkg.util": (
+            "# simlint: coldpath\n"
+            "def resize(cal):\n"
+            "    return [0] * 64\n"
+        ),
+    })
+    assert findings == []
+
+
+def test_suppression_comment():
+    findings = run({
+        "pkg.core": (
+            "# simlint: hotpath\n"
+            "def step(events):\n"
+            "    out = []  # simlint: disable=REP104\n"
+            "    return out\n"
+        ),
+    })
+    assert findings == []
+
+
+def test_unmarked_function_not_checked():
+    findings = run({
+        "pkg.core": (
+            "def setup(events):\n"
+            "    return [e for e in events]\n"
+        ),
+    })
+    assert findings == []

@@ -24,7 +24,13 @@ from ..workload import Trace, synthesize
 from .oracle import ChaosOracle, OracleConfig, Violation
 from .spec import Scenario
 
-__all__ = ["ChaosOutcome", "run_scenario", "build_trace", "render_report"]
+__all__ = [
+    "ChaosOutcome",
+    "run_scenario",
+    "build_trace",
+    "build_policy",
+    "render_report",
+]
 
 
 @dataclass(frozen=True)
@@ -66,13 +72,22 @@ def build_trace(scenario: Scenario) -> Trace:
     return trace
 
 
-def _build_policy(scenario: Scenario):
+def build_policy(scenario: Scenario):
+    """The scenario's policy instance, with per-policy knobs applied.
+
+    Shared with the live chaos bridge so sim and live runs of the same
+    spec configure the policy identically.
+    """
     kwargs: Dict[str, Any] = {}
     if scenario.policy == "l2s" and scenario.view_max_age_s is not None:
         kwargs["view_max_age_s"] = scenario.view_max_age_s
     if scenario.policy == "lard-ng" and scenario.failover_s is not None:
         kwargs["failover_s"] = scenario.failover_s
     return make_policy(scenario.policy, **kwargs)
+
+
+# Backward-compatible alias (pre-live-bridge private name).
+_build_policy = build_policy
 
 
 def run_scenario(
@@ -89,7 +104,7 @@ def run_scenario(
     )
     sim = Simulation(
         trace,
-        _build_policy(scenario),
+        build_policy(scenario),
         config,
         warmup_fraction=0.1,
         passes=1,

@@ -47,6 +47,7 @@ __all__ = [
     "NODE_KINDS",
     "FABRIC_KINDS",
     "RATE_KINDS",
+    "LIVE_KINDS",
 ]
 
 #: Windowed node-fault kinds (expand into repro.faults events).
@@ -59,6 +60,13 @@ RATE_KINDS = ("loss", "dup", "delay", "jitter")
 WORKLOAD_KINDS = ("flash",)
 #: Every recognized plan-item kind.
 PLAN_KINDS = NODE_KINDS + FABRIC_KINDS + RATE_KINDS + WORKLOAD_KINDS
+
+#: Kinds the live chaos bridge (:mod:`repro.live.faultproxy`) can execute
+#: against a real cluster.  ``partition`` needs a switch fabric the live
+#: star topology (every backend behind one front-end) does not have, and
+#: ``dup`` needs message-level control below the TCP byte stream; both
+#: are reported by :meth:`Scenario.live_unsupported`.
+LIVE_KINDS = ("crash", "slow", "link_out", "loss", "delay", "jitter", "flash")
 
 #: Policies a scenario may name (the paper's four robustness subjects
 #: plus the baselines the repo ships).
@@ -380,6 +388,96 @@ class Scenario:
             schedule=NetFaultSchedule(tuple(events)) if events else None,
             seed=self.seed,
         )
+
+    # -- live-cluster expansion ---------------------------------------------
+
+    def live_unsupported(self) -> List[str]:
+        """Reasons this scenario cannot run on the live cluster.
+
+        Empty list means every plan item and the policy itself have a
+        live equivalent.  The live bridge refuses to run (rather than
+        silently dropping faults) when this is non-empty, mirroring how
+        :class:`repro.live.engine.PolicyEngine` rejects lard-ng.
+        """
+        problems: List[str] = []
+        if self.policy == "lard-ng":
+            problems.append(
+                "policy lard-ng: async_decide election needs the DES "
+                "generator substrate (LiveUnsupported in repro.live)"
+            )
+        for i, item in enumerate(self.plan):
+            if item.kind not in LIVE_KINDS:
+                why = {
+                    "partition": "live topology is a star through the "
+                                 "front-end; there is no fabric to split",
+                    "dup": "TCP byte streams cannot duplicate discrete "
+                           "messages",
+                }[item.kind]
+                problems.append(f"plan[{i}] {item.describe()}: {why}")
+        return problems
+
+    def live_schedule(self) -> List[Tuple[float, str, Dict[str, Any]]]:
+        """The node/link half of the plan as live injector actions.
+
+        Returns ``(frac, action, params)`` triples sorted by ``frac``,
+        where ``frac`` is the item time as a fraction of ``horizon_s``.
+        The live injector fires an action when the *loadtest progress
+        fraction* (requests finished / requests issued overall) crosses
+        ``frac`` — structural alignment with the sim (the same fraction
+        of the workload is perturbed) instead of a fragile wall-clock
+        mapping between simulated and real seconds.
+
+        Actions: ``kill``/``respawn`` (crash window via SIGKILL + fresh
+        incarnation), ``suspend``/``resume`` (slow window via
+        SIGSTOP/SIGCONT — the live analog of a fail-slow node),
+        ``link_down``/``link_up`` (the *dst* node's chaos proxy refuses
+        connections; ``src`` is ignored because every live path crosses
+        the front-end star).
+        """
+        horizon = self.horizon_s
+
+        def frac(t: float) -> float:
+            return min(1.0, max(0.0, t / horizon))
+
+        actions: List[Tuple[float, str, Dict[str, Any]]] = []
+        for item in self.plan:
+            if item.kind == "crash":
+                actions.append((frac(item.start), "kill",
+                                {"node": int(item.node)}))
+                if item.end is not None:
+                    actions.append((frac(item.end), "respawn",
+                                    {"node": int(item.node)}))
+            elif item.kind == "slow":
+                actions.append((frac(item.start), "suspend",
+                                {"node": int(item.node)}))
+                actions.append((frac(item.end), "resume",
+                                {"node": int(item.node)}))
+            elif item.kind == "link_out":
+                actions.append((frac(item.start), "link_down",
+                                {"node": int(item.dst)}))
+                if item.end is not None:
+                    actions.append((frac(item.end), "link_up",
+                                    {"node": int(item.dst)}))
+        actions.sort(key=lambda a: a[0])
+        return actions
+
+    def live_rates(self) -> Dict[str, float]:
+        """Run-wide fabric rates for the live chaos proxies.
+
+        ``loss`` is applied per proxied connection (the connection is
+        severed mid-transfer), ``delay_s``/``jitter_s`` stretch each
+        proxied byte stream — the connection-level analog of the sim's
+        per-message perturbation.
+        """
+        rates = {"loss": 0.0, "delay_s": 0.0, "jitter_s": 0.0}
+        for item in self.plan:
+            if item.kind == "loss":
+                rates["loss"] = item.rate
+            elif item.kind == "delay":
+                rates["delay_s"] = item.seconds
+            elif item.kind == "jitter":
+                rates["jitter_s"] = item.seconds
+        return rates
 
     def flash_item(self) -> Optional[PlanItem]:
         """The workload-spike item, if the plan carries one."""

@@ -3,10 +3,11 @@
 The whole-window averages the scaling experiments report hide exactly
 what a fault run is about: the outage dip, the retry storm, and the
 cache-reheat transient after a cold restart.  This instrument samples
-the run at a fixed simulated interval and keeps a row per window:
+the run at a fixed interval and keeps a row per window:
 
 * **goodput** — completed requests per second in the window;
-* **failures / retries** — terminal aborts and client re-issues;
+* **failures / retries / shed** — terminal aborts, client re-issues,
+  and admission-control rejections;
 * **window miss rate** — the fraction of the window's completions that
   missed the service node's cache (the reheat transient after a
   recovery shows up here as a spike that decays back to steady state);
@@ -14,8 +15,17 @@ the run at a fixed simulated interval and keeps a row per window:
   ``D`` down.
 
 Fault events executed by the injector are annotated onto the timeline
-(:attr:`AvailabilityTimeline.events`) so renders and reports can mark
-the crash/recover instants against the goodput curve.
+(:attr:`TimelineBase.events`) so renders and reports can mark the
+crash/recover instants against the goodput curve.
+
+The instrument is split in two: :class:`TimelineBase` holds the
+substrate-neutral core — window counters, the sample rows, the
+analysis helpers, CSV and ASCII rendering — and knows nothing about
+*whose* seconds it is sampling.  :class:`AvailabilityTimeline` is the
+DES instrument (an :class:`~repro.des.Environment` process samples
+simulated time); :class:`repro.live.timeline.LiveAvailabilityTimeline`
+drives the same core from an asyncio task against a wall clock, which
+is what makes sim and live availability curves directly comparable.
 """
 
 from __future__ import annotations
@@ -25,14 +35,14 @@ from typing import Callable, List, Optional, Tuple
 
 from ..des import Environment
 
-__all__ = ["TimelineSample", "AvailabilityTimeline"]
+__all__ = ["TimelineSample", "TimelineBase", "AvailabilityTimeline"]
 
 
 @dataclass(frozen=True)
 class TimelineSample:
     """One sampling window of the availability timeline."""
 
-    #: Window end time (simulated seconds).
+    #: Window end time (simulated or wall seconds, per substrate).
     t: float
     #: Completed requests per second inside the window.
     goodput_rps: float
@@ -48,25 +58,28 @@ class TimelineSample:
     open_connections: int
     #: One char per node: U=up, S=slow, D=down.
     node_states: str
+    #: Requests rejected by admission shedding inside the window.
+    shed: int = 0
 
 
-class AvailabilityTimeline:
-    """Sampled availability instrument for one simulation run."""
+class TimelineBase:
+    """Substrate-neutral core of the availability instrument.
 
-    def __init__(self, env: Environment, cluster, interval_s: float):
-        if interval_s <= 0:
-            raise ValueError(f"interval_s must be positive, got {interval_s}")
-        self.env = env
-        self.cluster = cluster
-        self.interval_s = interval_s
+    Subclasses supply the sampling loop and the cluster view; this base
+    owns the window counters, the recorded rows, the fault-event
+    annotations, and every analysis/rendering helper.
+    """
+
+    def __init__(self) -> None:
         self.samples: List[TimelineSample] = []
         #: Injector events executed during the run: (time, kind, node).
         self.events: List[Tuple[float, str, int]] = []
-        self._last_t = env.now
+        self._last_t = 0.0
         self._completions = 0
         self._misses = 0
         self._failures = 0
         self._retries = 0
+        self._shed = 0
 
     # -- driver hooks -------------------------------------------------------
 
@@ -81,30 +94,15 @@ class AvailabilityTimeline:
     def record_retry(self) -> None:
         self._retries += 1
 
-    def mark_event(self, kind: str, node: int) -> None:
-        """Annotate an executed fault event at the current time."""
-        self.events.append((self.env.now, kind, node))
+    def record_shed(self) -> None:
+        self._shed += 1
 
-    # -- sampling -----------------------------------------------------------
+    # -- sampling core ------------------------------------------------------
 
-    def start(self, stop: Callable[[], bool]) -> None:
-        """Start the sampler process; it exits once ``stop()`` is true.
-
-        The sampler checks ``stop`` *after* each window so the final
-        partial window of a run is still recorded.
-        """
-        self.env.process(self._sampler(stop), name="availability-timeline")
-
-    def _sampler(self, stop: Callable[[], bool]):
-        while True:
-            yield self.env.timeout(self.interval_s)
-            self.take_sample()
-            if stop():
-                return
-
-    def take_sample(self) -> TimelineSample:
-        """Close the current window and append its row."""
-        now = self.env.now
+    def _close_window(
+        self, now: float, open_connections: int, node_states: str
+    ) -> TimelineSample:
+        """Close the current window at time ``now`` and append its row."""
         elapsed = now - self._last_t
         done = self._completions
         sample = TimelineSample(
@@ -114,17 +112,14 @@ class AvailabilityTimeline:
             failures=self._failures,
             retries=self._retries,
             miss_rate=self._misses / done if done else 0.0,
-            open_connections=sum(
-                n.open_connections for n in self.cluster.nodes
-            ),
-            node_states="".join(
-                {"up": "U", "slow": "S", "down": "D"}[n.state]
-                for n in self.cluster.nodes
-            ),
+            open_connections=open_connections,
+            node_states=node_states,
+            shed=self._shed,
         )
         self.samples.append(sample)
         self._last_t = now
-        self._completions = self._misses = self._failures = self._retries = 0
+        self._completions = self._misses = self._failures = 0
+        self._retries = self._shed = 0
         return sample
 
     # -- analysis -----------------------------------------------------------
@@ -159,13 +154,13 @@ class AvailabilityTimeline:
     def to_csv(self) -> str:
         lines = [
             "t,goodput_rps,completions,failures,retries,miss_rate,"
-            "open_connections,node_states"
+            "open_connections,node_states,shed"
         ]
         for s in self.samples:
             lines.append(
                 f"{s.t:.6g},{s.goodput_rps:.6g},{s.completions},{s.failures},"
                 f"{s.retries},{s.miss_rate:.6g},{s.open_connections},"
-                f"{s.node_states}"
+                f"{s.node_states},{s.shed}"
             )
         return "\n".join(lines) + "\n"
 
@@ -205,3 +200,52 @@ class AvailabilityTimeline:
             if t <= s.t:
                 return i
         return len(self.samples) - 1
+
+
+class AvailabilityTimeline(TimelineBase):
+    """Sampled availability instrument for one simulation run."""
+
+    def __init__(self, env: Environment, cluster, interval_s: float):
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be positive, got {interval_s}")
+        super().__init__()
+        self.env = env
+        self.cluster = cluster
+        self.interval_s = interval_s
+        self._last_t = env.now
+
+    # -- driver hooks -------------------------------------------------------
+
+    def mark_event(self, kind: str, node: int) -> None:
+        """Annotate an executed fault event at the current time."""
+        self.events.append((self.env.now, kind, node))
+
+    # -- sampling -----------------------------------------------------------
+
+    def start(self, stop: Callable[[], bool]) -> None:
+        """Start the sampler process; it exits once ``stop()`` is true.
+
+        The sampler checks ``stop`` *after* each window so the final
+        partial window of a run is still recorded.
+        """
+        self.env.process(self._sampler(stop), name="availability-timeline")
+
+    def _sampler(self, stop: Callable[[], bool]):
+        while True:
+            yield self.env.timeout(self.interval_s)
+            self.take_sample()
+            if stop():
+                return
+
+    def take_sample(self) -> TimelineSample:
+        """Close the current window and append its row."""
+        return self._close_window(
+            self.env.now,
+            open_connections=sum(
+                n.open_connections for n in self.cluster.nodes
+            ),
+            node_states="".join(
+                {"up": "U", "slow": "S", "down": "D"}[n.state]
+                for n in self.cluster.nodes
+            ),
+        )

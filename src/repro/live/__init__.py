@@ -36,16 +36,36 @@ Layers
 :mod:`repro.live.compare`
     Runs sim and live on the same (trace, policy, node-count) point and
     reports structural divergence against thresholds.
+:mod:`repro.live.faultproxy`
+    Live fault injection: per-node TCP chaos proxies (loss/delay/jitter/
+    link_out), health probes with mark-down/mark-up, and the
+    :class:`LiveFaultInjector` that executes a chaos
+    :class:`~repro.chaos.spec.Scenario`'s plan with real signals
+    (SIGKILL/SIGSTOP/SIGCONT + incarnation-bumped respawn).
+:mod:`repro.live.timeline`
+    :class:`LiveAvailabilityTimeline` — the sim's availability
+    instrument sampled from an asyncio task, same rows/CSV/render.
+:mod:`repro.live.chaos`
+    ``repro live chaos``: one scenario file, both substrates, one
+    availability/hit-ratio/hand-off scorecard.
 
-See ``docs/LIVE.md`` for the architecture and the known sim-vs-live
-gaps.
+See ``docs/LIVE.md`` for the architecture, the resilience layer, and
+the known sim-vs-live gaps.
 """
 
+from .chaos import LiveChaosOutcome, run_live_scenario
 from .clock import WallClock
 from .compare import CompareReport, run_compare
 from .cluster import LiveCluster, LiveClusterConfig
 from .engine import LiveUnsupported, PolicyEngine, RouteOutcome
-from .loadtest import LoadTestConfig, run_loadtest
+from .faultproxy import (
+    ChaosProxy,
+    HealthMonitor,
+    LiveFaultInjector,
+    ResilienceConfig,
+)
+from .loadtest import LoadTestConfig, Replay, run_loadtest
+from .timeline import LiveAvailabilityTimeline
 
 __all__ = [
     "WallClock",
@@ -55,7 +75,15 @@ __all__ = [
     "LiveCluster",
     "LiveClusterConfig",
     "LoadTestConfig",
+    "Replay",
     "run_loadtest",
     "CompareReport",
     "run_compare",
+    "ChaosProxy",
+    "HealthMonitor",
+    "LiveFaultInjector",
+    "ResilienceConfig",
+    "LiveAvailabilityTimeline",
+    "LiveChaosOutcome",
+    "run_live_scenario",
 ]

@@ -47,10 +47,15 @@ class BackendServer:
         root: Path,
         cache_bytes: int,
         host: str = "127.0.0.1",
+        incarnation: int = 0,
     ) -> None:
         self.node_id = node_id
         self.root = Path(root)
         self.host = host
+        #: Bumped by the cluster on every respawn; surfaced via /health
+        #: so the front-end's probes detect a silent kill-and-restart
+        #: (the live twin of the sim nodes' incarnation counter).
+        self.incarnation = incarnation
         self.cache = LRUFileCache(cache_bytes)
         #: Bytes of currently-cached files; evictions drop entries so
         #: resident bytes always equal ``cache.used_bytes``.
@@ -109,6 +114,13 @@ class BackendServer:
         path = request.path
         if request.method == "GET" and path.startswith("/f/"):
             return await self._serve_file(request)
+        if request.method == "GET" and path == "/health":
+            body = json.dumps(
+                {"node": self.node_id, "incarnation": self.incarnation}
+            ).encode()
+            return http11.render_response(
+                200, body, {"Content-Type": "application/json"}
+            )
         if request.method == "GET" and path == "/stats":
             return http11.render_response(
                 200,
@@ -235,6 +247,7 @@ async def _run(args: argparse.Namespace) -> None:
         root=Path(args.root),
         cache_bytes=args.cache_bytes,
         host=args.host,
+        incarnation=args.incarnation,
     )
     port = await server.start(args.port)
     # Handshake line the parent process waits for.
@@ -254,6 +267,10 @@ def main(argv: Optional[list] = None) -> int:
     )
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=0, help="0 = ephemeral")
+    parser.add_argument(
+        "--incarnation", type=int, default=0,
+        help="respawn generation, reported by /health",
+    )
     args = parser.parse_args(argv)
     try:
         asyncio.run(_run(args))

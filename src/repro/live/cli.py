@@ -12,6 +12,12 @@ Subcommands
     Run the simulator and the live cluster on the identical point and
     print the divergence report; exits nonzero when a structural metric
     (cache hit ratio, hand-off fraction) diverges beyond threshold.
+``repro live chaos --spec SCENARIO.json``
+    Execute a chaos scenario file on BOTH substrates: the sim runs it
+    exactly as ``repro chaos replay`` would, the live cluster runs it
+    with real SIGKILL/SIGSTOP faults and chaos proxies, and the report
+    scores measured availability / hit ratio / hand-off against the sim
+    prediction.  Exits nonzero on divergence or a conservation failure.
 
 TRACE is a preset name (calgary|clarknet|nasa|rutgers) or a ``.npz``
 file saved with ``Trace.save``.
@@ -106,6 +112,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument(
         "--handoff-threshold", type=float, default=None,
         help="max |live - sim| hand-off fraction (default 0.15)",
+    )
+
+    p_chaos = sub.add_parser(
+        "chaos", help="run a chaos Scenario live and score vs the sim"
+    )
+    p_chaos.add_argument(
+        "--spec", required=True, help="scenario JSON file (repro chaos format)"
+    )
+    p_chaos.add_argument("--concurrency", type=int, default=16)
+    p_chaos.add_argument(
+        "--root", default=None,
+        help="directory for the materialized file set "
+        "(default: a temporary directory)",
+    )
+    p_chaos.add_argument(
+        "--availability-threshold", type=float, default=None,
+        help="max |live - sim| whole-run availability (default 0.15)",
+    )
+    p_chaos.add_argument(
+        "--csv", default=None,
+        help="write the live availability timeline to this CSV file",
     )
     return parser
 
@@ -239,6 +266,33 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0 if report.within_thresholds() else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from ..chaos.spec import Scenario
+    from .chaos import AVAILABILITY_THRESHOLD, run_live_scenario
+    from .engine import LiveUnsupported
+
+    scenario = Scenario.load(args.spec)
+    try:
+        outcome = run_live_scenario(
+            scenario,
+            root=Path(args.root) if args.root else None,
+            concurrency=args.concurrency,
+            availability_threshold=(
+                args.availability_threshold
+                if args.availability_threshold is not None
+                else AVAILABILITY_THRESHOLD
+            ),
+        )
+    except LiveUnsupported as exc:
+        print(f"repro live chaos: {exc}", file=sys.stderr)
+        return 2
+    print(outcome.render())
+    if args.csv:
+        Path(args.csv).write_text(outcome.timeline.to_csv(), encoding="utf-8")
+        print(f"wrote timeline to {args.csv}")
+    return 0 if outcome.passed else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.live_command == "serve":
@@ -247,6 +301,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_loadtest(args)
     if args.live_command == "compare":
         return _cmd_compare(args)
+    if args.live_command == "chaos":
+        return _cmd_chaos(args)
     raise AssertionError(f"unhandled command {args.live_command!r}")
 
 

@@ -8,6 +8,18 @@ wires the front-end.  Back-end caches are sized from the same
 ``cache_bytes`` knob as the simulated nodes' caches
 (:class:`repro.cluster.config.ClusterConfig` defaults to 32 MB), which
 is what makes live and simulated hit ratios comparable.
+
+Chaos mode (:meth:`LiveCluster.enable_chaos`, process back-ends only)
+interposes one :class:`~repro.live.faultproxy.ChaosProxy` per node and
+starts a :class:`~repro.live.faultproxy.HealthMonitor`: the front-end
+and the probes address the stable proxy ports, the cluster keeps the
+real worker ports for admin traffic (``/stats``, ``/reset``, ``/warm``),
+and :meth:`kill_backend`/:meth:`respawn_backend`/
+:meth:`suspend_backend`/:meth:`resume_backend` give the
+:class:`~repro.live.faultproxy.LiveFaultInjector` its verbs.  A respawn
+spawns a fresh worker with a bumped ``--incarnation`` and repoints the
+proxy, so node *addresses* survive crash-reboot exactly like sim node
+ids do.
 """
 
 from __future__ import annotations
@@ -15,6 +27,7 @@ from __future__ import annotations
 import asyncio
 import json
 import os
+import signal
 import sys
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -25,6 +38,7 @@ from ..workload.traces import Trace
 from . import http11
 from .backend import BackendServer
 from .engine import PolicyEngine
+from .faultproxy import ChaosProxy, HealthMonitor, ResilienceConfig
 from .fileset import materialize_fileset
 from .frontend import FrontEnd
 
@@ -34,6 +48,17 @@ MB = 1024 * 1024
 
 #: Seconds to wait for a backend subprocess to print its handshake.
 BACKEND_BOOT_TIMEOUT_S = 20.0
+
+#: Seconds to wait for a backend to answer a /shutdown POST.  A
+#: SIGSTOPped or wedged worker never answers; shutdown then falls
+#: through to the SIGKILL escalation below instead of hanging forever.
+SHUTDOWN_POST_TIMEOUT_S = 2.0
+
+#: Seconds to wait for a worker to exit after /shutdown before SIGKILL.
+SHUTDOWN_WAIT_TIMEOUT_S = 5.0
+
+#: Seconds to wait for an admin scrape (/stats, /reset, /warm).
+ADMIN_TIMEOUT_S = 5.0
 
 
 @dataclass
@@ -73,14 +98,57 @@ class LiveCluster:
         self.trace = trace
         self.engine = PolicyEngine(policy, self.config.nodes)
         self.frontend: Optional[FrontEnd] = None
+        #: Ports the front-end and probes address: real worker ports, or
+        #: the stable proxy ports in chaos mode.
         self.backend_ports: List[int] = []
+        #: Real worker ports (admin traffic always goes direct).
+        self.real_ports: List[int] = []
         self._procs: List[asyncio.subprocess.Process] = []
+        self._proc_by_node: Dict[int, asyncio.subprocess.Process] = {}
         self._inline: List[BackendServer] = []
+        self._suspended: set = set()
+        self.incarnations: List[int] = [0] * self.config.nodes
+        self.proxies: List[ChaosProxy] = []
+        self.monitor: Optional[HealthMonitor] = None
+        self.resilience: Optional[ResilienceConfig] = None
+        self._chaos: Optional[Dict[str, Any]] = None
+        self.kills = 0
+        self.respawns = 0
 
     @property
     def frontend_port(self) -> int:
         assert self.frontend is not None, "cluster not started"
         return self.frontend.port
+
+    @property
+    def chaos_enabled(self) -> bool:
+        return self._chaos is not None
+
+    def enable_chaos(
+        self,
+        seed: int = 0,
+        loss: float = 0.0,
+        delay_s: float = 0.0,
+        jitter_s: float = 0.0,
+        resilience: Optional[ResilienceConfig] = None,
+    ) -> None:
+        """Arm chaos mode; must be called before :meth:`start`.
+
+        Faults need real processes to kill/suspend, so chaos requires
+        ``backend_mode="process"``.
+        """
+        if self.config.backend_mode != "process":
+            raise RuntimeError(
+                "chaos mode needs process back-ends "
+                f"(backend_mode={self.config.backend_mode!r})"
+            )
+        if self.backend_ports:
+            raise RuntimeError("enable_chaos must precede start()")
+        self._chaos = {
+            "seed": seed, "loss": loss, "delay_s": delay_s,
+            "jitter_s": jitter_s,
+        }
+        self.resilience = resilience or ResilienceConfig()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -100,30 +168,80 @@ class LiveCluster:
             await self._start_backend_processes()
         else:
             await self._start_inline_backends()
+        if self._chaos is not None:
+            await self._start_proxies()
+            self.monitor = HealthMonitor(
+                self.engine,
+                self.backend_ports,
+                host=self.config.host,
+                config=self.resilience,
+            )
         self.frontend = FrontEnd(
-            self.engine, self.backend_ports, host=self.config.host
+            self.engine,
+            self.backend_ports,
+            host=self.config.host,
+            monitor=self.monitor,
+            resilience=self.resilience,
         )
-        return await self.frontend.start()
+        port = await self.frontend.start()
+        if self.monitor is not None:
+            self.monitor.start()
+        return port
 
     async def stop(self) -> None:
-        """Clean shutdown: front-end first, then every back-end."""
+        """Clean shutdown: front-end first, then every back-end.
+
+        Robust against faulted workers: suspended processes are resumed
+        first, the /shutdown POST is bounded (a wedged worker cannot
+        stall teardown), and any process still alive after the grace
+        window is SIGKILLed and reaped — including killed-and-respawned
+        incarnations, so no orphan ever outlives the cluster.
+        """
+        # SIGCONT anything still suspended so it can serve /shutdown
+        # (SIGKILL would also work — it terminates stopped processes —
+        # but a resumable worker deserves the graceful path first).
+        for node in sorted(self._suspended):
+            proc = self._proc_by_node.get(node)
+            if proc is not None and proc.returncode is None:
+                try:
+                    proc.send_signal(signal.SIGCONT)
+                except ProcessLookupError:
+                    pass
+        self._suspended.clear()
+        if self.monitor is not None:
+            await self.monitor.stop()
         if self.frontend is not None:
             await self.frontend.stop()
-        for port in self.backend_ports:
+        for port in self.real_ports:
             try:
-                await self._post(port, "/shutdown")
-            except (ConnectionError, OSError, http11.HTTPError):
+                await asyncio.wait_for(
+                    self._post(port, "/shutdown"),
+                    timeout=SHUTDOWN_POST_TIMEOUT_S,
+                )
+            except (ConnectionError, OSError, http11.HTTPError,
+                    asyncio.TimeoutError, asyncio.IncompleteReadError):
                 pass
+        for proxy in self.proxies:
+            await proxy.stop()
         for server in self._inline:
             await server.stop()
         for proc in self._procs:
+            if proc.returncode is not None:
+                continue
             try:
-                await asyncio.wait_for(proc.wait(), timeout=5.0)
+                await asyncio.wait_for(
+                    proc.wait(), timeout=SHUTDOWN_WAIT_TIMEOUT_S
+                )
             except asyncio.TimeoutError:
-                proc.kill()
+                try:
+                    proc.kill()
+                except ProcessLookupError:
+                    pass
                 await proc.wait()
         self._procs.clear()
+        self._proc_by_node.clear()
         self._inline.clear()
+        self.proxies.clear()
 
     async def _start_inline_backends(self) -> None:
         for node_id in range(self.config.nodes):
@@ -135,9 +253,35 @@ class LiveCluster:
             )
             port = await server.start()
             self._inline.append(server)
+            self.real_ports.append(port)
             self.backend_ports.append(port)
 
     async def _start_backend_processes(self) -> None:
+        for node_id in range(self.config.nodes):
+            proc, port = await self._spawn_backend(node_id, incarnation=0)
+            self.real_ports.append(port)
+            self.backend_ports.append(port)
+
+    async def _start_proxies(self) -> None:
+        assert self._chaos is not None
+        # The front-end/probe address list now points at the proxies;
+        # real_ports keeps the direct worker addresses for admin calls.
+        self.backend_ports = []
+        for node_id in range(self.config.nodes):
+            proxy = ChaosProxy(
+                node_id=node_id,
+                upstream_port=self.real_ports[node_id],
+                host=self.config.host,
+                seed=self._chaos["seed"],
+                loss=self._chaos["loss"],
+                delay_s=self._chaos["delay_s"],
+                jitter_s=self._chaos["jitter_s"],
+            )
+            port = await proxy.start()
+            self.proxies.append(proxy)
+            self.backend_ports.append(port)
+
+    async def _spawn_backend(self, node_id: int, incarnation: int):
         # The workers import repro; make sure they resolve the same
         # source tree this process runs from, regardless of the parent's
         # installation style.
@@ -146,28 +290,30 @@ class LiveCluster:
         src_dir = str(Path(repro.__file__).resolve().parent.parent)
         env = dict(os.environ)
         env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
-        for node_id in range(self.config.nodes):
-            proc = await asyncio.create_subprocess_exec(
-                sys.executable,
-                "-m",
-                "repro.live.backend",
-                "--node",
-                str(node_id),
-                "--root",
-                str(self.config.root),
-                "--cache-bytes",
-                str(self.config.cache_bytes),
-                "--host",
-                self.config.host,
-                stdout=asyncio.subprocess.PIPE,
-                stderr=asyncio.subprocess.DEVNULL,
-                env=env,
-            )
-            self._procs.append(proc)
-            port = await asyncio.wait_for(
-                self._read_handshake(proc, node_id), timeout=BACKEND_BOOT_TIMEOUT_S
-            )
-            self.backend_ports.append(port)
+        proc = await asyncio.create_subprocess_exec(
+            sys.executable,
+            "-m",
+            "repro.live.backend",
+            "--node",
+            str(node_id),
+            "--root",
+            str(self.config.root),
+            "--cache-bytes",
+            str(self.config.cache_bytes),
+            "--host",
+            self.config.host,
+            "--incarnation",
+            str(incarnation),
+            stdout=asyncio.subprocess.PIPE,
+            stderr=asyncio.subprocess.DEVNULL,
+            env=env,
+        )
+        self._procs.append(proc)
+        self._proc_by_node[node_id] = proc
+        port = await asyncio.wait_for(
+            self._read_handshake(proc, node_id), timeout=BACKEND_BOOT_TIMEOUT_S
+        )
+        return proc, port
 
     @staticmethod
     async def _read_handshake(proc: asyncio.subprocess.Process, node_id: int) -> int:
@@ -178,14 +324,88 @@ class LiveCluster:
             raise RuntimeError(f"backend {node_id} bad handshake: {line!r}")
         return int(line[len(prefix):])
 
+    # -- fault verbs (LiveFaultInjector calls these) ------------------------
+
+    def _live_proc(self, node_id: int) -> asyncio.subprocess.Process:
+        if self.config.backend_mode != "process":
+            raise RuntimeError("fault verbs need process back-ends")
+        proc = self._proc_by_node.get(node_id)
+        if proc is None:
+            raise RuntimeError(f"node {node_id} has no live process")
+        return proc
+
+    async def kill_backend(self, node_id: int) -> None:
+        """SIGKILL node ``node_id``'s worker and reap it."""
+        proc = self._live_proc(node_id)
+        try:
+            proc.kill()
+        except ProcessLookupError:
+            pass
+        await proc.wait()
+        self._suspended.discard(node_id)
+        self.kills += 1
+
+    async def respawn_backend(self, node_id: int) -> None:
+        """Boot a fresh worker for ``node_id`` with a bumped incarnation.
+
+        The new worker starts cold (empty cache) on a new ephemeral
+        port; in chaos mode the node's proxy is repointed so the rest of
+        the system keeps its stable address.
+        """
+        self.incarnations[node_id] += 1
+        _, port = await self._spawn_backend(
+            node_id, incarnation=self.incarnations[node_id]
+        )
+        self.real_ports[node_id] = port
+        if self.proxies:
+            self.proxies[node_id].set_upstream(port)
+        else:
+            self.backend_ports[node_id] = port
+        self.respawns += 1
+
+    def suspend_backend(self, node_id: int) -> None:
+        """SIGSTOP node ``node_id``'s worker (the live fail-slow analog)."""
+        proc = self._live_proc(node_id)
+        try:
+            proc.send_signal(signal.SIGSTOP)
+        except ProcessLookupError:
+            return
+        self._suspended.add(node_id)
+
+    def resume_backend(self, node_id: int) -> None:
+        """SIGCONT a suspended worker."""
+        proc = self._live_proc(node_id)
+        try:
+            proc.send_signal(signal.SIGCONT)
+        except ProcessLookupError:
+            pass
+        self._suspended.discard(node_id)
+
     # -- meters ------------------------------------------------------------
 
     async def backend_stats(self) -> List[Dict[str, Any]]:
-        """Scrape every back-end's ``/stats`` endpoint."""
+        """Scrape every back-end's ``/stats`` endpoint.
+
+        A node that is down (killed mid-run, not yet respawned)
+        contributes a zeroed placeholder instead of failing the scrape:
+        whatever it served before dying is unrecoverable, and the
+        client-side loadtest accounting is what conservation rests on.
+        """
         stats = []
-        for port in self.backend_ports:
-            response = await self._get(port, "/stats")
-            stats.append(json.loads(response.body))
+        for node_id, port in enumerate(self.real_ports):
+            try:
+                response = await asyncio.wait_for(
+                    self._get(port, "/stats"), timeout=ADMIN_TIMEOUT_S
+                )
+                stats.append(json.loads(response.body))
+            except (ConnectionError, OSError, http11.HTTPError,
+                    asyncio.TimeoutError, asyncio.IncompleteReadError):
+                stats.append({
+                    "node": node_id, "served": 0, "relayed": 0, "errors": 0,
+                    "cache_hits": 0, "cache_misses": 0, "cache_insertions": 0,
+                    "cache_evictions": 0, "cache_used_bytes": 0,
+                    "cache_files": 0, "unreachable": 1,
+                })
         return stats
 
     async def reset_meters(self) -> None:
@@ -193,8 +413,14 @@ class LiveCluster:
         self.engine.reset_meters()
         if self.frontend is not None:
             self.frontend.reset_meters()
-        for port in self.backend_ports:
-            await self._post(port, "/reset")
+        for port in self.real_ports:
+            try:
+                await asyncio.wait_for(
+                    self._post(port, "/reset"), timeout=ADMIN_TIMEOUT_S
+                )
+            except (ConnectionError, OSError, http11.HTTPError,
+                    asyncio.TimeoutError, asyncio.IncompleteReadError):
+                pass
 
     async def prewarm(self, file_ids) -> None:
         """Replay a fid sequence into *every* back-end's cache.
@@ -204,8 +430,31 @@ class LiveCluster:
         request stream.
         """
         body = json.dumps([int(fid) for fid in file_ids]).encode()
-        for port in self.backend_ports:
-            await self._post(port, "/warm", body)
+        for port in self.real_ports:
+            try:
+                await asyncio.wait_for(
+                    self._post(port, "/warm", body), timeout=ADMIN_TIMEOUT_S
+                )
+            except (ConnectionError, OSError, http11.HTTPError,
+                    asyncio.TimeoutError, asyncio.IncompleteReadError):
+                pass
+
+    def live_summary(self) -> Dict[str, Any]:
+        """Run-wide fault/resilience bookkeeping for the ``SimResult``."""
+        out: Dict[str, Any] = {
+            "kills": self.kills,
+            "respawns": self.respawns,
+            "incarnations": list(self.incarnations),
+        }
+        if self.frontend is not None:
+            out["frontend_retries"] = self.frontend.retried
+            out["frontend_shed"] = self.frontend.shed
+            out["frontend_timeouts"] = self.frontend.timeouts
+        if self.monitor is not None:
+            out["health"] = self.monitor.stats()
+        if self.proxies:
+            out["proxies"] = [p.stats() for p in self.proxies]
+        return out
 
     # -- tiny HTTP client helpers -----------------------------------------
 

@@ -46,6 +46,10 @@ class CompareReport:
     hit_ratio_threshold: float = HIT_RATIO_THRESHOLD
     handoff_threshold: float = HANDOFF_THRESHOLD
     problems: tuple = field(default_factory=tuple)
+    #: When set (fault runs), availability is scored against this
+    #: absolute-delta threshold; ``None`` = availability not compared
+    #: (clean runs have availability 1.0 on both sides anyway).
+    availability_threshold: Optional[float] = None
 
     @property
     def hit_ratio_delta(self) -> float:
@@ -57,7 +61,31 @@ class CompareReport:
         """live - sim hand-off (forwarded) fraction."""
         return self.live.forwarded_fraction - self.sim.forwarded_fraction
 
+    @staticmethod
+    def availability_of(result: SimResult) -> float:
+        """Whole-run availability: 1 - failed/generated (1.0 if unknown)."""
+        if result.requests_generated <= 0:
+            return 1.0
+        return 1.0 - result.requests_failed / result.requests_generated
+
+    @property
+    def sim_availability(self) -> float:
+        return self.availability_of(self.sim)
+
+    @property
+    def live_availability(self) -> float:
+        return self.availability_of(self.live)
+
+    @property
+    def availability_delta(self) -> float:
+        """live - sim whole-run availability."""
+        return self.live_availability - self.sim_availability
+
     def within_thresholds(self) -> bool:
+        if self.availability_threshold is not None and (
+            abs(self.availability_delta) > self.availability_threshold
+        ):
+            return False
         return (
             abs(self.hit_ratio_delta) <= self.hit_ratio_threshold
             and abs(self.handoff_delta) <= self.handoff_threshold
@@ -92,6 +120,25 @@ class CompareReport:
                 f"delta {self.handoff_delta:+.3f} "
                 f"(|x| <= {self.handoff_threshold}) "
                 f"{'OK' if fwd_ok else 'DIVERGED'}",
+            ),
+            *(
+                [
+                    row(
+                        "availability",
+                        f"{self.sim_availability:.3f}",
+                        f"{self.live_availability:.3f}",
+                        f"delta {self.availability_delta:+.3f} "
+                        f"(|x| <= {self.availability_threshold}) "
+                        + (
+                            "OK"
+                            if abs(self.availability_delta)
+                            <= self.availability_threshold
+                            else "DIVERGED"
+                        ),
+                    )
+                ]
+                if self.availability_threshold is not None
+                else []
             ),
             row(
                 "throughput (req/s)",

@@ -169,6 +169,12 @@ class PolicyEngine:
         self.clock: Clock = clock if clock is not None else WallClock()
         self.membership = _LiveMembership(num_nodes, self.clock)
         self._lock = threading.Lock()
+        # Nodes currently marked failed.  Guards the membership hooks so
+        # passive suspicion and active probes (which can race to the
+        # same conclusion) produce exactly one on_node_failed per
+        # down-transition — mirroring the sim driver's idempotent
+        # crash_node/recover_node.
+        self._down: set = set()
         # Engine-level accounting (the live analogue of the sim meters).
         self.routed = 0
         self.completed = 0
@@ -262,12 +268,25 @@ class PolicyEngine:
     # -- membership events -------------------------------------------------
 
     def fail_node(self, node_id: int) -> None:
+        """Mark ``node_id`` failed (idempotent, like the sim driver)."""
         with self._lock:
+            if node_id in self._down:
+                return
+            self._down.add(node_id)
             self.policy.on_node_failed(node_id)
 
     def recover_node(self, node_id: int) -> None:
+        """Mark ``node_id`` recovered (no-op unless currently failed)."""
         with self._lock:
+            if node_id not in self._down:
+                return
+            self._down.discard(node_id)
             self.policy.on_node_recovered(node_id)
+
+    @property
+    def down_nodes(self) -> List[int]:
+        with self._lock:
+            return sorted(self._down)
 
     # -- reporting ---------------------------------------------------------
 
@@ -301,6 +320,7 @@ class PolicyEngine:
                 "handoffs_failed": self.handoffs_failed,
                 "control_messages": self.net.messages_sent,
                 "control_messages_by_kind": dict(self.net.messages_by_kind),
+                "down_nodes": sorted(self._down),
                 "open_connections": [
                     node.open_connections for node in self.membership.nodes
                 ],

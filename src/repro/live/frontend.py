@@ -18,6 +18,23 @@ Dispatch mirrors the simulator's hand-off model with real sockets:
 The engine's ``connection_opened``/``request_completed`` bracketing
 reproduces the sim's open-connection accounting, which is what the
 fewest-connections and L2S policies feed on.
+
+Resilience (mirrors the sim driver's fault paths — see docs/LIVE.md):
+
+* every back-end fetch runs under a per-attempt timeout;
+* a transport failure or timeout aborts the attempt through the sim's
+  exact hook order (``handoff_failed`` → ``request_aborted``), tells the
+  :class:`~repro.live.faultproxy.HealthMonitor` to suspect the node,
+  then **re-routes** the request — a fresh ``route()`` call, so the
+  policy redispatches around nodes marked down in the meantime — after
+  the :class:`~repro.faults.schedule.RetryPolicy` capped backoff, until
+  the retry budget is spent (the sim's client re-issue semantics);
+* non-200 responses are terminal, never retried (a logical error is not
+  a fault);
+* when fewer than ``min_healthy`` back-ends are up, new requests are
+  shed with a 503 tagged ``X-Shed: 1`` before touching the policy —
+  graceful degradation the client accounts as failed *and* shed,
+  keeping the ``SimResult`` conservation identity intact.
 """
 
 from __future__ import annotations
@@ -28,6 +45,7 @@ from typing import Dict, List, Optional
 from ..servers import ServiceUnavailable
 from . import http11
 from .engine import PolicyEngine, RouteOutcome
+from .faultproxy import HealthMonitor, ResilienceConfig
 
 __all__ = ["FrontEnd"]
 
@@ -40,6 +58,8 @@ class FrontEnd:
         engine: PolicyEngine,
         backend_ports: List[int],
         host: str = "127.0.0.1",
+        monitor: Optional[HealthMonitor] = None,
+        resilience: Optional[ResilienceConfig] = None,
     ) -> None:
         if len(backend_ports) != engine.num_nodes:
             raise ValueError(
@@ -49,12 +69,23 @@ class FrontEnd:
         self.engine = engine
         self.backend_ports = list(backend_ports)
         self.host = host
+        self.monitor = monitor
+        self.resilience = resilience or ResilienceConfig()
+        #: Optional timeline instrument; when set, retries are recorded
+        #: onto it (completions/failures are recorded client-side).
+        self.timeline = None
         self._arrival = 0
         self._server: Optional[asyncio.base_events.Server] = None
         self.requests = 0
         self.completed = 0
         self.failed = 0
         self.handoffs = 0
+        # Run-wide resilience counters (NOT zeroed at the warmup
+        # boundary — the sim's requests_retried/requests_shed are
+        # likewise whole-run totals).
+        self.retried = 0
+        self.shed = 0
+        self.timeouts = 0
 
     @property
     def port(self) -> int:
@@ -74,7 +105,8 @@ class FrontEnd:
 
     def reset_meters(self) -> None:
         """Warmup boundary: zero front-end counters (arrival index keeps
-        counting — the policies' round-robin state must not rewind)."""
+        counting — the policies' round-robin state must not rewind; the
+        retried/shed/timeouts totals stay run-wide like the sim's)."""
         self.requests = 0
         self.completed = 0
         self.failed = 0
@@ -111,37 +143,81 @@ class FrontEnd:
         index = self._arrival
         self._arrival += 1
         self.requests += 1
-        try:
-            outcome = self.engine.route(index, fid)
-        except ServiceUnavailable:
+        if (
+            self.monitor is not None
+            and self.monitor.healthy_count() < self.resilience.min_healthy
+        ):
+            # Admission shedding: the cluster cannot serve anything
+            # useful, so reject up front instead of queueing the request
+            # onto dead back-ends.  The client counts this as failed
+            # (conservation) and shed (the graceful-degradation
+            # sub-counter), same split as the sim's admission control.
+            self.shed += 1
             self.failed += 1
-            return http11.render_response(503, b"service unavailable")
-        return await self._dispatch(outcome)
+            return http11.render_response(
+                503, b"shedding load", {"X-Shed": "1"}
+            )
+        retry = self.resilience.retry
+        attempt = 0
+        while True:
+            try:
+                outcome = self.engine.route(index, fid)
+            except ServiceUnavailable:
+                self.failed += 1
+                return http11.render_response(503, b"service unavailable")
+            response = await self._attempt(outcome)
+            if response is not None:
+                return response
+            if self.monitor is not None:
+                # A transport failure implicates the *service target*:
+                # for a direct fetch that is the node we dialed; for a
+                # hand-off the local relay leg to the initial node is
+                # healthy localhost TCP, so the broken leg is almost
+                # always initial->target.  Suspecting the initial node
+                # instead would mark down LARD's front-end on every
+                # failed relay — a self-inflicted total outage.  A rare
+                # misattribution (the initial node itself died) is
+                # corrected by the next probe sweep.
+                self.monitor.suspect(outcome.target)
+            if attempt >= retry.max_retries:
+                self.failed += 1
+                return http11.render_response(502, b"backend unreachable")
+            attempt += 1
+            self.retried += 1
+            if self.timeline is not None:
+                self.timeline.record_retry()
+            # Sim client re-issue semantics: capped-exponential pause,
+            # then a *fresh* route() — incarnation-aware redispatch
+            # happens because the monitor's mark-down landed between
+            # attempts and the policy no longer offers the dead node.
+            await asyncio.sleep(retry.backoff(attempt))
 
-    async def _dispatch(self, outcome: RouteOutcome) -> bytes:
-        """Fetch through the back-ends per the routing outcome."""
+    async def _attempt(self, outcome: RouteOutcome) -> Optional[bytes]:
+        """One dispatch attempt; ``None`` means retryable transport failure."""
         fetch_node = outcome.initial if outcome.forwarded else outcome.target
         headers: Dict[str, str] = {}
         if outcome.forwarded:
             headers["X-Forward-Port"] = str(self.backend_ports[outcome.target])
             self.handoffs += 1
         self.engine.connection_opened(outcome.target)
-        opened = True
         try:
-            response = await self._fetch(
-                self.backend_ports[fetch_node], outcome.file_id, headers
+            response = await asyncio.wait_for(
+                self._fetch(
+                    self.backend_ports[fetch_node], outcome.file_id, headers
+                ),
+                timeout=self.resilience.request_timeout_s,
             )
-        except (ConnectionError, OSError, http11.HTTPError, asyncio.IncompleteReadError):
-            if outcome.forwarded:
-                self.engine.handoff_failed(outcome.initial, outcome.target)
-            self.engine.request_aborted(
-                outcome.initial, opened=opened, target=outcome.target
-            )
-            self.failed += 1
-            return http11.render_response(502, b"backend unreachable")
+        except asyncio.TimeoutError:
+            self.timeouts += 1
+            self._abort(outcome)
+            return None
+        except (ConnectionError, OSError, http11.HTTPError,
+                asyncio.IncompleteReadError):
+            self._abort(outcome)
+            return None
         if response.status != 200:
             self.engine.request_aborted(
-                outcome.initial, opened=opened, target=outcome.target
+                outcome.initial, opened=True, target=outcome.target
             )
             self.failed += 1
             return http11.render_response(response.status, response.body)
@@ -154,6 +230,14 @@ class FrontEnd:
         if outcome.forwarded:
             relay_headers["X-Handoff"] = "1"
         return http11.render_response(200, response.body, relay_headers)
+
+    def _abort(self, outcome: RouteOutcome) -> None:
+        """Transport-failure bookkeeping, in the sim's hook order."""
+        if outcome.forwarded:
+            self.engine.handoff_failed(outcome.initial, outcome.target)
+        self.engine.request_aborted(
+            outcome.initial, opened=True, target=outcome.target
+        )
 
     async def _fetch(
         self, port: int, fid: int, headers: Dict[str, str]

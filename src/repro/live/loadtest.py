@@ -34,7 +34,7 @@ from ..workload.traces import Trace
 from . import http11
 from .cluster import LiveCluster
 
-__all__ = ["LoadTestConfig", "run_loadtest"]
+__all__ = ["LoadTestConfig", "Replay", "run_loadtest"]
 
 
 @dataclass
@@ -72,8 +72,15 @@ class LoadTestConfig:
             raise ValueError("arrival_rate must be positive")
 
 
-class _Replay:
-    """One loadtest run against an already-started cluster."""
+class Replay:
+    """One loadtest run against an already-started cluster.
+
+    Public because the live chaos bridge drives it directly: it wires a
+    timeline onto :attr:`timeline` and hands :meth:`progress` to the
+    :class:`~repro.live.faultproxy.LiveFaultInjector` as the fault
+    trigger (faults fire at workload-progress fractions, matching how
+    the sim schedules them inside the horizon).
+    """
 
     def __init__(self, cluster: LiveCluster, trace: Trace, config: LoadTestConfig):
         self.cluster = cluster
@@ -89,10 +96,26 @@ class _Replay:
         self.completed = 0
         self.failed = 0
         self.failed_warmup = 0
+        #: Client-observed shed responses (503 + ``X-Shed``), run-wide.
+        #: Each one is *also* counted in ``failed`` — shed is a
+        #: sub-counter, not a third conservation bucket, exactly like
+        #: the sim's ``requests_shed``.
+        self.shed = 0
+        #: Requests that hit the client-side ``request_timeout_s``.
+        #: Counted as failed (the client gave up; whatever the cluster
+        #: eventually does with the socket no longer matters), so the
+        #: conservation identity still balances under faults.
+        self.timed_out = 0
         self.client_hits = 0
         self.client_handoffs = 0
         self.latencies: List[float] = []
         self.measuring = False
+        #: Optional LiveAvailabilityTimeline recording this run.
+        self.timeline = None
+
+    def progress(self) -> float:
+        """Fraction of the whole replay (warmup included) finished."""
+        return (self.completed + self.failed) / self.total if self.total else 1.0
 
     async def run(self) -> SimResult:
         host = self.cluster.config.host
@@ -159,13 +182,34 @@ class _Replay:
                 self._fetch(host, port, fid),
                 timeout=self.config.request_timeout_s,
             )
-        except (ConnectionError, OSError, http11.HTTPError, asyncio.TimeoutError):
+        except asyncio.TimeoutError:
+            # The client's patience ran out: record a failed request and
+            # move on — the replay must survive faulted back-ends, and
+            # conservation counts what the *client* observed.
+            self.timed_out += 1
             self.failed += 1
+            if self.timeline is not None:
+                self.timeline.record_failure()
+            return
+        except (ConnectionError, OSError, http11.HTTPError):
+            self.failed += 1
+            if self.timeline is not None:
+                self.timeline.record_failure()
             return
         if response.status != 200:
             self.failed += 1
+            if response.headers.get("x-shed") == "1":
+                self.shed += 1
+                if self.timeline is not None:
+                    self.timeline.record_shed()
+            if self.timeline is not None:
+                self.timeline.record_failure()
             return
         self.completed += 1
+        if self.timeline is not None:
+            self.timeline.record_completion(
+                was_miss=response.headers.get("x-cache") != "HIT"
+            )
         if self.measuring:
             self.latencies.append(time.monotonic() - start)
             if response.headers.get("x-cache") == "HIT":
@@ -221,9 +265,19 @@ class _Replay:
             node_completions=[b["served"] for b in backends],
             policy_stats=stats["policy"],
             requests_failed=self.failed,
+            requests_retried=getattr(
+                self.cluster.frontend, "retried", 0
+            ) if self.cluster.frontend is not None else 0,
+            requests_shed=self.shed,
             latency_percentiles=self._percentiles(),
             requests_generated=self.issued,
             requests_failed_warmup=self.failed_warmup,
+            netfault_summary={
+                "live": {
+                    "client_timeouts": self.timed_out,
+                    **self.cluster.live_summary(),
+                }
+            },
         )
 
     def _percentiles(self) -> Dict[str, float]:
@@ -244,4 +298,8 @@ async def run_loadtest(
     config: Optional[LoadTestConfig] = None,
 ) -> SimResult:
     """Replay ``trace`` against a started ``cluster``; return the result."""
-    return await _Replay(cluster, trace, config or LoadTestConfig()).run()
+    return await Replay(cluster, trace, config or LoadTestConfig()).run()
+
+
+# Backward-compatible alias (pre-chaos private name).
+_Replay = Replay

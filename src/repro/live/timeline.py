@@ -1,0 +1,91 @@
+"""Live availability timeline: the DES instrument on a wall clock.
+
+Reuses :class:`~repro.faults.timeline.TimelineBase` — the same window
+counters, sample rows, CSV columns, and ASCII render as the simulator's
+:class:`~repro.faults.timeline.AvailabilityTimeline` — but sampled by an
+asyncio task against wall seconds (relative to :meth:`start`, so a live
+run's curve and a sim run's curve share a t=0 origin).
+
+The loadtest records completions/failures/sheds as the *client* observes
+them, the front-end records retries, and the
+:class:`~repro.live.faultproxy.LiveFaultInjector` annotates executed
+fault actions — giving ``repro live chaos`` the same outage-dip /
+retry-storm / reheat-transient picture the sim reports produce, from the
+same rendering code.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Optional
+
+from ..faults.timeline import TimelineBase, TimelineSample
+
+__all__ = ["LiveAvailabilityTimeline"]
+
+
+class LiveAvailabilityTimeline(TimelineBase):
+    """Sampled availability instrument for one live run."""
+
+    def __init__(self, cluster, interval_s: float = 0.25):
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be positive, got {interval_s}")
+        super().__init__()
+        self.cluster = cluster
+        self.interval_s = interval_s
+        self._t0: Optional[float] = None
+        self._task: Optional[asyncio.Task] = None
+
+    def _now(self) -> float:
+        assert self._t0 is not None, "timeline not started"
+        return time.monotonic() - self._t0
+
+    # -- driver hooks -------------------------------------------------------
+
+    def mark_event(self, kind: str, node: int) -> None:
+        """Annotate an executed fault action at the current wall offset."""
+        self.events.append((self._now(), kind, node))
+
+    # -- sampling -----------------------------------------------------------
+
+    def start(self) -> None:
+        assert self._task is None, "timeline already started"
+        self._t0 = time.monotonic()
+        self._last_t = 0.0
+        self._task = asyncio.get_running_loop().create_task(self._sampler())
+
+    async def stop(self) -> None:
+        """Stop sampling; the final partial window is still recorded."""
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        if self._t0 is not None and self._now() > self._last_t:
+            self.take_sample()
+
+    async def _sampler(self) -> None:
+        while True:
+            await asyncio.sleep(self.interval_s)
+            self.take_sample()
+
+    def take_sample(self) -> TimelineSample:
+        """Close the current window and append its row."""
+        membership = self.cluster.engine.membership
+        monitor = self.cluster.monitor
+        states = []
+        for node in membership.nodes:
+            if monitor is not None and not monitor.is_up(node.id):
+                states.append("D")
+            else:
+                states.append("U")
+        return self._close_window(
+            self._now(),
+            open_connections=sum(
+                n.open_connections for n in membership.nodes
+            ),
+            node_states="".join(states),
+        )

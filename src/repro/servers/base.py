@@ -212,6 +212,13 @@ class DistributionPolicy(ABC):
         sets, load views, hash rings).  Availability semantics per
         design: the distributed policies keep serving on the survivors;
         LARD survives back-end deaths but not its front-end's.
+
+        Callers: the sim's :class:`~repro.faults.injector.FaultInjector`
+        fires this at the crash instant; live, the
+        :class:`~repro.live.faultproxy.HealthMonitor` fires it on the
+        mark-down transition (a failed probe streak or a suspected
+        request failure) — both through an idempotent guard, so a
+        policy sees exactly one call per down-transition either way.
         """
         self.failed_nodes.add(node_id)
 
@@ -223,8 +230,19 @@ class DistributionPolicy(ABC):
         and rebroadcasts its load, LARD re-admits the back-end or
         restarts the front-end's tables cold, consistent hashing
         restores the ring points).
+
+        Live, a respawned worker is a *new incarnation*: the health
+        monitor fires ``on_node_failed``/``on_node_recovered`` as a
+        pair even when the restart was too fast for any probe to miss,
+        so policy state tied to the dead incarnation is always flushed
+        (mirroring the sim's incarnation counter).
         """
         self.failed_nodes.discard(node_id)
+
+    def usable_nodes(self) -> int:
+        """How many nodes the policy currently routes to."""
+        cluster = self._require_cluster()
+        return cluster.num_nodes - len(self.failed_nodes)
 
     def on_request_aborted(self, node_id: int, opened: bool) -> None:
         """A request aborted mid-flight (crash or client timeout).

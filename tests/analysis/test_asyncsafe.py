@@ -86,6 +86,75 @@ def test_rep105_suppression():
     assert findings == []
 
 
+def test_rep105_blocking_probe_sweep():
+    # Planted bug in the shape of the live health prober: an async sweep
+    # that reaches a *synchronous* socket round-trip through a helper.
+    # One blocked probe would stall the whole front-end event loop —
+    # exactly what repro.live.faultproxy's await-based probe avoids.
+    findings = run({
+        "pkg.probe": (
+            "import socket\n"
+            "\n"
+            "def fetch_health(host, port):\n"
+            "    with socket.create_connection((host, port)) as sock:\n"
+            "        sock.sendall(b'GET /health HTTP/1.1\\r\\n\\r\\n')\n"
+            "        return sock.recv(4096)\n"
+            "\n"
+            "async def probe_all(ports):\n"
+            "    for port in ports:\n"
+            "        fetch_health('127.0.0.1', port)\n"
+        ),
+    })
+    assert rules_of(findings) == ["REP105"]
+    trace = "\n".join(findings[0].trace)
+    assert "probe_all" in trace and "fetch_health" in trace
+
+
+def test_rep105_blocking_proxy_pump():
+    # Same trap, proxy-shaped: a relay loop that sleeps synchronously to
+    # inject delay stalls every other connection sharing the loop.  The
+    # real ChaosProxy awaits asyncio.sleep for its delay/jitter.
+    findings = run({
+        "pkg.proxy": (
+            "import time\n"
+            "\n"
+            "def inject_delay(seconds):\n"
+            "    time.sleep(seconds)\n"
+            "\n"
+            "async def handle(reader, writer, delay):\n"
+            "    if delay:\n"
+            "        inject_delay(delay)\n"
+            "    data = await reader.read(65536)\n"
+            "    writer.write(data)\n"
+        ),
+    })
+    assert rules_of(findings) == ["REP105"]
+
+
+def test_rep105_clean_await_based_probe():
+    # The fixed twin of the probe fixture: awaiting the I/O (and the
+    # sleep) keeps the sweep off REP105's radar.
+    findings = run({
+        "pkg.probe": (
+            "import asyncio\n"
+            "\n"
+            "async def fetch_health(host, port):\n"
+            "    reader, writer = await asyncio.open_connection(host, port)\n"
+            "    writer.write(b'GET /health HTTP/1.1\\r\\n\\r\\n')\n"
+            "    await writer.drain()\n"
+            "    payload = await reader.read(4096)\n"
+            "    writer.close()\n"
+            "    return payload\n"
+            "\n"
+            "async def probe_all(ports):\n"
+            "    for port in ports:\n"
+            "        await fetch_health('127.0.0.1', port)\n"
+            "        await asyncio.sleep(0.2)\n"
+        ),
+    })
+    assert findings == []
+
+
 # -- REP106: never-awaited coroutines --------------------------------------
 
 

@@ -1,0 +1,126 @@
+"""Scenario -> live-cluster expansion (tier-1: pure spec logic)."""
+
+import pytest
+
+from repro.chaos.spec import LIVE_KINDS, PLAN_KINDS, PlanItem, Scenario
+
+
+def scenario(plan=(), policy="lard", nodes=4, horizon_s=2.0, **kw):
+    return Scenario(
+        name="t", seed=7, nodes=nodes, policy=policy,
+        horizon_s=horizon_s, plan=tuple(plan), **kw,
+    )
+
+
+def test_live_kinds_is_a_subset_of_plan_kinds():
+    assert set(LIVE_KINDS) <= set(PLAN_KINDS)
+    # Exactly partition and dup have no live equivalent.
+    assert set(PLAN_KINDS) - set(LIVE_KINDS) == {"partition", "dup"}
+
+
+def test_crash_expands_to_kill_and_respawn_at_horizon_fractions():
+    sc = scenario([PlanItem(kind="crash", node=1, start=0.5, end=1.5)])
+    assert sc.live_schedule() == [
+        (0.25, "kill", {"node": 1}),
+        (0.75, "respawn", {"node": 1}),
+    ]
+
+
+def test_crash_without_recovery_has_no_respawn():
+    sc = scenario([PlanItem(kind="crash", node=2, start=1.0)])
+    assert sc.live_schedule() == [(0.5, "kill", {"node": 2})]
+
+
+def test_slow_expands_to_suspend_resume():
+    sc = scenario([PlanItem(kind="slow", node=3, start=0.2, end=0.6,
+                            factor=0.25)])
+    assert sc.live_schedule() == [
+        (0.1, "suspend", {"node": 3}),
+        (0.3, "resume", {"node": 3}),
+    ]
+
+
+def test_link_out_maps_to_dst_proxy():
+    # The live topology is a star through the front-end: link_out(src,
+    # dst) becomes "dst's inbound proxy refuses"; src has no live role.
+    sc = scenario([PlanItem(kind="link_out", src=0, dst=2, start=0.4,
+                            end=1.0)])
+    assert sc.live_schedule() == [
+        (0.2, "link_down", {"node": 2}),
+        (0.5, "link_up", {"node": 2}),
+    ]
+
+
+def test_live_schedule_is_sorted_and_clamped():
+    sc = scenario([
+        PlanItem(kind="crash", node=1, start=1.5, end=5.0),  # end > horizon
+        PlanItem(kind="slow", node=0, start=0.2, end=0.8),
+    ])
+    actions = sc.live_schedule()
+    fracs = [a[0] for a in actions]
+    assert fracs == sorted(fracs)
+    assert actions[-1] == (1.0, "respawn", {"node": 1})  # clamped to 1.0
+
+
+def test_live_rates_collects_runwide_fabric_knobs():
+    sc = scenario([
+        PlanItem(kind="loss", rate=0.05),
+        PlanItem(kind="delay", seconds=0.002),
+        PlanItem(kind="jitter", seconds=0.001),
+    ])
+    assert sc.live_rates() == {
+        "loss": 0.05, "delay_s": 0.002, "jitter_s": 0.001,
+    }
+    # Rates don't produce injector actions; they configure the proxies.
+    assert sc.live_schedule() == []
+
+
+def test_live_rates_defaults_to_zero():
+    assert scenario().live_rates() == {
+        "loss": 0.0, "delay_s": 0.0, "jitter_s": 0.0,
+    }
+
+
+def test_clean_supported_scenario_reports_nothing():
+    sc = scenario([
+        PlanItem(kind="crash", node=1, start=0.5, end=1.5),
+        PlanItem(kind="loss", rate=0.01),
+        PlanItem(kind="flash", start=0.2, end=0.4, share=0.5),
+    ])
+    assert sc.live_unsupported() == []
+
+
+def test_lard_ng_policy_is_live_unsupported():
+    sc = scenario(policy="lard-ng")
+    problems = sc.live_unsupported()
+    assert len(problems) == 1
+    assert "lard-ng" in problems[0]
+    assert "async_decide" in problems[0]
+
+
+def test_partition_and_dup_items_are_live_unsupported():
+    sc = scenario([
+        PlanItem(kind="crash", node=0, start=0.1, end=0.5),
+        PlanItem(kind="partition", group=(0, 1), start=0.2, end=0.6),
+        PlanItem(kind="dup", rate=0.1),
+    ])
+    problems = sc.live_unsupported()
+    assert len(problems) == 2
+    assert problems[0].startswith("plan[1]")
+    assert "star" in problems[0]
+    assert problems[1].startswith("plan[2]")
+    assert "TCP" in problems[1]
+
+
+@pytest.mark.parametrize("kind", ["crash", "slow", "link_out"])
+def test_every_windowed_live_kind_produces_paired_actions(kind):
+    if kind == "crash":
+        item = PlanItem(kind=kind, node=1, start=0.5, end=1.5)
+    elif kind == "slow":
+        item = PlanItem(kind=kind, node=1, start=0.5, end=1.5, factor=0.5)
+    else:
+        item = PlanItem(kind=kind, src=0, dst=1, start=0.5, end=1.5)
+    actions = scenario([item]).live_schedule()
+    assert len(actions) == 2
+    assert actions[0][0] < actions[1][0]
+    assert all(a[2] == {"node": 1} for a in actions)

@@ -8,6 +8,7 @@ Pipeline::
                                   hotpath (REP104)
                                   asyncsafe (REP105–106)
                                   conformance (REP107)
+                                  wallclock (REP108)
 
 plus the reporting machinery: ``--format text|json``, ``--sarif FILE``,
 ``--baseline``/``--write-baseline`` (adopt existing findings, fail only
@@ -23,7 +24,14 @@ import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set
 
-from . import asyncsafe, baseline as baseline_mod, conformance, hotpath, taint
+from . import (
+    asyncsafe,
+    baseline as baseline_mod,
+    conformance,
+    hotpath,
+    taint,
+    wallclock,
+)
 from .callgraph import CallGraph
 from .modules import ProjectModel
 from .rules import REGISTRY, RULES, explain as explain_rule
@@ -38,6 +46,7 @@ _PROJECT_PASSES = (
     ("hotpath", hotpath.run, ("REP104",)),
     ("asyncsafe", asyncsafe.run, ("REP105", "REP106")),
     ("conformance", conformance.run, ("REP107",)),
+    ("wallclock", wallclock.run, ("REP108",)),
 )
 
 
@@ -136,7 +145,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         description=(
             "determinism linter for the simulator codebase: file-local "
             "rules (REP001-REP008) plus whole-program taint, hot-path, "
-            "async-safety, and policy-conformance passes (REP101-REP107)"
+            "async-safety, policy-conformance, and overload wall-clock "
+            "passes (REP101-REP108)"
         ),
     )
     parser.add_argument(

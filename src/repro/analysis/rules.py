@@ -26,6 +26,7 @@ TAINT = "taint"              # interprocedural nondeterminism taint
 HOTPATH = "hotpath"          # hot-path allocation lint
 ASYNC = "async"              # async-safety pass (repro.live)
 CONFORMANCE = "conformance"  # DistributionPolicy contract pass
+WALLCLOCK = "wallclock"      # overload substrate-neutrality pass
 
 
 @dataclass(frozen=True)
@@ -254,6 +255,21 @@ cluster/clock/failed-node wiring happens before any hook fires
 (``repro.live``'s PolicyEngine binds the same objects); (3) read time
 only through ``self.clock`` — reaching into ``cluster.env`` couples the
 policy to the DES and silently breaks it on the live substrate.
+            """,
+        ),
+        _r(
+            "REP108", "overload-wallclock",
+            "overload-wallclock: overload component imports or calls a "
+            "wall clock",
+            WALLCLOCK,
+            """
+Modules in the ``overload`` package (admission controller, circuit
+breakers, adaptive concurrency limit) run the same object on both
+substrates and receive time exclusively as a ``now`` argument.  Any
+import of ``time``/``datetime`` there — or an aliased call resolving to
+them — is flagged: a component that reads a clock itself leaks wall
+time into limit trajectories and breaker cooldowns, breaking
+byte-identical sim replay and the sim-vs-live acceptance scoring.
             """,
         ),
     )

@@ -1,0 +1,108 @@
+"""Substrate-neutrality pass for overload components (REP108).
+
+The overload package (admission controller, circuit breakers, adaptive
+concurrency limit) runs the *same object* on both substrates: the DES
+hands it simulated time, the live front-end hands it wall time — always
+as a ``now`` argument.  A component that reads a clock itself breaks
+that contract silently: the sim side stops replaying byte-identically
+(wall time leaks into limit trajectories and breaker cooldowns), and
+the ISSUE's sim-vs-live comparisons lose their meaning.
+
+The check is deliberately blunt: inside any ``overload`` package
+module, *importing* ``time`` or ``datetime`` is a finding, as is any
+aliased call that resolves to them (``from time import monotonic as
+m``).  There is no legitimate clock read in these components — time is
+an argument, full stop — so banning the import catches every variant
+without call-site whack-a-mole.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from .callgraph import CallGraph
+from .modules import ModuleInfo, ProjectModel
+from .simlint import Finding
+
+__all__ = ["run"]
+
+_RULE = "REP108"
+
+#: Modules whose mere import inside the overload package is a finding.
+_CLOCK_MODULES = ("time", "datetime")
+
+
+def _is_overload_module(mod: ModuleInfo) -> bool:
+    return "overload" in mod.name.split(".")
+
+
+def _clock_root(target: str) -> str | None:
+    root = target.split(".")[0]
+    return root if root in _CLOCK_MODULES else None
+
+
+def run(model: ProjectModel, graph: CallGraph) -> List[Finding]:
+    del graph  # import/call-shape check; no interprocedural reasoning
+    findings: List[Finding] = []
+    for mod in model.modules.values():
+        if not _is_overload_module(mod):
+            continue
+        findings.extend(_check_module(mod))
+    findings.sort(key=lambda f: (f.path, f.line, f.col))
+    return findings
+
+
+def _check_module(mod: ModuleInfo) -> List[Finding]:
+    findings: List[Finding] = []
+
+    def report(line: int, col: int, what: str, note: str) -> None:
+        if mod.is_suppressed(line, _RULE):
+            return
+        findings.append(
+            Finding(
+                path=mod.path, line=line, col=col, rule=_RULE,
+                message=(
+                    f"{what}: overload components take `now` as an "
+                    "argument and never read a clock — wall time here "
+                    "breaks byte-identical sim replay and sim-vs-live "
+                    "scoring"
+                ),
+                trace=(f"{mod.path}:{line}: {note}",),
+            )
+        )
+
+    for node in ast.walk(mod.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = _clock_root(alias.name)
+                if root is not None:
+                    report(
+                        node.lineno, node.col_offset + 1,
+                        f"import of {alias.name!r} in {mod.name}",
+                        f"import {alias.name}",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or node.module is None:
+                continue
+            root = _clock_root(node.module)
+            if root is not None:
+                names = ", ".join(a.name for a in node.names)
+                report(
+                    node.lineno, node.col_offset + 1,
+                    f"import from {node.module!r} in {mod.name}",
+                    f"from {node.module} import {names}",
+                )
+        elif isinstance(node, ast.Call):
+            # Aliased calls that resolve to a clock module through the
+            # external-import maps (covers indirect spellings the
+            # import scan above would already flag, and any future
+            # injection of a clock callable under a local name).
+            target = mod.ext.call_target(node.func)
+            if target is not None and _clock_root(target) is not None:
+                report(
+                    node.lineno, node.col_offset + 1,
+                    f"call to {target} in {mod.name}",
+                    f"{ast.unparse(node.func)}(...) resolves to {target}",
+                )
+    return findings

@@ -47,6 +47,7 @@ def _generator(ns: argparse.Namespace) -> ScenarioGenerator:
         else DEFAULT_POLICIES,
         trace=ns.trace,
         requests=ns.requests,
+        kinds=tuple(ns.kinds.split(",")) if ns.kinds else None,
     )
 
 
@@ -181,6 +182,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="trace preset (default calgary)")
         p.add_argument("--requests", type=int, default=1200,
                        help="requests per trial (default 1200)")
+        p.add_argument("--kinds", default="",
+                       help="comma-separated plan-item kinds to sample "
+                       "(e.g. ramp,churn; default: the full pool)")
 
     p_run = sub.add_parser("run", help="run a seeded sweep of trials")
     add_gen(p_run)
@@ -237,6 +241,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return ns.func(ns)
     except ChaosSpecError as exc:
         print(f"chaos: invalid scenario — {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"chaos: {exc}", file=sys.stderr)
         return 2
     except FileNotFoundError as exc:
         print(f"chaos: {exc}", file=sys.stderr)

@@ -14,7 +14,9 @@ trials run or in what order.  The generated plan mixes:
   can strand requests forever, which the conservation oracle would
   report as a true positive that no shrink can localize);
 * at most one each of the run-wide fabric rates (loss, dup, delay,
-  jitter) and one flash-crowd spike.
+  jitter) and of the workload perturbations (a flash-crowd spike, a
+  flash *ramp* that builds linearly to its peak, a popularity-churn
+  window that rotates the hot set).
 
 The run horizon is *estimated analytically* from the paper's model
 bound (:func:`repro.sim.runner.model_bound_for_trace`) rather than by a
@@ -27,7 +29,7 @@ the estimate is generous.
 from __future__ import annotations
 
 import random
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..model import MB
 from ..sim.runner import model_bound_for_trace
@@ -69,6 +71,7 @@ class ScenarioGenerator:
         cache_mb: int = 16,
         retries: int = 4,
         max_items: int = 4,
+        kinds: Optional[Sequence[str]] = None,
     ):
         if not policies:
             raise ValueError("need at least one policy")
@@ -80,6 +83,17 @@ class ScenarioGenerator:
         self.cache_mb = cache_mb
         self.retries = retries
         self.max_items = max_items
+        #: Restrict sampling to these plan-item kinds (``None`` = the
+        #: full pool).  ``repro chaos --kinds ramp,churn`` uses this to
+        #: soak the overload machinery specifically.
+        if kinds is not None:
+            kinds = tuple(kinds)
+            unknown = [k for k in kinds if k not in _KIND_POOL]
+            if unknown:
+                raise ValueError(f"unknown plan kinds: {', '.join(unknown)}")
+            if not kinds:
+                raise ValueError("kinds filter must not be empty")
+        self.kinds = kinds
 
     def generate(self, trial: int) -> Scenario:
         """The scenario for one trial index — a pure function of
@@ -90,7 +104,9 @@ class ScenarioGenerator:
         horizon = estimate_horizon_s(
             self.trace, self.requests, nodes, self.cache_mb
         )
-        plan = _sample_plan(rng, policy, nodes, horizon, self.max_items)
+        plan = _sample_plan(
+            rng, policy, nodes, horizon, self.max_items, self.kinds
+        )
         return Scenario(
             name=f"chaos-s{self.seed}-t{trial:04d}",
             seed=(self.seed << 16) ^ trial,
@@ -118,35 +134,49 @@ def _window(rng: random.Random, horizon: float) -> Tuple[float, float]:
     return round(start, 6), round(start + length, 6)
 
 
+#: The full sampling pool; "crash" twice so crashes stay the most
+#: common item even as the pool grows.
+_KIND_POOL = ("crash", "crash", "slow", "link_out", "partition",
+              "loss", "dup", "jitter", "delay", "flash", "ramp", "churn")
+
+#: Kinds that appear at most once per plan (see ``_sample_plan``).
+_ONCE_ONLY = frozenset(
+    {"loss", "dup", "jitter", "delay", "flash", "ramp", "churn"}
+)
+
+
 def _sample_plan(
     rng: random.Random,
     policy: str,
     nodes: int,
     horizon: float,
     max_items: int,
+    kinds: Optional[Sequence[str]] = None,
 ) -> List[PlanItem]:
     """Sample a combined fault plan.
 
     Windowed faults may repeat (several crashes, overlapping slow
-    windows); the run-wide rates and the flash spike appear at most
-    once each — two ``loss`` items would just shadow one another in
-    :meth:`Scenario.netfault_config`, leaving dead plan weight the
-    shrinker would have to discover by brute force.
+    windows); the run-wide rates and the workload perturbations (flash,
+    ramp, churn) appear at most once each — two ``loss`` items would
+    just shadow one another in :meth:`Scenario.netfault_config`, and
+    stacked trace rewrites bury each other, leaving dead plan weight
+    the shrinker would have to discover by brute force.
     """
-    kinds = ["crash", "crash", "slow", "link_out", "partition",
-             "loss", "dup", "jitter", "delay", "flash"]
+    pool = list(_KIND_POOL) if kinds is None else [
+        k for k in _KIND_POOL if k in kinds
+    ]
     count = rng.randint(1, max_items)
     used_once = set()
     plan: List[PlanItem] = []
     for _ in range(count):
-        kind = rng.choice(kinds)
-        if kind in ("loss", "dup", "jitter", "delay", "flash"):
+        kind = rng.choice(pool)
+        if kind in _ONCE_ONLY:
             if kind in used_once:
                 continue
             used_once.add(kind)
         plan.append(_sample_item(rng, kind, policy, nodes, horizon))
     if not plan:
-        plan.append(_sample_item(rng, "crash", policy, nodes, horizon))
+        plan.append(_sample_item(rng, pool[0], policy, nodes, horizon))
     return plan
 
 
@@ -204,6 +234,26 @@ def _sample_item(
             end=round(start + length, 3),
             share=round(rng.uniform(0.3, 0.7), 3),
         )
+    if kind == "ramp":
+        # Leave room after the window so the metastable oracle can
+        # measure post-trigger re-convergence.
+        start = round(rng.uniform(0.2, 0.45), 3)
+        length = round(rng.uniform(0.1, 0.3), 3)
+        return PlanItem(
+            kind="ramp",
+            start=start,
+            end=round(start + length, 3),
+            share=round(rng.uniform(0.3, 0.7), 3),
+        )
+    if kind == "churn":
+        start = round(rng.uniform(0.2, 0.45), 3)
+        length = round(rng.uniform(0.15, 0.35), 3)
+        return PlanItem(
+            kind="churn",
+            start=start,
+            end=round(start + length, 3),
+            share=round(rng.uniform(0.3, 0.8), 3),
+        )
     raise ValueError(f"unknown sample kind {kind!r}")
 
 
@@ -217,6 +267,7 @@ def generate_scenario(
     cache_mb: int = 16,
     retries: int = 4,
     max_items: int = 4,
+    kinds: Optional[Sequence[str]] = None,
 ) -> Scenario:
     """One-call form of :meth:`ScenarioGenerator.generate`."""
     return ScenarioGenerator(
@@ -228,4 +279,5 @@ def generate_scenario(
         cache_mb=cache_mb,
         retries=retries,
         max_items=max_items,
+        kinds=kinds,
     ).generate(trial)

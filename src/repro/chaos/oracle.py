@@ -30,6 +30,23 @@ Two layers share one catalog:
   (:func:`availability_floor`); with a plan containing nothing
   disruptive the floor is exactly 1 and a single failed request is a
   violation;
+* metastable-failure detection — after a workload perturbation window
+  (flash/ramp/churn) ends, the completion rate over the trace's tail
+  must re-converge to at least ``metastable_ratio`` of a yardstick
+  rate: the rate a *counterfactual baseline* run (same seed, faults,
+  and trace — minus the workload perturbations) achieves over the
+  identical tail window, or the run's own pre-window rate (which
+  exonerates bounded cache re-warm still in progress).  A healthy
+  cluster recovers when the trigger is removed; one stuck in a bad
+  equilibrium (thrashed caches, queues full of doomed work) sits
+  10-100x below both yardsticks — the signature of metastable failure,
+  and exactly what admission control exists to prevent.  Comparing the
+  same window of the same trace across the two runs cancels the
+  trace's intrinsic segment-to-segment variance (size and popularity
+  mix swing raw short-window rates ~2x with no perturbation at all),
+  and the tail is measured *before* the closed-loop drain (the last
+  ~MPL completions finish with falling concurrency as the trace runs
+  out, so their rate says nothing about the cluster's equilibrium);
 * the mid-run checks once more, on final state.
 
 The floor is deliberately generous for disruptive plans (a SPOF policy
@@ -44,7 +61,7 @@ property.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from .spec import Scenario
 
@@ -82,6 +99,13 @@ class OracleConfig:
     #: Absolute slack subtracted from the availability floor of
     #: disruptive plans, on top of the closed-loop in-flight allowance.
     slack: float = 0.05
+    #: Post-perturbation completion rate must reach this fraction of the
+    #: no-perturbation baseline's rate over the same tail window, or of
+    #: the run's own pre-window rate (0 disables the metastable check).
+    metastable_ratio: float = 0.7
+    #: Width, as a fraction of the trace, of the tail comparison window
+    #: for the metastable check.
+    metastable_window: float = 0.15
 
 
 def availability_floor(scenario: Scenario, slack: float = 0.05) -> float:
@@ -206,8 +230,18 @@ class ChaosOracle:
         for problem in sim.policy.check_invariants():
             self._record("policy_invariant", problem)
 
-    def finish(self, early_error: Optional[str] = None) -> List[Violation]:
-        """Run the post-run checks; returns all violations collected."""
+    def finish(
+        self,
+        early_error: Optional[str] = None,
+        baseline_times: Optional[Sequence[float]] = None,
+    ) -> List[Violation]:
+        """Run the post-run checks; returns all violations collected.
+
+        ``baseline_times`` are the measured-window completion timestamps
+        of the counterfactual no-perturbation run (same scenario minus
+        workload items) that the metastable check scores against; the
+        check is skipped when they are absent.
+        """
         sim = self._sim
         if sim is None:
             raise RuntimeError("oracle was never attached to a simulation")
@@ -259,8 +293,10 @@ class ChaosOracle:
                     f"served fraction {served:.4f} below the analytic "
                     f"floor {floor:.4f} for this fault plan",
                 )
+        if early_error is None:
+            self._metastable(sim, baseline_times)
         if self.config.strict:
-            shed = sum(n.shed for n in sim.cluster.nodes)
+            shed = sum(n.shed for n in sim.cluster.nodes) + sim._shed_front
             if sim._failed > 0 or shed > 0:
                 self._record(
                     "strict_service",
@@ -268,6 +304,83 @@ class ChaosOracle:
                     "requests (expected zero)",
                 )
         return list(self.violations)
+
+    def _metastable(
+        self,
+        sim: "Simulation",
+        baseline_times: Optional[Sequence[float]],
+    ) -> None:
+        """Post-perturbation goodput must re-converge (see module doc).
+
+        Works on ``sim.completion_times`` (measured-window completion
+        timestamps, recorded when the scenario carries workload items):
+        a trace fraction ``f`` maps to completion index
+        ``(f - warmup) / (1 - warmup) * M`` of each series, the rate
+        over a fraction window is completions divided by the
+        simulated-time span, and the perturbed run's tail rate is
+        scored against the counterfactual baseline's rate over the
+        *same* tail window — the only difference between the two runs
+        is the perturbation, so any rate gap in the tail is damage that
+        outlived its trigger.
+        """
+        if self.config.metastable_ratio <= 0.0:
+            return
+        times = sim.completion_times
+        items = self.scenario.workload_items()
+        if not items or len(times) < 32:
+            return
+        if baseline_times is None or len(baseline_times) < 32:
+            return
+        warmup = sim._warmup_count / max(1, sim._total)
+        span = max(1e-9, 1.0 - warmup)
+
+        def rate(series: Sequence[float], f_lo: float, f_hi: float
+                 ) -> Optional[float]:
+            m = len(series)
+            i = max(0, min(m, int((f_lo - warmup) / span * m)))
+            j = max(0, min(m, int((f_hi - warmup) / span * m)))
+            if j - i < 8:
+                return None  # too few completions to estimate a rate
+            dt = series[j - 1] - series[i]
+            return (j - i) / dt if dt > 0 else None
+
+        # The closed loop drains at the end of the trace: once nothing
+        # is left to spawn, the final ~MPL in-flight requests complete
+        # with falling concurrency, and their rate measures the drain,
+        # not the cluster's equilibrium.  End the tail window where the
+        # drain begins (capped so tiny runs keep a measurable tail).
+        mpl = sim.config.multiprogramming_per_node * sim.config.nodes
+        m = len(times)
+        f_tail_hi = 1.0 - min(mpl, m // 4) / m * span
+        window = self.config.metastable_window
+        ratio = self.config.metastable_ratio
+        for item in items:
+            if item.end is None or item.end >= f_tail_hi - 1e-9:
+                continue  # no tail to measure re-convergence in
+            f_tail_lo = max(item.end, f_tail_hi - window)
+            post = rate(times, f_tail_lo, f_tail_hi)
+            base = rate(baseline_times, f_tail_lo, f_tail_hi)
+            if post is None or base is None:
+                continue
+            # Recovered = the tail reached ratio x of either yardstick.
+            # The run's own pre-window rate exonerates bounded cache
+            # re-warm (a run still mid-warmup can be back above its
+            # pre-crowd rate yet trail the baseline, whose warming was
+            # never set back); a metastable collapse sits 10-100x below
+            # both.
+            if post >= ratio * base:
+                continue
+            pre = rate(times, max(warmup, item.start - window), item.start)
+            if pre is not None and post >= ratio * pre:
+                continue
+            self._record(
+                "metastable_failure",
+                f"goodput never re-converged after the {item.kind} "
+                f"window [{item.start:g}, {item.end:g}): "
+                f"{post:.1f} req/s in the pre-drain tail vs "
+                f"{base:.1f} req/s in the no-perturbation baseline "
+                f"(floor {ratio:.2f}x)",
+            )
 
     @staticmethod
     def _reconcile(sim: "Simulation") -> Dict[str, int]:

@@ -18,9 +18,11 @@ from ..cluster import ClusterConfig
 from ..experiments.flashcrowd import flash_crowd_trace
 from ..faults import RetryPolicy
 from ..model import MB
+from ..overload import OverloadControl
 from ..servers import make_policy
 from ..sim import SimResult, Simulation
 from ..workload import Trace, synthesize
+from ..workload.tracegen import flash_ramp_trace, popularity_churn_trace
 from .oracle import ChaosOracle, OracleConfig, Violation
 from .spec import Scenario
 
@@ -29,6 +31,7 @@ __all__ = [
     "run_scenario",
     "build_trace",
     "build_policy",
+    "build_overload",
     "render_report",
 ]
 
@@ -55,20 +58,44 @@ class ChaosOutcome:
 
 
 def build_trace(scenario: Scenario) -> Trace:
-    """The workload for a scenario: preset synthesis + flash rewrite."""
+    """The workload for a scenario: preset synthesis, then every
+    workload-perturbation item (flash/ramp/churn) applied in plan order.
+
+    The flash rewrite keeps ``scenario.seed`` (stored scenarios from
+    before ramp/churn existed must replay byte-identically); ramp and
+    churn derive per-item seeds from the plan position so two items of
+    the same kind would not share randomness.
+    """
     trace = synthesize(
         scenario.trace, num_requests=scenario.requests, seed=scenario.seed
     )
-    flash = scenario.flash_item()
-    if flash is not None:
-        trace = flash_crowd_trace(
-            trace,
-            spike_start=flash.start,
-            spike_length=flash.end - flash.start,
-            hot_share=flash.share,
-            hot_rank=flash.rank,
-            seed=scenario.seed,
-        )
+    for position, item in enumerate(scenario.workload_items()):
+        if item.kind == "flash":
+            trace = flash_crowd_trace(
+                trace,
+                spike_start=item.start,
+                spike_length=item.end - item.start,
+                hot_share=item.share,
+                hot_rank=item.rank,
+                seed=scenario.seed,
+            )
+        elif item.kind == "ramp":
+            trace = flash_ramp_trace(
+                trace,
+                ramp_start=item.start,
+                ramp_end=item.end,
+                peak_share=item.share,
+                hot_rank=item.rank,
+                seed=scenario.seed + position + 1,
+            )
+        elif item.kind == "churn":
+            trace = popularity_churn_trace(
+                trace,
+                churn_start=item.start,
+                churn_end=item.end,
+                intensity=item.share,
+                seed=scenario.seed + position + 1,
+            )
     return trace
 
 
@@ -88,6 +115,71 @@ def build_policy(scenario: Scenario):
 
 # Backward-compatible alias (pre-live-bridge private name).
 _build_policy = build_policy
+
+
+def build_overload(scenario: Scenario) -> Optional[OverloadControl]:
+    """The scenario's overload control, or ``None`` when unconfigured.
+
+    Shared with the live chaos bridge, like :func:`build_policy`, so
+    both substrates gate the same spec with the same controller: an
+    ``admission_limit`` gives a static in-flight cap, a ``deadline_s``
+    alone engages the AIMD adaptive limit, and either one arms
+    deadline-aware queue shedding.
+    """
+    if scenario.admission_limit is None and scenario.deadline_s is None:
+        return None
+    return OverloadControl.default(
+        scenario.nodes,
+        max_inflight=scenario.admission_limit,
+        deadline_s=scenario.deadline_s,
+        limiter_mode=None if scenario.admission_limit is not None else "aimd",
+        seed=scenario.seed,
+    )
+
+
+def _baseline_times(
+    scenario: Scenario,
+    oracle: ChaosOracle,
+    sanitize: Optional[bool],
+) -> Optional[List[float]]:
+    """Completion timestamps of the counterfactual no-perturbation run.
+
+    The metastable oracle scores the perturbed run's tail against the
+    *same scenario minus its workload items*: identical seed, trace
+    base, faults, and retries, so the only tail-rate difference the two
+    runs can show is damage the perturbation left behind.  Skipped (and
+    the metastable check with it) when the scenario carries no workload
+    items or the check is disabled.
+    """
+    if not scenario.workload_items():
+        return None
+    if oracle.config.metastable_ratio <= 0.0:
+        return None
+    trace = synthesize(
+        scenario.trace, num_requests=scenario.requests, seed=scenario.seed
+    )
+    sim = Simulation(
+        trace,
+        build_policy(scenario),
+        ClusterConfig(
+            nodes=scenario.nodes,
+            cache_bytes=scenario.cache_mb * MB,
+            net_faults=scenario.netfault_config(),
+        ),
+        warmup_fraction=0.1,
+        passes=1,
+        seed=scenario.seed,
+        faults=scenario.fault_schedule(),
+        retry=RetryPolicy(max_retries=scenario.retries),
+        overload=build_overload(scenario),
+        record_timeline=True,
+        sanitize=sanitize,
+    )
+    try:
+        sim.run()
+    except RuntimeError:
+        return None  # no healthy baseline to compare against
+    return sim.completion_times
 
 
 def run_scenario(
@@ -111,6 +203,10 @@ def run_scenario(
         seed=scenario.seed,
         faults=scenario.fault_schedule(),
         retry=RetryPolicy(max_retries=scenario.retries),
+        overload=build_overload(scenario),
+        # Completion timestamps feed the metastable-failure oracle
+        # (post-perturbation goodput re-convergence).
+        record_timeline=bool(scenario.workload_items()),
         sanitize=sanitize,
     )
     oracle = ChaosOracle(scenario, oracle_config)
@@ -121,7 +217,9 @@ def run_scenario(
         result = sim.run()
     except RuntimeError as exc:
         early = str(exc)
-    violations = oracle.finish(early)
+    violations = oracle.finish(
+        early, baseline_times=_baseline_times(scenario, oracle, sanitize)
+    )
     generated = max(1, sim._next)
     return ChaosOutcome(
         scenario=scenario,

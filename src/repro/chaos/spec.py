@@ -56,8 +56,12 @@ NODE_KINDS = ("crash", "slow")
 FABRIC_KINDS = ("link_out", "partition")
 #: Run-wide fabric perturbation rates (fields of NetFaultConfig).
 RATE_KINDS = ("loss", "dup", "delay", "jitter")
-#: Workload perturbation kinds.
-WORKLOAD_KINDS = ("flash",)
+#: Workload perturbation kinds (trace rewrites, substrate-neutral):
+#: ``flash`` replaces a window with a hot file at a fixed share, ``ramp``
+#: ramps the hot share linearly from zero to its peak across the window
+#: (a flash *crowd* building, not a step), ``churn`` reshuffles which
+#: files are popular inside the window (popularity churn).
+WORKLOAD_KINDS = ("flash", "ramp", "churn")
 #: Every recognized plan-item kind.
 PLAN_KINDS = NODE_KINDS + FABRIC_KINDS + RATE_KINDS + WORKLOAD_KINDS
 
@@ -66,7 +70,8 @@ PLAN_KINDS = NODE_KINDS + FABRIC_KINDS + RATE_KINDS + WORKLOAD_KINDS
 #: star topology (every backend behind one front-end) does not have, and
 #: ``dup`` needs message-level control below the TCP byte stream; both
 #: are reported by :meth:`Scenario.live_unsupported`.
-LIVE_KINDS = ("crash", "slow", "link_out", "loss", "delay", "jitter", "flash")
+LIVE_KINDS = ("crash", "slow", "link_out", "loss", "delay", "jitter",
+              "flash", "ramp", "churn")
 
 #: Policies a scenario may name (the paper's four robustness subjects
 #: plus the baselines the repo ships).
@@ -113,11 +118,14 @@ class PlanItem:
     delay      seconds (fixed extra switch delay per message)
     jitter     seconds (uniform extra delay bound per message)
     flash      start, end (fractions of the trace), share, rank
+    ramp       start, end (fractions of the trace), share (peak), rank
+    churn      start, end (fractions of the trace), share (intensity)
     ========== =======================================================
 
-    Times are simulated seconds except for ``flash``, whose window is a
-    fraction of the request stream (the flash rewrite happens at trace
-    build time, before any simulated clock exists).
+    Times are simulated seconds except for the workload kinds (``flash``
+    / ``ramp`` / ``churn``), whose windows are fractions of the request
+    stream (the rewrite happens at trace build time, before any
+    simulated clock exists).
     """
 
     kind: str
@@ -182,16 +190,16 @@ class PlanItem:
         if k in ("delay", "jitter"):
             _require(self.seconds >= 0.0, f"{where}.seconds",
                      f"must be >= 0, got {self.seconds!r}")
-        if k == "flash":
+        if k in WORKLOAD_KINDS:
             _require(0.0 <= self.start < 1.0, f"{where}.start",
-                     f"flash window start is a trace fraction in [0, 1), "
+                     f"{k} window start is a trace fraction in [0, 1), "
                      f"got {self.start!r}")
             _require(self.end is not None and self.start < self.end <= 1.0,
                      f"{where}.end",
-                     f"flash window end must be a fraction in (start, 1], "
+                     f"{k} window end must be a fraction in (start, 1], "
                      f"got {self.end!r}")
             _require(0.0 < self.share <= 1.0, f"{where}.share",
-                     f"hot share must be in (0, 1], got {self.share!r}")
+                     f"share must be in (0, 1], got {self.share!r}")
             _require(self.rank is None or self.rank >= 0, f"{where}.rank",
                      f"hot rank must be >= 0, got {self.rank!r}")
 
@@ -259,6 +267,12 @@ class PlanItem:
             return f"{k} {self.rate:g}"
         if k in ("delay", "jitter"):
             return f"{k} {self.seconds:g}s"
+        if k == "ramp":
+            return (f"ramp peak-share={self.share:g} @ "
+                    f"[{self.start:g}, {self.end:g}) of trace")
+        if k == "churn":
+            return (f"churn intensity={self.share:g} @ "
+                    f"[{self.start:g}, {self.end:g}) of trace")
         return (f"flash share={self.share:g} @ "
                 f"[{self.start:g}, {self.end:g}) of trace")
 
@@ -290,6 +304,13 @@ class Scenario:
     failover_s: Optional[float] = None
     #: l2s only: staleness bound on remote load-view entries.
     view_max_age_s: Optional[float] = None
+    #: Front-door admission: static concurrency cap wired into an
+    #: :class:`~repro.overload.OverloadControl` on *both* substrates.
+    #: ``None`` (with ``deadline_s`` also unset) = no overload control.
+    admission_limit: Optional[int] = None
+    #: Client deadline fed to admission's deadline-aware drop and to the
+    #: goodput scoring (a completion past the deadline is not goodput).
+    deadline_s: Optional[float] = None
     #: The fault plan.
     plan: Tuple[PlanItem, ...] = ()
 
@@ -321,6 +342,12 @@ class Scenario:
         _require(self.view_max_age_s is None or self.view_max_age_s > 0.0,
                  "view_max_age_s",
                  f"must be positive, got {self.view_max_age_s!r}")
+        _require(self.admission_limit is None or self.admission_limit >= 1,
+                 "admission_limit",
+                 f"must be >= 1, got {self.admission_limit!r}")
+        _require(self.deadline_s is None or self.deadline_s > 0.0,
+                 "deadline_s",
+                 f"must be positive, got {self.deadline_s!r}")
         for i, item in enumerate(self.plan):
             item.validate(f"plan[{i}]", self.nodes, self.horizon_s)
 
@@ -486,6 +513,11 @@ class Scenario:
                 return item
         return None
 
+    def workload_items(self) -> Tuple[PlanItem, ...]:
+        """Every workload-perturbation item (flash/ramp/churn), in plan
+        order — the trace is rewritten by each in turn."""
+        return tuple(i for i in self.plan if i.kind in WORKLOAD_KINDS)
+
     def counts(self) -> Dict[str, int]:
         """Plan-item count per kind (reporting)."""
         out: Dict[str, int] = {}
@@ -539,6 +571,10 @@ class Scenario:
             out["failover_s"] = self.failover_s
         if self.view_max_age_s is not None:
             out["view_max_age_s"] = self.view_max_age_s
+        if self.admission_limit is not None:
+            out["admission_limit"] = self.admission_limit
+        if self.deadline_s is not None:
+            out["deadline_s"] = self.deadline_s
         return out
 
     def to_json(self) -> str:
@@ -551,7 +587,7 @@ class Scenario:
 
     _SCALARS = ("name", "seed", "trace", "requests", "policy", "nodes",
                 "cache_mb", "horizon_s", "retries", "failover_s",
-                "view_max_age_s")
+                "view_max_age_s", "admission_limit", "deadline_s")
 
     @classmethod
     def from_dict(cls, obj: Any) -> "Scenario":

@@ -267,6 +267,39 @@ def build_parser() -> argparse.ArgumentParser:
         "with the same seed)",
     )
 
+    p_ov = sub.add_parser(
+        "overload",
+        help="goodput frontier at 1x-4x the saturation knee, with and "
+        "without admission control",
+    )
+    p_ov.add_argument(
+        "--trace", default="calgary", help="calgary|clarknet|nasa|rutgers"
+    )
+    p_ov.add_argument(
+        "--policies", default="lard",
+        help="comma-separated policy names, or 'all' for the registry",
+    )
+    p_ov.add_argument("--nodes", type=int, default=8)
+    p_ov.add_argument("--requests", type=int, default=None)
+    p_ov.add_argument(
+        "--deadline", type=float, default=0.25, metavar="S",
+        help="client deadline defining goodput (default 0.25 s)",
+    )
+    p_ov.add_argument(
+        "--multipliers", default="1,2,3,4",
+        help="comma-separated offered-load multiples of the knee",
+    )
+    p_ov.add_argument("--seed", type=int, default=0)
+    p_ov.add_argument(
+        "--no-ramp", action="store_true",
+        help="plain trace instead of the seeded flash ramp",
+    )
+    p_ov.add_argument(
+        "--assert-dominates", action="store_true",
+        help="exit 1 unless admission goodput strictly dominates beyond "
+        "the knee for every policy (the CI smoke contract)",
+    )
+
     p_bound = sub.add_parser("bound", help="analytic bound for a trace")
     p_bound.add_argument("trace")
     p_bound.add_argument("--nodes", type=int, default=16)
@@ -399,16 +432,24 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             nodes=args.nodes, cache_bytes=args.memory * MB
         )
         sim = Simulation(
-            trace, make_policy(args.policy), config, passes=2, sanitize=True
+            trace, make_policy(args.policy), config, passes=2, sanitize=True,
+            record_latencies=True,
         )
         result = sim.run()
         print(result.summary_row())
         print(sim.env.sanitizer.finish().render())
     else:
         result = run_simulation(
-            trace, args.policy, nodes=args.nodes, cache_bytes=args.memory * MB
+            trace, args.policy, nodes=args.nodes, cache_bytes=args.memory * MB,
+            record_latencies=True,
         )
         print(result.summary_row())
+    pct = result.latency_percentiles
+    if pct:
+        print(
+            "latency percentiles: "
+            + "  ".join(f"{k} {pct[k] * 1000:.2f} ms" for k in sorted(pct))
+        )
     print(
         f"model bound: {bound.throughput:,.0f} req/s "
         f"({result.throughput_rps / bound.throughput:.0%} achieved; "
@@ -424,6 +465,45 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             f"verify: books balance ({result.requests_generated:,} "
             "requests conserved)"
         )
+    return 0
+
+
+def _cmd_overload(args: argparse.Namespace) -> int:
+    from .experiments import overload_frontier
+    from .servers import POLICIES
+
+    if args.policies.strip() == "all":
+        policies = list(POLICIES)
+    else:
+        policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    try:
+        multipliers = tuple(
+            float(m) for m in args.multipliers.split(",") if m.strip()
+        )
+    except ValueError:
+        print(f"bad --multipliers {args.multipliers!r}", file=sys.stderr)
+        return 2
+    failed = []
+    for name in policies:
+        frontier = overload_frontier(
+            policy_name=name,
+            trace_name=args.trace,
+            nodes=args.nodes,
+            multipliers=multipliers,
+            deadline_s=args.deadline,
+            num_requests=args.requests,
+            seed=args.seed,
+            ramp=not args.no_ramp,
+        )
+        print(frontier.render())
+        print()
+        if not frontier.dominance_holds():
+            failed.append(name)
+    if args.assert_dominates and failed:
+        print(
+            "dominance FAILED for: " + ", ".join(failed), file=sys.stderr
+        )
+        return 1
     return 0
 
 
@@ -818,6 +898,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_simulate(args)
     if args.command == "figure":
         return _cmd_figure(args)
+    if args.command == "overload":
+        return _cmd_overload(args)
     if args.command == "faults":
         return _cmd_faults(args)
     if args.command == "netfaults":

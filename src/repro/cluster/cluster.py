@@ -24,6 +24,13 @@ class Cluster:
         ]
         self.net = Interconnect(env, config, self.nodes)
         self.dfs = DistributedFS(env, config, self.nodes, self.net)
+        #: :class:`~repro.overload.OverloadControl` for this run, or
+        #: ``None``.  Set by the driver; the lifecycles consult its
+        #: breaker board at service entry.
+        self.overload = None
+        #: Zero-arg callback fired on every node-level shed (the driver
+        #: points this at the availability timeline's ``record_shed``).
+        self.shed_listener = None
 
     def __len__(self) -> int:
         return len(self.nodes)
@@ -45,6 +52,13 @@ class Cluster:
         if not node.cache.lookup(file_id):
             yield from self.dfs.read(node_id, file_id, size_bytes)
             node.cache.insert(file_id, size_bytes)
+
+    def note_shed(self, node: Node) -> None:
+        """Count one admission/breaker shed at ``node`` and notify the
+        timeline listener, if any."""
+        node.shed += 1
+        if self.shed_listener is not None:
+            self.shed_listener()
 
     def least_loaded_node(self) -> int:
         """Node id with the fewest open connections (ties: lowest id)."""

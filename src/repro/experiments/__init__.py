@@ -52,6 +52,12 @@ from .figures import (
     render_figure6,
     scaling_experiment,
 )
+from .overload import (
+    OverloadFrontier,
+    OverloadPoint,
+    find_knee,
+    overload_frontier,
+)
 from .report import render_series, render_surface, render_table
 from .tables import render_table1, render_table2, table1_rows, table2_rows
 
@@ -72,6 +78,10 @@ __all__ = [
     "flash_crowd_experiment",
     "flash_crowd_trace",
     "pick_hot_rank",
+    "OverloadFrontier",
+    "OverloadPoint",
+    "find_knee",
+    "overload_frontier",
     "broadcast_frequency_sweep",
     "message_overhead_sweep",
     "network_bandwidth_sweep",

@@ -27,7 +27,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Optional, Tuple
 
-from ..chaos.runner import build_policy, build_trace
+from ..chaos.runner import build_overload, build_policy, build_trace
 from ..cluster import ClusterConfig
 from ..faults import RetryPolicy
 from ..sim.driver import Simulation
@@ -41,8 +41,13 @@ from .timeline import LiveAvailabilityTimeline
 
 __all__ = ["LiveChaosOutcome", "run_live_scenario"]
 
-#: Acceptance threshold on |live - sim| whole-run availability.
+#: Acceptance threshold on |live - sim| whole-run availability (which,
+#: on these books, is the goodput fraction: completions per offered
+#: request).
 AVAILABILITY_THRESHOLD = 0.15
+
+#: Acceptance threshold on |live - sim| shed fraction (overload runs).
+SHED_THRESHOLD = 0.15
 
 #: Per-attempt front-end fetch timeout under chaos.  Short enough that
 #: a SIGSTOPped worker burns one attempt, not the client's patience.
@@ -120,6 +125,7 @@ def run_sim_side(scenario, concurrency: int = 16) -> SimResult:
         seed=scenario.seed,
         faults=scenario.fault_schedule(),
         retry=RetryPolicy(max_retries=scenario.retries),
+        overload=build_overload(scenario),
     ).run()
 
 
@@ -151,6 +157,9 @@ async def run_live_side(
             request_timeout_s=CHAOS_ATTEMPT_TIMEOUT_S,
         ),
     )
+    # A *fresh* controller (never the sim side's instance — both
+    # accumulate counters), built from the same spec scalars.
+    cluster.overload = build_overload(scenario)
     await cluster.start()
     timeline = LiveAvailabilityTimeline(cluster)
     replay = Replay(
@@ -190,6 +199,7 @@ def run_live_scenario(
     root: Optional[Path] = None,
     concurrency: int = 16,
     availability_threshold: float = AVAILABILITY_THRESHOLD,
+    shed_threshold: float = SHED_THRESHOLD,
 ) -> LiveChaosOutcome:
     """Run ``scenario`` on sim and live; return the scored outcome.
 
@@ -220,6 +230,7 @@ def run_live_scenario(
         live=live,
         problems=tuple(problems),
         availability_threshold=availability_threshold,
+        shed_threshold=shed_threshold,
     )
     return LiveChaosOutcome(
         scenario=scenario,

@@ -111,6 +111,9 @@ class LiveCluster:
         self.proxies: List[ChaosProxy] = []
         self.monitor: Optional[HealthMonitor] = None
         self.resilience: Optional[ResilienceConfig] = None
+        #: :class:`~repro.overload.OverloadControl` handed to the
+        #: front-end; set before :meth:`start` (like ``resilience``).
+        self.overload = None
         self._chaos: Optional[Dict[str, Any]] = None
         self.kills = 0
         self.respawns = 0
@@ -182,6 +185,7 @@ class LiveCluster:
             host=self.config.host,
             monitor=self.monitor,
             resilience=self.resilience,
+            overload=self.overload,
         )
         port = await self.frontend.start()
         if self.monitor is not None:

@@ -50,6 +50,13 @@ class CompareReport:
     #: absolute-delta threshold; ``None`` = availability not compared
     #: (clean runs have availability 1.0 on both sides anyway).
     availability_threshold: Optional[float] = None
+    #: When set (overload runs), the shed fraction — requests shed per
+    #: request offered — is scored against this absolute-delta
+    #: threshold.  Together with availability (which, on these books,
+    #: *is* the goodput fraction: completions per offered request) this
+    #: checks that both substrates degrade the same way, not merely
+    #: that both degrade.
+    shed_threshold: Optional[float] = None
 
     @property
     def hit_ratio_delta(self) -> float:
@@ -81,9 +88,33 @@ class CompareReport:
         """live - sim whole-run availability."""
         return self.live_availability - self.sim_availability
 
+    @staticmethod
+    def shed_fraction_of(result: SimResult) -> float:
+        """Requests shed per request offered (0.0 if none generated)."""
+        if result.requests_generated <= 0:
+            return 0.0
+        return result.requests_shed / result.requests_generated
+
+    @property
+    def sim_shed_fraction(self) -> float:
+        return self.shed_fraction_of(self.sim)
+
+    @property
+    def live_shed_fraction(self) -> float:
+        return self.shed_fraction_of(self.live)
+
+    @property
+    def shed_delta(self) -> float:
+        """live - sim shed fraction."""
+        return self.live_shed_fraction - self.sim_shed_fraction
+
     def within_thresholds(self) -> bool:
         if self.availability_threshold is not None and (
             abs(self.availability_delta) > self.availability_threshold
+        ):
+            return False
+        if self.shed_threshold is not None and (
+            abs(self.shed_delta) > self.shed_threshold
         ):
             return False
         return (
@@ -140,6 +171,24 @@ class CompareReport:
                 if self.availability_threshold is not None
                 else []
             ),
+            *(
+                [
+                    row(
+                        "shed fraction",
+                        f"{self.sim_shed_fraction:.3f}",
+                        f"{self.live_shed_fraction:.3f}",
+                        f"delta {self.shed_delta:+.3f} "
+                        f"(|x| <= {self.shed_threshold}) "
+                        + (
+                            "OK"
+                            if abs(self.shed_delta) <= self.shed_threshold
+                            else "DIVERGED"
+                        ),
+                    )
+                ]
+                if self.shed_threshold is not None
+                else []
+            ),
             row(
                 "throughput (req/s)",
                 f"{sim.throughput_rps:.1f}",
@@ -151,6 +200,23 @@ class CompareReport:
                 f"{sim.messages_per_request:.2f}",
                 f"{live.messages_per_request:.2f}",
                 "informational",
+            ),
+            *(
+                row(
+                    f"latency {key} (s)",
+                    (
+                        f"{sim.latency_percentiles[key]:.4f}"
+                        if key in sim.latency_percentiles else "-"
+                    ),
+                    (
+                        f"{live.latency_percentiles[key]:.4f}"
+                        if key in live.latency_percentiles else "-"
+                    ),
+                    "informational (different hardware)",
+                )
+                for key in ("p50", "p95", "p99")
+                if key in sim.latency_percentiles
+                or key in live.latency_percentiles
             ),
             row(
                 "requests measured",
@@ -199,6 +265,7 @@ def run_compare(
             multiprogramming_per_node=max(1, concurrency // nodes),
         ),
         passes=passes,
+        record_latencies=True,
     ).run()
     live = asyncio.run(
         _run_live(

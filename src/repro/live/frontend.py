@@ -35,12 +35,21 @@ Resilience (mirrors the sim driver's fault paths — see docs/LIVE.md):
   shed with a 503 tagged ``X-Shed: 1`` before touching the policy —
   graceful degradation the client accounts as failed *and* shed,
   keeping the ``SimResult`` conservation identity intact.
+
+Overload control (``overload=`` an :class:`~repro.overload.
+OverloadControl`, see docs/OVERLOAD.md): the ad-hoc ``min_healthy``
+shed above is subsumed by the *same* :class:`~repro.overload.
+AdmissionController` object model the DES driver uses (health feeds in
+as its ``capacity_ok`` input), dispatch attempts pass through the
+per-back-end circuit breakers, and completed-request latencies drive
+the adaptive concurrency limit — byte-identical control logic on both
+substrates, only the clock and transport differ.
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..servers import ServiceUnavailable
 from . import http11
@@ -60,6 +69,7 @@ class FrontEnd:
         host: str = "127.0.0.1",
         monitor: Optional[HealthMonitor] = None,
         resilience: Optional[ResilienceConfig] = None,
+        overload=None,
     ) -> None:
         if len(backend_ports) != engine.num_nodes:
             raise ValueError(
@@ -71,6 +81,14 @@ class FrontEnd:
         self.host = host
         self.monitor = monitor
         self.resilience = resilience or ResilienceConfig()
+        #: :class:`~repro.overload.OverloadControl` for this run, or
+        #: ``None``.  The *same object model* the DES driver wires in:
+        #: the admission controller replaces the ad-hoc ``min_healthy``
+        #: shed (which feeds in as its ``capacity_ok`` input), and the
+        #: breaker board gates dispatch attempts and steers routing.
+        self.overload = overload
+        if overload is not None and overload.breakers is not None:
+            engine.policy.attach_breakers(overload.breakers)
         #: Optional timeline instrument; when set, retries are recorded
         #: onto it (completions/failures are recorded client-side).
         self.timeline = None
@@ -143,20 +161,54 @@ class FrontEnd:
         index = self._arrival
         self._arrival += 1
         self.requests += 1
-        if (
+        healthy_ok = not (
             self.monitor is not None
             and self.monitor.healthy_count() < self.resilience.min_healthy
-        ):
-            # Admission shedding: the cluster cannot serve anything
-            # useful, so reject up front instead of queueing the request
-            # onto dead back-ends.  The client counts this as failed
-            # (conservation) and shed (the graceful-degradation
-            # sub-counter), same split as the sim's admission control.
+        )
+        admission = self.overload.admission if self.overload is not None else None
+        if admission is None:
+            if not healthy_ok:
+                # Admission shedding (ad-hoc form, no OverloadControl
+                # attached): the cluster cannot serve anything useful,
+                # so reject up front instead of queueing the request
+                # onto dead back-ends.  The client counts this as failed
+                # (conservation) and shed (the graceful-degradation
+                # sub-counter), same split as the sim's admission control.
+                self.shed += 1
+                self.failed += 1
+                return http11.render_response(
+                    503, b"shedding load", {"X-Shed": "1"}
+                )
+            _, response = await self._dispatch(index, fid)
+            return response
+        # Unified admission control: the identical AdmissionController
+        # object model the DES driver gates its front door with (see
+        # docs/OVERLOAD.md).  The min_healthy health check feeds in as
+        # capacity_ok so "cluster cannot serve" sheds flow through the
+        # same books as queue-full and deadline sheds.
+        verdict = admission.try_admit(
+            self.engine.clock.now, capacity_ok=healthy_ok
+        )
+        if not verdict.admitted:
             self.shed += 1
             self.failed += 1
             return http11.render_response(
                 503, b"shedding load", {"X-Shed": "1"}
             )
+        start = self.engine.clock.now
+        ok = False
+        try:
+            ok, response = await self._dispatch(index, fid)
+            return response
+        finally:
+            # Always release the admission slot (even on cancellation);
+            # only a completed request's latency feeds the limiter.
+            end = self.engine.clock.now
+            admission.release(end, (end - start) if ok else None)
+
+    async def _dispatch(self, index: int, fid: int) -> Tuple[bool, bytes]:
+        """Route + fetch with retries; True iff a 200 completed."""
+        breakers = self.overload.breakers if self.overload is not None else None
         retry = self.resilience.retry
         attempt = 0
         while True:
@@ -164,24 +216,51 @@ class FrontEnd:
                 outcome = self.engine.route(index, fid)
             except ServiceUnavailable:
                 self.failed += 1
-                return http11.render_response(503, b"service unavailable")
-            response = await self._attempt(outcome)
-            if response is not None:
-                return response
-            if self.monitor is not None:
-                # A transport failure implicates the *service target*:
-                # for a direct fetch that is the node we dialed; for a
-                # hand-off the local relay leg to the initial node is
-                # healthy localhost TCP, so the broken leg is almost
-                # always initial->target.  Suspecting the initial node
-                # instead would mark down LARD's front-end on every
-                # failed relay — a self-inflicted total outage.  A rare
-                # misattribution (the initial node itself died) is
-                # corrected by the next probe sweep.
-                self.monitor.suspect(outcome.target)
+                return False, http11.render_response(503, b"service unavailable")
+            if breakers is None or breakers.allow(
+                outcome.target, self.engine.clock.now
+            ):
+                result = await self._attempt(outcome)
+                if result is not None:
+                    ok, response = result
+                    if breakers is not None:
+                        # Any response is liveness (a non-200 is a
+                        # logical error, not a crash signal).
+                        breakers.record_success(
+                            outcome.target, self.engine.clock.now
+                        )
+                    return ok, response
+                if breakers is not None:
+                    breakers.record_failure(
+                        outcome.target, self.engine.clock.now
+                    )
+                if self.monitor is not None:
+                    # A transport failure implicates the *service target*:
+                    # for a direct fetch that is the node we dialed; for a
+                    # hand-off the local relay leg to the initial node is
+                    # healthy localhost TCP, so the broken leg is almost
+                    # always initial->target.  Suspecting the initial node
+                    # instead would mark down LARD's front-end on every
+                    # failed relay — a self-inflicted total outage.  A rare
+                    # misattribution (the initial node itself died) is
+                    # corrected by the next probe sweep.
+                    self.monitor.suspect(outcome.target)
+            else:
+                # The target's breaker refused at the service door: roll
+                # back the decide-time view charge like the sim's breaker
+                # shed, count it on the shed books, and re-route after
+                # backoff (breaker-aware routing steers the fresh
+                # route() around open breakers).
+                self.engine.handoff_failed(outcome.initial, outcome.target)
+                self.engine.request_aborted(
+                    outcome.initial, opened=False, target=outcome.target
+                )
+                self.shed += 1
+                if self.timeline is not None:
+                    self.timeline.record_shed()
             if attempt >= retry.max_retries:
                 self.failed += 1
-                return http11.render_response(502, b"backend unreachable")
+                return False, http11.render_response(502, b"backend unreachable")
             attempt += 1
             self.retried += 1
             if self.timeline is not None:
@@ -192,8 +271,11 @@ class FrontEnd:
             # attempts and the policy no longer offers the dead node.
             await asyncio.sleep(retry.backoff(attempt))
 
-    async def _attempt(self, outcome: RouteOutcome) -> Optional[bytes]:
-        """One dispatch attempt; ``None`` means retryable transport failure."""
+    async def _attempt(
+        self, outcome: RouteOutcome
+    ) -> Optional[Tuple[bool, bytes]]:
+        """One dispatch attempt: ``None`` means retryable transport
+        failure, otherwise ``(completed_200, rendered_response)``."""
         fetch_node = outcome.initial if outcome.forwarded else outcome.target
         headers: Dict[str, str] = {}
         if outcome.forwarded:
@@ -220,7 +302,7 @@ class FrontEnd:
                 outcome.initial, opened=True, target=outcome.target
             )
             self.failed += 1
-            return http11.render_response(response.status, response.body)
+            return False, http11.render_response(response.status, response.body)
         self.engine.request_completed(outcome.target, outcome.file_id)
         self.completed += 1
         relay_headers = {
@@ -229,7 +311,7 @@ class FrontEnd:
         }
         if outcome.forwarded:
             relay_headers["X-Handoff"] = "1"
-        return http11.render_response(200, response.body, relay_headers)
+        return True, http11.render_response(200, response.body, relay_headers)
 
     def _abort(self, outcome: RouteOutcome) -> None:
         """Transport-failure bookkeeping, in the sim's hook order."""

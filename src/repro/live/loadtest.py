@@ -287,6 +287,7 @@ class Replay:
         return {
             "p50": float(np.percentile(lat, 50)),
             "p90": float(np.percentile(lat, 90)),
+            "p95": float(np.percentile(lat, 95)),
             "p99": float(np.percentile(lat, 99)),
             "max": float(lat.max()),
         }

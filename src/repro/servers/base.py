@@ -152,6 +152,9 @@ class DistributionPolicy(ABC):
         self.clock: Optional[Clock] = None
         #: Nodes known dead; populated by :meth:`on_node_failed`.
         self.failed_nodes: set = set()
+        #: Optional :class:`~repro.overload.BreakerBoard` consulted by
+        #: routing; set by :meth:`attach_breakers` (overload runs only).
+        self.breakers = None
 
     # -- lifecycle wiring ----------------------------------------------------
 
@@ -273,17 +276,60 @@ class DistributionPolicy(ABC):
         :class:`~repro.netfaults.injector.NetFaultInjector`.
         """
 
+    def attach_breakers(self, board) -> None:
+        """Attach a :class:`~repro.overload.BreakerBoard` so routing can
+        steer around open breakers.  Called by the driving substrate
+        (not by :meth:`bind` — overload control is per-run opt-in, like
+        fault injection)."""
+        self.breakers = board
+
+    def routable_nodes(self, nodes: Sequence[int]) -> Sequence[int]:
+        """Filter candidate nodes through the breaker board.
+
+        Open-breaker nodes are dropped *unless that would empty the
+        candidate set* — when every breaker is open, routing somewhere
+        beats refusing everywhere (the service-entry breaker gate will
+        shed, and its half-open probes are what discover recovery).
+        Without a board this is the identity, costing one attribute
+        check on the hot path.
+        """
+        board = self.breakers
+        if board is None:
+            return nodes
+        now = self.clock.now
+        allowed = [i for i in nodes if board.routable(i, now)]
+        return allowed if allowed else nodes
+
     def _next_alive(self, node_id: int) -> int:
-        """The given node, or the next alive one after it (wrap-around)."""
+        """The given node, or the next alive one after it (wrap-around).
+
+        With a breaker board attached, alive nodes whose breakers are
+        open are passed over too — falling back to the first alive node
+        when every alive breaker is open (same degrade-don't-refuse rule
+        as :meth:`routable_nodes`).
+        """
         cluster = self._require_cluster()
         n = cluster.num_nodes
         if len(self.failed_nodes) >= n:
             raise ServiceUnavailable("every node has failed")
+        board = self.breakers
+        if board is None:
+            for step in range(n):
+                candidate = (node_id + step) % n
+                if candidate not in self.failed_nodes:
+                    return candidate
+            raise AssertionError("unreachable")  # pragma: no cover
+        now = self.clock.now
+        first_alive = -1
         for step in range(n):
             candidate = (node_id + step) % n
-            if candidate not in self.failed_nodes:
+            if candidate in self.failed_nodes:
+                continue
+            if board.routable(candidate, now):
                 return candidate
-        raise AssertionError("unreachable")  # pragma: no cover
+            if first_alive < 0:
+                first_alive = candidate
+        return first_alive
 
     def reset_stats(self) -> None:
         """Discard warmup-phase statistics (policy state is kept)."""

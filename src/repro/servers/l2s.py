@@ -154,7 +154,7 @@ class L2SPolicy(DistributionPolicy):
                     # rather than hand off on it.
                     self.stale_local_dispatches += 1
                     return initial
-            return _least_loaded(view, alive)
+            return _least_loaded(view, self.routable_nodes(alive))
 
         sset = self._server_sets.get(file_id)
         replicated = False
@@ -187,7 +187,7 @@ class L2SPolicy(DistributionPolicy):
                         modified = True
                         self.replications += 1
             if target is None:
-                least_in_set = _least_loaded(view, members)
+                least_in_set = _least_loaded(view, self.routable_nodes(members))
                 if not overloaded(least_in_set):
                     target = least_in_set
                 else:

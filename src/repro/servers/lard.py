@@ -178,14 +178,14 @@ class LARDPolicy(DistributionPolicy):
         modified = False
 
         if not sset:
-            target = _least_loaded(view, self._back_ends)
+            target = _least_loaded(view, self.routable_nodes(self._back_ends))
             sset = [target]
             self._server_sets[file_id] = sset
             modified = True
         else:
-            target = _least_loaded(view, sset)
+            target = _least_loaded(view, self.routable_nodes(sset))
             if self.replication:
-                cold = _least_loaded(view, self._back_ends)
+                cold = _least_loaded(view, self.routable_nodes(self._back_ends))
                 if (
                     view[target] > self.t_high and view[cold] < self.t_low
                 ) or view[target] > 2 * self.t_high:

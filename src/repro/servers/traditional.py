@@ -34,13 +34,13 @@ class TraditionalPolicy(DistributionPolicy):
         self._require_cluster()
         view = self._assigned
         failed = self.failed_nodes
-        if failed:
+        if failed or self.breakers is not None:
             from .base import ServiceUnavailable
 
             alive = [i for i in range(len(view)) if i not in failed]
             if not alive:
                 raise ServiceUnavailable("every node has failed")
-            node = least_loaded(view, alive)
+            node = least_loaded(view, self.routable_nodes(alive))
         else:
             # Hot path (no failures): scan in place, no node list, no
             # key tuples.  Strict ``<`` keeps min()'s tie-break — the

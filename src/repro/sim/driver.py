@@ -14,7 +14,10 @@ Warmup: the first ``warmup_fraction`` of completions warms caches and
 policy state (server sets, load views); at the warmup boundary every
 meter is reset — cache *contents* and policy state survive — and
 measurement covers the remainder, following the paper's warm-cache
-methodology.
+methodology.  Admission control likewise *arms* at the boundary: the
+warmup exists to reach the pre-crowd steady state, and a front door
+shedding warmup traffic starves the very caches whose misses then keep
+its latency signal high (see the ``_admission_armed`` comment).
 """
 
 from __future__ import annotations
@@ -55,6 +58,7 @@ class Simulation:
         faults: Optional[FaultSchedule] = None,
         retry: Optional[RetryPolicy] = None,
         timeline_interval_s: Optional[float] = None,
+        overload=None,
         sanitize: Optional[bool] = None,
     ):
         if len(trace) == 0:
@@ -167,6 +171,37 @@ class Simulation:
             if timeline_interval_s is not None
             else None
         )
+        #: :class:`~repro.overload.OverloadControl` for this run, or
+        #: ``None``.  The admission controller gates *new arrivals* at
+        #: the front door (retries of already-admitted requests are
+        #: re-issues, not new admissions); the breaker board is consulted
+        #: by the lifecycles at service entry and by breaker-aware
+        #: routing.  The identical object model drives the live
+        #: front-end — see docs/OVERLOAD.md.
+        self.overload = overload
+        self.cluster.overload = overload
+        self._admission = overload.admission if overload is not None else None
+        #: Admission control arms at the warmup boundary, like every
+        #: other meter: the warmup pass is a cache-warming device that
+        #: models the server's pre-crowd steady state, and a front door
+        #: that sheds warmup traffic starves the caches it is trying to
+        #: protect — the measured pass then runs disk-bound and the
+        #: controller's own sheds "confirm" the overload it created.
+        #: (Worse, closed-loop warmup sheds are instantaneous, so one
+        #: shed chains into shedding the whole remaining warmup at a
+        #: single sim instant.)
+        self._admission_armed = False
+        #: Indices admitted through the front door (so completions of
+        #: requests spawned before arming never release a slot they
+        #: never took).
+        self._admitted_idx: set = set()
+        if overload is not None and overload.breakers is not None:
+            policy.attach_breakers(overload.breakers)
+        #: Requests shed at the front door (terminal, never retried —
+        #: the live substrate's 503 with no client retry).
+        self._shed_front = 0
+        if self.timeline is not None:
+            self.cluster.shed_listener = self.timeline.record_shed
         #: Callback-chain request lifecycle (see docs/KERNEL.md).  The
         #: fast path covers the common shape — replicated disks, a
         #: synchronous ``decide``, no client-side timeout interrupts; the
@@ -193,8 +228,29 @@ class Simulation:
         if i >= self._total:
             return False
         self._next += 1
+        if self._admission is not None and self._admission_armed:
+            verdict = self._admission.try_admit(self.env.now)
+            if not verdict.admitted:
+                # Front-door shed: terminal, resolved in microseconds —
+                # the whole point of admission control is failing fast
+                # instead of queueing past the deadline.  Deferred one
+                # zero-delay event so a closed-loop shed burst unrolls
+                # as a chain of events instead of recursing through
+                # _after_request to trace depth.
+                self._shed_front += 1
+                self.env.schedule_callback(0.0, self._front_shed)
+                return True
+            self._admitted_idx.add(i)
         self._spawn_index(i)
         return True
+
+    def _front_shed(self) -> None:
+        """Terminal accounting for one front-door shed."""
+        self._failed += 1
+        if self.timeline is not None:
+            self.timeline.record_shed()
+            self.timeline.record_failure()
+        self._after_request()
 
     def _spawn_index(self, i: int) -> None:
         fid = int(self._ids[i])
@@ -241,6 +297,11 @@ class Simulation:
         self._attempts.pop(index, None)
         self._completed += 1
         self._last_completion = self.env.now
+        if self._admission is not None and index in self._admitted_idx:
+            # Release the admission slot; the observed latency feeds the
+            # queue-wait estimate and the adaptive concurrency limit.
+            self._admitted_idx.remove(index)
+            self._admission.release(self.env.now, self.env.now - start)
         if self.timeline is not None:
             self.timeline.record_completion(was_miss)
         if self._measure_start is not None:
@@ -270,6 +331,11 @@ class Simulation:
                 )
                 return
             self._attempts.pop(index, None)
+        if self._admission is not None and index in self._admitted_idx:
+            # Terminal failure of an admitted request: free the slot but
+            # feed no latency (a fault says nothing about service rate).
+            self._admitted_idx.remove(index)
+            self._admission.release(self.env.now, None)
         self._failed += 1
         if self.timeline is not None:
             self.timeline.record_failure()
@@ -332,6 +398,7 @@ class Simulation:
     def _begin_measurement(self) -> None:
         """Reset all meters at the warmup boundary (state survives)."""
         self._measure_start = self.env.now
+        self._admission_armed = True
         self.cluster.reset_accounting()
         self.policy.reset_stats()
         self._response.reset()
@@ -459,7 +526,10 @@ class Simulation:
             requests_retried=self._retried,
             latency_percentiles=self._percentiles(),
             station_utilizations=stations,
-            requests_shed=sum(n.shed for n in cluster.nodes),
+            requests_shed=sum(n.shed for n in cluster.nodes) + self._shed_front,
+            overload_stats=(
+                self.overload.snapshot() if self.overload is not None else {}
+            ),
             message_stats=self._message_stats(),
             netfault_summary=self._netfault_summary(),
             requests_generated=self._next,
@@ -525,6 +595,11 @@ class Simulation:
         summary["dfs_local_fallbacks"] = dfs.local_fallbacks
         return summary
 
+    @property
+    def latencies(self) -> List[float]:
+        """Measured per-request latencies (``record_latencies`` runs)."""
+        return list(self._latencies)
+
     def _percentiles(self) -> Dict[str, float]:
         if not self.record_latencies or not self._latencies:
             return {}
@@ -532,6 +607,7 @@ class Simulation:
         return {
             "p50": float(np.percentile(lat, 50)),
             "p90": float(np.percentile(lat, 90)),
+            "p95": float(np.percentile(lat, 95)),
             "p99": float(np.percentile(lat, 99)),
             "max": float(lat.max()),
         }

@@ -46,9 +46,35 @@ __all__ = ["client_request", "start_fast_request", "NodeFailedError"]
 class NodeFailedError(Exception):
     """A node involved in the request crashed mid-flight."""
 
-    def __init__(self, node_id: int):
+    def __init__(self, node_id: int, shed: bool = False):
         super().__init__(f"node {node_id} failed")
         self.node_id = node_id
+        #: True when the request was *shed* (admission threshold or an
+        #: open circuit breaker) rather than lost to a crash.  Sheds
+        #: never feed the breakers — counting them as failures would let
+        #: an overloaded-but-healthy node's breaker trip and then keep
+        #: itself open on its own rejections.
+        self.shed = shed
+
+
+def _breaker_allows(cluster: Cluster, node_id: int) -> bool:
+    """Service-entry breaker gate (claims a half-open probe slot)."""
+    ov = cluster.overload
+    if ov is None or ov.breakers is None:
+        return True
+    return ov.breakers.allow(node_id, cluster.env.now)
+
+
+def _breaker_failure(cluster: Cluster, node_id: int) -> None:
+    ov = cluster.overload
+    if ov is not None and ov.breakers is not None:
+        ov.breakers.record_failure(node_id, cluster.env.now)
+
+
+def _breaker_success(cluster: Cluster, node_id: int) -> None:
+    ov = cluster.overload
+    if ov is not None and ov.breakers is not None:
+        ov.breakers.record_success(node_id, cluster.env.now)
 
 
 def client_request(
@@ -153,8 +179,15 @@ def client_request(
             # (the driver's RetryPolicy is the retry-after).  A shed
             # connection never opens, so the view charge rolls back too.
             policy.on_handoff_failed(initial, target)
-            service_node.shed += 1
-            raise NodeFailedError(target)
+            cluster.note_shed(service_node)
+            raise NodeFailedError(target, shed=True)
+        if not _breaker_allows(cluster, target):
+            # The node's circuit breaker is open (or its half-open probe
+            # budget is spent): shed at the service door, after the
+            # queue check so a queue shed never wastes a probe slot.
+            policy.on_handoff_failed(initial, target)
+            cluster.note_shed(service_node)
+            raise NodeFailedError(target, shed=True)
         service_inc = service_node.incarnation
 
         def service_dead() -> bool:
@@ -180,7 +213,10 @@ def client_request(
             policy.on_connection_change(target)
             policy.on_complete(target, file_id)
             policy.on_connection_end(target)
-    except (NodeFailedError, RemoteFetchFailed, Interrupt):
+    except (NodeFailedError, RemoteFetchFailed, Interrupt) as exc:
+        if isinstance(exc, NodeFailedError) and not exc.shed and exc.node_id >= 0:
+            # A crash-type loss: feed the implicated node's breaker.
+            _breaker_failure(cluster, exc.node_id)
         if initial is not None:
             # Give dispatcher-style policies a chance to balance their
             # assignment counters for requests that never reached (or
@@ -191,6 +227,7 @@ def client_request(
         on_failed(index)
         return
 
+    _breaker_success(cluster, target)
     if on_done is not None:
         was_miss = service_node.cache.misses > misses_before
         on_done(index, start, decision.forwarded, was_miss)
@@ -325,6 +362,7 @@ class _FastRequest:
     def _route_in_done(self, _e) -> None:
         self.cluster.net.router.free(self._req)
         if self._initial_dead():
+            _breaker_failure(self.cluster, self.initial)
             self._abort()
             return
         req = self._req = self.initial_node.ni_in.request()
@@ -350,11 +388,15 @@ class _FastRequest:
     def _parse_done(self, _e) -> None:
         self.initial_node.cpu.free(self._req)
         if self._initial_dead():
+            _breaker_failure(self.cluster, self.initial)
             self._abort()
             return
         try:
             self.decision = self.policy.decide(self.initial, self.file_id)
         except ServiceUnavailable:
+            # The generator path raises NodeFailedError(initial) here,
+            # whose except-block blames the initial node; mirror that.
+            _breaker_failure(self.cluster, self.initial)
             self._abort()
             return
         if self.decision.forwarded:
@@ -388,6 +430,7 @@ class _FastRequest:
         loop; instead the policy rolls back its view charge and the
         request aborts like any other crash casualty."""
         self.policy.on_handoff_failed(self.initial, self.decision.target)
+        _breaker_failure(self.cluster, self.decision.target)
         self._abort()
 
     # -- service node: fetch + reply ---------------------------------------
@@ -399,12 +442,20 @@ class _FastRequest:
             # Mirrors the generator path: dead on arrival rolls back the
             # decide-time view charge (no connection, no notice).
             self.policy.on_handoff_failed(self.initial, target)
+            _breaker_failure(self.cluster, target)
             self._abort()
             return
         threshold = self.cluster.config.admission_threshold
         if threshold is not None and node.open_connections >= threshold:
             self.policy.on_handoff_failed(self.initial, target)
-            node.shed += 1
+            self.cluster.note_shed(node)
+            self._abort()
+            return
+        if not _breaker_allows(self.cluster, target):
+            # Breaker shed, after the queue check (identical ordering to
+            # the generator path) so a queue shed never wastes a probe.
+            self.policy.on_handoff_failed(self.initial, target)
+            self.cluster.note_shed(node)
             self._abort()
             return
         self.service_inc = node.incarnation
@@ -431,6 +482,7 @@ class _FastRequest:
 
     def _after_fetch(self) -> None:
         if self._service_dead():
+            _breaker_failure(self.cluster, self.decision.target)
             self._close_connection()
             self._abort()
             return
@@ -446,6 +498,7 @@ class _FastRequest:
     def _reply_done(self, _e) -> None:
         self.service_node.cpu.free(self._req)
         if self._service_dead():
+            _breaker_failure(self.cluster, self.decision.target)
             self._close_connection()
             self._abort()
             return
@@ -468,6 +521,7 @@ class _FastRequest:
     def _route_out_done(self, _e) -> None:
         self.cluster.net.router.free(self._req)
         self._close_connection()
+        _breaker_success(self.cluster, self.decision.target)
         if self._san_tok is not None:
             self.env._san.op_end(self._san_tok)
             self._san_tok = None

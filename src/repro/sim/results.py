@@ -46,14 +46,15 @@ class SimResult:
     requests_failed: int = 0
     #: Client retries issued after aborts (fault runs with a RetryPolicy).
     requests_retried: int = 0
-    #: Response-time percentiles in seconds (p50/p90/p99/max), populated
-    #: only when the driver records latencies.
+    #: Response-time percentiles in seconds (p50/p90/p95/p99/max),
+    #: populated only when the driver records latencies.
     latency_percentiles: Dict[str, float] = field(default_factory=dict)
     #: Measured utilization of every hardware station inside the window:
     #: "router" plus per-node-averaged "cpu", "disk", "ni_in", "ni_out".
     station_utilizations: Dict[str, float] = field(default_factory=dict)
-    #: Requests rejected by admission control inside the window (runs
-    #: with ``ClusterConfig.admission_threshold`` set).
+    #: Requests rejected by admission control — node-level
+    #: ``admission_threshold`` sheds, circuit-breaker sheds, and
+    #: front-door :class:`~repro.overload.AdmissionController` sheds.
     requests_shed: int = 0
     #: Per-message-kind delivery accounting, populated on runs with an
     #: active netfault layer.  Each kind maps to sent / delivered /
@@ -72,6 +73,9 @@ class SimResult:
     #: (completed + failed), so ``requests_warmup`` includes these;
     #: ``requests_failed`` is the run-wide failure total.
     requests_failed_warmup: int = 0
+    #: Overload-control snapshot (admission / limiter / breaker books),
+    #: populated only on runs driven with an OverloadControl attached.
+    overload_stats: Dict[str, Any] = field(default_factory=dict)
 
     def verify(self) -> List[str]:
         """Check the result's books; returns problem strings (empty = ok).

@@ -35,6 +35,8 @@ def run_simulation(
     config: Optional[ClusterConfig] = None,
     seed: int = 0,
     sanitize: Optional[bool] = None,
+    record_latencies: bool = False,
+    overload=None,
     **policy_kwargs,
 ) -> SimResult:
     """Simulate one server design on one workload at saturation.
@@ -62,6 +64,13 @@ def run_simulation(
         ``None`` defers to the ``REPRO_DES_SANITIZE`` environment
         variable.  Results are identical either way; sanitized runs are
         a few times slower.
+    record_latencies:
+        Keep per-request latencies for the measured window so the
+        result carries p50/p95/p99 (``SimResult.latency_percentiles``).
+    overload:
+        An :class:`~repro.overload.OverloadControl` to wire in front of
+        the cluster (admission control + per-node circuit breakers).
+        Fresh instance per run, like policy objects.
     """
     if isinstance(trace, str):
         trace = synthesize(trace, num_requests=num_requests, seed=seed)
@@ -78,6 +87,8 @@ def run_simulation(
         warmup_fraction=warmup_fraction,
         passes=passes,
         sanitize=sanitize,
+        record_latencies=record_latencies,
+        overload=overload,
     )
     return sim.run()
 

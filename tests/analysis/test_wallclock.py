@@ -1,0 +1,82 @@
+"""Planted-bug fixtures for the overload wall-clock pass (REP108)."""
+
+from repro.analysis import wallclock
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.modules import ProjectModel
+
+
+def run(sources):
+    model = ProjectModel.from_sources(sources)
+    return wallclock.run(model, CallGraph.build(model))
+
+
+def test_time_import_in_overload_module_is_flagged():
+    findings = run({
+        "pkg.overload.limiter": (
+            "import time\n"
+            "\n"
+            "def observe(latency_s, now):\n"
+            "    return time.monotonic()\n"
+        ),
+    })
+    assert [f.rule for f in findings] == ["REP108", "REP108"]
+    assert findings[0].line == 1  # the import
+    assert "now" in findings[0].message
+
+
+def test_from_import_and_alias_are_flagged():
+    findings = run({
+        "pkg.overload.breaker": (
+            "from time import monotonic as mono\n"
+            "\n"
+            "def trip():\n"
+            "    return mono()\n"
+        ),
+        "pkg.overload.admission": (
+            "from datetime import datetime\n"
+            "\n"
+            "def stamp():\n"
+            "    return datetime.now()\n"
+        ),
+    })
+    assert all(f.rule == "REP108" for f in findings)
+    paths = {f.path for f in findings}
+    assert len(paths) == 2  # both modules reported
+
+
+def test_clock_use_outside_overload_package_is_ignored():
+    findings = run({
+        "pkg.live.frontend": (
+            "import time\n"
+            "\n"
+            "def now():\n"
+            "    return time.monotonic()\n"
+        ),
+    })
+    assert findings == []
+
+
+def test_clean_overload_module_passes():
+    findings = run({
+        "pkg.overload.limiter": (
+            "def observe(latency_s, now):\n"
+            "    return now + latency_s\n"
+        ),
+    })
+    assert findings == []
+
+
+def test_suppression_comment_is_honored():
+    findings = run({
+        "pkg.overload.debug": (
+            "import time  # simlint: disable=REP108\n"
+        ),
+    })
+    assert findings == []
+
+
+def test_rule_is_registered_and_explainable():
+    from repro.analysis.rules import REGISTRY, rule_ids
+
+    assert "REP108" in rule_ids()
+    assert REGISTRY["REP108"].pass_name == "wallclock"

@@ -136,3 +136,95 @@ class TestFaultedRuns:
         assert "policy_invariant" not in checks, [
             v.render() for v in outcome.violations
         ]
+
+
+class _StubClusterConfig:
+    multiprogramming_per_node = 16
+    nodes = 4
+
+
+class _StubSim:
+    """Just enough Simulation surface for the metastable check."""
+
+    def __init__(self, times, warmup_count=100, total=None):
+        self.completion_times = list(times)
+        self._warmup_count = warmup_count
+        self._total = (
+            total if total is not None else warmup_count + len(times)
+        )
+        self.config = _StubClusterConfig()
+
+
+def _ramp_scenario():
+    return _clean_scenario(
+        name="oracle-metastable",
+        plan=(PlanItem("ramp", start=0.3, end=0.5, share=0.5),),
+    )
+
+
+def _uniform(n, spacing):
+    return [i * spacing for i in range(n)]
+
+
+def _collapsing(n, split_fraction, fast, slow):
+    split = int(n * split_fraction)
+    times = [i * fast for i in range(split)]
+    t = times[-1]
+    for _ in range(n - split):
+        t += slow
+        times.append(t)
+    return times
+
+
+class TestMetastableCheck:
+    """The metastable check against synthetic completion series.
+
+    Driving `_metastable` directly keeps the fixtures exact: a genuine
+    collapse (tail 50x below both yardsticks) must fire, and each
+    exoneration — healthy tail, recovering cache re-warm, missing
+    baseline — must not.
+    """
+
+    def _violations(self, times, baseline):
+        oracle = ChaosOracle(_ramp_scenario())
+        oracle._metastable(_StubSim(times), baseline)
+        return [v for v in oracle.violations if v.check == "metastable_failure"]
+
+    def test_collapse_below_both_yardsticks_fires(self):
+        # 1000/s before the window, 20/s ever after; baseline 1000/s.
+        perturbed = _collapsing(1000, 0.45, fast=1e-3, slow=5e-2)
+        baseline = _uniform(1000, 1e-3)
+        assert self._violations(perturbed, baseline)
+
+    def test_healthy_tail_passes(self):
+        assert self._violations(_uniform(1000, 1e-3), _uniform(1000, 1e-3)) == []
+
+    def test_rewarming_run_is_exonerated_by_its_own_pre_rate(self):
+        # The whole perturbed run serves at 100/s (cache still warming,
+        # tail no worse than before the crowd) while the baseline runs
+        # at 1000/s: trailing the counterfactual is not collapse.
+        assert self._violations(_uniform(1000, 1e-2), _uniform(1000, 1e-3)) == []
+
+    def test_missing_baseline_skips_the_check(self):
+        perturbed = _collapsing(1000, 0.45, fast=1e-3, slow=5e-2)
+        assert self._violations(perturbed, None) == []
+
+    def test_ratio_zero_disables(self):
+        perturbed = _collapsing(1000, 0.45, fast=1e-3, slow=5e-2)
+        oracle = ChaosOracle(_ramp_scenario(), OracleConfig(metastable_ratio=0.0))
+        oracle._metastable(_StubSim(perturbed), _uniform(1000, 1e-3))
+        assert oracle.violations == []
+
+    def test_end_to_end_ramp_scenario_passes(self):
+        # A realistic seeded ramp through the full runner: counterfactual
+        # baseline and all, the oracle must hold on a healthy cluster.
+        s = _clean_scenario(
+            name="oracle-ramp-e2e",
+            nodes=4,
+            requests=600,
+            policy="lard",
+            retries=4,
+            plan=(PlanItem("ramp", start=0.3, end=0.55, share=0.6),),
+        )
+        outcome = run_scenario(s)
+        assert outcome.passed, [v.render() for v in outcome.violations]

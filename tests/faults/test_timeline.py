@@ -120,3 +120,26 @@ def test_csv_round_trip():
 def test_render_empty():
     env, cluster, tl = make()
     assert tl.render() == "(no samples)"
+
+
+def test_shed_column_and_cross_substrate_csv_compat():
+    """The DES and live timelines must emit identical CSV layouts —
+    including the ``shed`` column — so overload runs on the two
+    substrates diff cleanly (`repro live chaos --csv` vs sim CSVs)."""
+    env, cluster, tl = make()
+    tl.record_shed()
+    tl.record_shed()
+    tl.record_completion(was_miss=False)
+    sample = tl.take_sample()
+    assert sample.shed == 2
+    header, row = tl.to_csv().strip().split("\n")
+    assert header.split(",")[-1] == "shed"
+    assert row.split(",")[-1] == "2"
+
+    # One shared implementation, not two layouts kept in sync by hand:
+    # a refactor that forks the CSV writers must fail here.
+    from repro.faults.timeline import TimelineBase
+    from repro.live.timeline import LiveAvailabilityTimeline
+
+    assert LiveAvailabilityTimeline.to_csv is TimelineBase.to_csv
+    assert type(tl).to_csv is TimelineBase.to_csv

@@ -32,6 +32,7 @@ from repro.workload import synthesize
 pytestmark = pytest.mark.live
 
 FIXTURE = Path(__file__).parent / "data" / "kill_recover.json"
+RAMP_FIXTURE = Path(__file__).parent / "data" / "ramp.json"
 
 
 def test_kill_recover_scenario_survives_and_conserves(tmp_path):
@@ -66,6 +67,30 @@ def test_kill_recover_scenario_survives_and_conserves(tmp_path):
     assert outcome.passed
     # The render must not blow up (CI prints it on failure).
     assert "live actions executed" in outcome.render()
+
+
+def test_ramp_scenario_scores_shed_and_goodput(tmp_path):
+    """The overload acceptance: a flash-ramp scenario runs on both
+    substrates with the same AdmissionController spec, and the live
+    shed fraction and goodput (availability) land within +/- 0.15 of
+    the sim's prediction."""
+    scenario = dataclasses.replace(Scenario.load(RAMP_FIXTURE), requests=1200)
+    assert scenario.admission_limit is not None  # overload really armed
+    outcome = run_live_scenario(scenario, root=tmp_path, concurrency=16)
+
+    live, report = outcome.live, outcome.report
+    assert live.verify() == []
+    assert live.requests_generated == scenario.requests
+    # Both substrates ran the identical ramp-rewritten arrival sequence.
+    assert outcome.sim.trace.endswith("+ramp")
+    assert live.trace.endswith("+ramp")
+    # The scored acceptance bands.
+    assert report.shed_threshold is not None
+    assert abs(report.shed_delta) <= 0.15
+    assert abs(report.availability_delta) <= 0.15
+    assert outcome.passed
+    rendered = report.render()
+    assert "shed fraction" in rendered
 
 
 def test_chaos_cli_exits_zero_on_the_committed_fixture(tmp_path, capsys):

@@ -1,0 +1,85 @@
+"""CircuitBreaker unit contracts: the three-state machine, seeded
+jitter determinism, and the stale-probe forfeit."""
+
+from repro.overload.breaker import BreakerBoard, BreakerConfig, CircuitBreaker
+
+
+def cfg(**kw):
+    base = dict(failure_threshold=3, cooldown_s=1.0, jitter=0.0, seed=7)
+    base.update(kw)
+    return BreakerConfig(**base)
+
+
+def trip(breaker, now=0.0):
+    for _ in range(breaker.config.failure_threshold):
+        breaker.record_failure(now)
+
+
+def test_consecutive_failures_trip_success_resets_the_count():
+    b = CircuitBreaker(cfg())
+    b.record_failure(0.0)
+    b.record_failure(0.0)
+    b.record_success(0.0)  # streak broken: counting restarts
+    b.record_failure(0.0)
+    b.record_failure(0.0)
+    assert b.state == "closed"
+    b.record_failure(0.0)
+    assert b.state == "open"
+    assert b.trips == 1
+
+
+def test_open_refuses_until_cooldown_then_half_open_probe():
+    b = CircuitBreaker(cfg())
+    trip(b)
+    assert not b.allow(0.5)
+    assert not b.routable(0.5)
+    # Cooldown expired: exactly one probe slot, a second entry refused.
+    assert b.allow(1.0)
+    assert b.state == "half_open"
+    assert not b.allow(1.0)
+    # Probe success closes; probe failure would re-trip.
+    b.record_success(1.1)
+    assert b.state == "closed"
+
+
+def test_probe_failure_retrips_with_fresh_cooldown():
+    b = CircuitBreaker(cfg())
+    trip(b)
+    assert b.allow(1.0)
+    b.record_failure(1.2)
+    assert b.state == "open"
+    assert b.trips == 2
+    assert not b.allow(1.5)  # new cooldown runs from the re-trip
+    assert b.allow(2.2)
+
+
+def test_stale_probe_slot_is_forfeited_after_a_cooldown():
+    b = CircuitBreaker(cfg())
+    trip(b)
+    assert b.allow(1.0)  # probe claimed... and never reports back
+    assert not b.allow(1.5)  # slot still held
+    assert b.allow(2.1)  # full cooldown later: forfeited, re-offered
+
+
+def test_jitter_is_deterministic_per_seed_and_node():
+    def probe_time(seed, node):
+        b = CircuitBreaker(cfg(jitter=0.2, seed=seed), node_id=node)
+        trip(b)
+        return b._probe_at
+
+    assert probe_time(1, 0) == probe_time(1, 0)
+    assert probe_time(1, 0) != probe_time(1, 1)  # decorrelated per node
+    assert probe_time(1, 0) != probe_time(2, 0)
+
+
+def test_board_routable_is_pure_and_allow_counts_rejections():
+    board = BreakerBoard(3, cfg())
+    for _ in range(3):
+        board.record_failure(1, 0.0)
+    assert board.states() == "COC"
+    assert board.routable(0, 0.0) and not board.routable(1, 0.0)
+    assert board.state(1) == "open"  # routable() mutated nothing
+    assert not board.allow(1, 0.0)
+    assert board.rejections == 1
+    snap = board.snapshot()
+    assert snap["trips"] == 1 and snap["rejections"] == 1

@@ -57,8 +57,8 @@ def test_latency_grows_with_load(trace):
 def test_percentiles_recorded_and_ordered(trace):
     _, r = run_open(trace, rate=600.0)
     p = r.latency_percentiles
-    assert set(p) == {"p50", "p90", "p99", "max"}
-    assert p["p50"] <= p["p90"] <= p["p99"] <= p["max"]
+    assert set(p) == {"p50", "p90", "p95", "p99", "max"}
+    assert p["p50"] <= p["p90"] <= p["p95"] <= p["p99"] <= p["max"]
     assert p["p50"] > 0
 
 
